@@ -1,0 +1,17 @@
+"""A3: ablation — BL probability policy: adaptive vs fixed.
+
+Measures one of the design decisions catalogued in DESIGN.md section 5.
+"""
+
+from repro.analysis.ablations import run_ablation
+
+
+def test_a03_probability_policy(benchmark, capsys):
+    res = benchmark.pedantic(
+        run_ablation, args=("A3",), kwargs={"scale": "quick", "seed": 0},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(res.to_markdown())
+    assert res.rows

@@ -1,0 +1,17 @@
+"""A5: ablation — cost model: EREW vs CREW.
+
+Measures one of the design decisions catalogued in DESIGN.md section 5.
+"""
+
+from repro.analysis.ablations import run_ablation
+
+
+def test_a05_cost_model(benchmark, capsys):
+    res = benchmark.pedantic(
+        run_ablation, args=("A5",), kwargs={"scale": "quick", "seed": 0},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(res.to_markdown())
+    assert res.rows

@@ -1,0 +1,19 @@
+"""A6: ablation — fused incremental round cleanup vs full normalize.
+
+Measures the design decision behind the normalize_after_trim fast path
+(DESIGN.md section 5): restricting the superset scan to edges the round
+actually changed.
+"""
+
+from repro.analysis.ablations import run_ablation
+
+
+def test_a06_incremental_cleanup(benchmark, capsys):
+    res = benchmark.pedantic(
+        run_ablation, args=("A6",), kwargs={"scale": "quick", "seed": 0},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(res.to_markdown())
+    assert res.extras["min_speedup"] > 1.2

@@ -1,0 +1,18 @@
+"""A7: ablation — component-parallel composition of KUW.
+
+Measures the depth win of running KUW per connected component (max over
+components) versus on the whole fragmented instance.
+"""
+
+from repro.analysis.ablations import run_ablation
+
+
+def test_a07_components(benchmark, capsys):
+    res = benchmark.pedantic(
+        run_ablation, args=("A7",), kwargs={"scale": "quick", "seed": 0},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(res.to_markdown())
+    assert res.extras["min_speedup"] > 1.0

@@ -1,0 +1,10 @@
+"""E1: Theorem 1 — SBL correctness and the round bound r = 2 log n / p.
+
+Regenerates the round-count table: SBL outer rounds vs the paper's
+w.h.p. bound on the bounded-m workload family.
+"""
+
+
+def test_e01_sbl_rounds(run_bench):
+    res = run_bench("E1")
+    assert res.extras["all_within"]

@@ -1,0 +1,11 @@
+"""E2: Theorem 1 — SBL vs KUW EREW-PRAM depth.
+
+Regenerates the depth comparison: the paper's headline claim is the
+first o(sqrt(n))-time algorithm; this prints depth, work and the
+normalised shape columns for both algorithms.
+"""
+
+
+def test_e02_sbl_vs_kuw(run_bench):
+    res = run_bench("E2")
+    assert res.extras["kuw_exponent"] < 0.7

@@ -1,0 +1,9 @@
+"""E3: Theorem 2 — BL round counts are polylog for small dimension.
+
+Regenerates the BL rounds-vs-n table across dimensions.
+"""
+
+
+def test_e03_bl_rounds(run_bench):
+    res = run_bench("E3")
+    assert all(row[4] < 4.0 for row in res.rows)

@@ -1,0 +1,10 @@
+"""E4: Claim (1) of section 2.2 — per-round colored fraction.
+
+Regenerates the per-round sampling concentration summary against the
+Chernoff failure bound exp(-p n_i / 8).
+"""
+
+
+def test_e04_colored_fraction(run_bench):
+    res = run_bench("E4")
+    assert res.extras["failure_rate"] <= res.extras["bound"] + 0.05

@@ -1,0 +1,9 @@
+"""E5: Claim (2) of section 2.2 — Pr[dim(H') > d] vs the union bound.
+
+Regenerates the sampled-dimension failure table against m p^{d+1}.
+"""
+
+
+def test_e05_sampled_dimension(run_bench):
+    res = run_bench("E5")
+    assert res.extras["all_within"]

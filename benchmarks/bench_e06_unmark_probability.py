@@ -1,0 +1,10 @@
+"""E6: Lemma 2 — Pr[E_X | C_X] < 1/2.
+
+Regenerates the Monte-Carlo estimate of the conditional unmark
+probability at the BL marking probability.
+"""
+
+
+def test_e06_unmark_probability(run_bench):
+    res = run_bench("E6")
+    assert res.extras["all_below"]

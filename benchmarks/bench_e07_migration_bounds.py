@@ -1,0 +1,10 @@
+"""E7: Corollaries 2 and 4 — migration vs concentration bounds.
+
+Regenerates the measured per-stage degree-migration table against
+Kelsen's and the Kim-Vu bounds (the section 4 improvement).
+"""
+
+
+def test_e07_migration_bounds(run_bench):
+    res = run_bench("E7")
+    assert res.extras["holds"]

@@ -1,0 +1,9 @@
+"""E8: KUW — rounds against the O(sqrt(n)) envelope.
+
+Regenerates the KUW scaling table with the power-law fit.
+"""
+
+
+def test_e08_kuw_sqrt(run_bench):
+    res = run_bench("E8")
+    assert res.extras["within_envelope"]

@@ -1,0 +1,10 @@
+"""E9: Section 2.2 parameters across astronomic n.
+
+Regenerates the parameter table showing where the asymptotic regime
+(d >= 3, SBL beating sqrt(n)) actually engages.
+"""
+
+
+def test_e09_parameters(run_bench):
+    res = run_bench("E9")
+    assert res.rows[-1][6] is True

@@ -1,0 +1,10 @@
+"""E10: Algorithm x family matrix.
+
+Regenerates the cross-comparison of every algorithm on every workload
+family (all outputs verified as MIS).
+"""
+
+
+def test_e10_algorithm_matrix(run_bench):
+    res = run_bench("E10")
+    assert len(res.rows) >= 25

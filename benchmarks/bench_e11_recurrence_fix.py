@@ -1,0 +1,10 @@
+"""E11: Section 3.1 — the d^2 recurrence fix.
+
+Regenerates the claim-inequality table: Kelsen's original F fails at
+super-constant d, the paper's d^2 variant holds.
+"""
+
+
+def test_e11_recurrence_fix(run_bench):
+    res = run_bench("E11")
+    assert all(res.extras["paper_ok"].values())

@@ -1,0 +1,9 @@
+"""E12: Section 4.1 — necessity of F(j) >= F(j-1) j + 5.
+
+Regenerates the necessity scan over candidate recurrences.
+"""
+
+
+def test_e12_f_necessity(run_bench):
+    res = run_bench("E12")
+    assert any(row[1] is False for row in res.rows)

@@ -1,0 +1,10 @@
+"""E13: Section 2.1 — correctness invariant and failure injection.
+
+Regenerates the validator-coverage table (every injected violation
+must be caught).
+"""
+
+
+def test_e13_invariants(run_bench):
+    res = run_bench("E13")
+    assert res.extras["caught_all"]

@@ -1,0 +1,9 @@
+"""E14: Linear hypergraphs — the Luczak-Szymanska RNC class.
+
+Regenerates the linear-specialisation vs BL round table.
+"""
+
+
+def test_e14_linear(run_bench):
+    res = run_bench("E14")
+    assert res.extras["exponent"] < 0.4

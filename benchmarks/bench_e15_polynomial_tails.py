@@ -1,0 +1,11 @@
+"""E15: Theorem 3 setting — migration polynomial S vs D and the tails.
+
+Regenerates the sampled-S table: the migration polynomial never exceeds
+the Kim-Vu threshold (let alone Kelsen's), and the gap between the two
+factors grows with the polynomial degree k-j (the section 4 improvement).
+"""
+
+
+def test_e15_polynomial_tails(run_bench):
+    res = run_bench("E15")
+    assert res.extras["never_exceeded"]

@@ -1,0 +1,10 @@
+"""E16: Lemma 5 — decay of the universal threshold v2(H_s).
+
+Regenerates the potential-trajectory table: v2 collapses to zero far
+inside the q_d stage budget, and never grows beyond the Lemma 5 slack.
+"""
+
+
+def test_e16_potential_decay(run_bench):
+    res = run_bench("E16")
+    assert res.extras["growth_ok"]

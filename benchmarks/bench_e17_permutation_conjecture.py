@@ -1,0 +1,10 @@
+"""E17: section 1 — the permutation algorithm's conjectured-RNC scaling.
+
+Regenerates the round-scaling table across random and adversarial
+families; flat growth supports the Beame-Luby RNC conjecture.
+"""
+
+
+def test_e17_permutation_conjecture(run_bench):
+    res = run_bench("E17")
+    assert res.extras["worst_exponent"] < 0.3

@@ -1,0 +1,62 @@
+"""M1: micro-benchmarks of the solver kernels (wall-clock).
+
+Unlike the E/A-series (one-shot table regenerations), these use
+pytest-benchmark conventionally — many rounds, full statistics — on fixed
+mid-size instances, so regressions in the hot paths (marking matvec,
+cleanup, KUW prefix computation, greedy scan) show up as timing shifts.
+"""
+
+import pytest
+
+from repro.core import beame_luby, greedy_mis, karp_upfal_wigderson, permutation_bl
+from repro.generators import uniform_hypergraph
+from repro.hypergraph import check_mis
+from repro.hypergraph.degrees import degree_profile
+from repro.hypergraph.ops import normalize
+
+N, M, D = 400, 800, 3
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return uniform_hypergraph(N, M, D, seed=7)
+
+
+def test_kernel_greedy(benchmark, instance):
+    res = benchmark(lambda: greedy_mis(instance, seed=1))
+    check_mis(instance, res.independent_set)
+
+
+def test_kernel_kuw(benchmark, instance):
+    res = benchmark(lambda: karp_upfal_wigderson(instance, seed=1, trace=False))
+    check_mis(instance, res.independent_set)
+
+
+def test_kernel_permutation(benchmark, instance):
+    res = benchmark(lambda: permutation_bl(instance, seed=1, trace=False))
+    check_mis(instance, res.independent_set)
+
+
+def test_kernel_bl(benchmark, instance):
+    res = benchmark(lambda: beame_luby(instance, seed=1, trace=False))
+    check_mis(instance, res.independent_set)
+
+
+def test_kernel_degree_profile(benchmark, instance):
+    prof = benchmark(lambda: degree_profile(instance))
+    assert prof.delta() > 0
+
+
+def test_kernel_normalize(benchmark, instance):
+    benchmark(lambda: normalize(instance))
+
+
+def test_kernel_incidence_matvec(benchmark, instance):
+    import numpy as np
+
+    marked = np.zeros(instance.universe, dtype=bool)
+    marked[::3] = True
+    inc = instance.incidence()
+    sizes = instance.edge_sizes()
+    out = benchmark(lambda: np.flatnonzero((inc @ marked.astype(np.int64)) == sizes))
+    assert out is not None

@@ -1,0 +1,38 @@
+"""Shared machinery for the benchmark suite.
+
+Each ``bench_eNN_*.py`` regenerates one experiment table of DESIGN.md §4
+under pytest-benchmark.  Experiments are macro-benchmarks (seconds, heavy
+Monte-Carlo loops), so each is timed as a single round rather than being
+re-run until statistically stable — the interesting output is the table
+itself, printed after timing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentResult, run_experiment
+
+
+@pytest.fixture
+def run_bench(benchmark, capsys):
+    """Benchmark one experiment id and print its regenerated table."""
+
+    def _run(experiment_id: str, scale: str = "quick", seed: int = 0) -> ExperimentResult:
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(result.to_markdown())
+        return result
+
+    return _run

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Certifying the EREW cost model with the step-level simulator.
+
+The paper's results live on the EREW PRAM: no two processors may touch the
+same memory cell in the same step.  The cost model (`CountingMachine`)
+*charges* the textbook depths; this demo *executes* the underlying
+programs on `EREWSimulator`, which raises on any concurrent access — so
+the printed step counts are certified exclusive-read exclusive-write.
+
+Also shows the violation machinery: the naive one-step broadcast (every
+processor reads cell 0) is exactly what EREW forbids.
+
+Run with::
+
+    python examples/erew_simulator.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.pram import AccessViolation, EREWSimulator, Instruction
+from repro.pram.programs import broadcast, compact, exclusive_prefix_sum, tree_reduce
+from repro.util.itlog import log2_ceil
+
+
+def certified_depths() -> None:
+    rows = []
+    for n in (8, 64, 256, 1024):
+        sim = EREWSimulator(n)
+        sim.alloc("b", [3.14] + [0.0] * (n - 1))
+        steps_b = broadcast(sim, "b", n)
+
+        sim2 = EREWSimulator(n)
+        sim2.alloc("r", list(range(1, n + 1)))
+        steps_r = tree_reduce(sim2, "r", n)
+        assert sim2.memory("r")[0] == n * (n + 1) / 2
+
+        sim3 = EREWSimulator(n)
+        sim3.alloc("s", [1.0] * n)
+        steps_s = exclusive_prefix_sum(sim3, "s", n)
+        assert sim3.memory("s")[-1] == n - 1
+
+        rows.append([n, log2_ceil(n), steps_b, steps_r, steps_s])
+    print(render_table(
+        ["n", "⌈log₂ n⌉", "broadcast steps", "reduce steps", "scan steps"],
+        rows,
+        title="certified EREW depths (simulator rejects any concurrent access)",
+    ))
+
+
+def show_violation() -> None:
+    print()
+    print("the naive depth-1 broadcast — all processors read cell 0 — is")
+    print("precisely what EREW forbids:")
+    sim = EREWSimulator(4)
+    sim.alloc("x", [42.0])
+    sim.alloc("y", 4)
+    try:
+        sim.step(Instruction("y", lambda p: p, "x", lambda p: 0))
+    except AccessViolation as exc:
+        print(f"  → {exc}")
+
+
+def main() -> None:
+    certified_depths()
+    show_violation()
+    certified_bl_round()
+
+
+def certified_bl_round() -> None:
+    """One full BL round core, executed exclusively."""
+    import numpy as np
+
+    from repro.generators import uniform_hypergraph
+    from repro.pram.bl_program import run_bl_round_program
+
+    print()
+    H = uniform_hypergraph(60, 90, 3, seed=0)
+    marked = np.random.default_rng(0).random(H.universe) < 0.3
+    fully, survivors, steps = run_bl_round_program(H, marked)
+    print(f"BL mark-resolution on {H}: {steps} certified EREW steps, "
+          f"{int(fully.sum())} fully marked edges, "
+          f"{int(survivors.sum())} survivors committed")
+
+
+if __name__ == "__main__":
+    main()

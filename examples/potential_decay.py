@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Watch Kelsen's potential v₂(H_s) collapse across BL stages (Lemma 5).
+
+The whole §3.1 analysis is a fight to show that the universal threshold
+``v₂(H_s)`` — the top of the ladder ``v_i = max(Δ_i, (log n)^{f(i)}·v_{i+1})``
+built with the paper's d² recurrence — decays despite edge migration.
+This demo runs BL with the potential tracker and renders the trajectory
+as terminal sparklines, next to the q_d stage budget the proof allows.
+
+Run with::
+
+    python examples/potential_decay.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.instrument import PotentialTracker
+from repro.analysis.sparkline import trace_view, trajectory
+from repro.analysis.tables import render_kv
+from repro.core import beame_luby
+from repro.generators import uniform_hypergraph
+from repro.theory.recurrences import log2_q_j
+
+def main() -> None:
+    n, d = 240, 3
+    H = uniform_hypergraph(n, 3 * n, d, seed=0)
+    tracker = PotentialTracker()
+    res = beame_luby(H, seed=1, on_round=tracker.on_round)
+    res.verify(H)
+
+    print(trace_view(res))
+    print()
+    v2 = tracker.v2_trajectory
+    print(render_kv("Lemma 5 quantities", {
+        "v2 at start": v2[0],
+        "stages to halve v2": tracker.stages_to_halve(),
+        "stages to zero": tracker.stages_to_zero(),
+        "max single-stage growth": tracker.max_growth_ratio(),
+        "log2 of the q_d stage budget": log2_q_j(d, d, n),
+    }))
+    print()
+    print("the proof budgets (log n)^{F(d-1)(d-1)+2} ≈ 2^71 stages per")
+    print("constant-factor drop; measured decay needs ~30 — the analysis is")
+    print("astronomically conservative, but it is the only one known that")
+    print("survives super-constant dimension (the paper's Theorem 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,323 @@
+"""Ablation studies A1–A7 for the design decisions of DESIGN.md §5.
+
+Unlike the E-series (which reproduce paper claims), the A-series measures
+the engineering choices of this implementation:
+
+* **A1** — vectorised incidence-matvec marking kernel vs the pure-Python
+  per-edge reference.
+* **A2** — min-degree-pivot superset removal vs the O(m²) brute force.
+* **A3** — per-round (adaptive) recomputation of the BL marking
+  probability vs Algorithm 2's literal fixed-p.
+* **A4** — SBL's end-game: KUW (paper's choice) vs sequential greedy
+  ("time linear in the number of vertices").
+* **A5** — EREW vs CREW cost model: what the exclusive-read restriction
+  costs the same algorithm.
+* **A6** — fused incremental round cleanup vs full trim+normalize.
+* **A7** — component-parallel composition vs whole-instance runs.
+
+Each runner returns an :class:`~repro.analysis.experiments.ExperimentResult`
+so the benches print them the same way.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentResult, _scales
+from repro.core import beame_luby, sbl
+from repro.core.reference import (
+    reference_fully_marked_edges,
+    reference_superset_removal,
+)
+from repro.generators import mixed_dimension_hypergraph, uniform_hypergraph
+from repro.hypergraph import check_mis, remove_superset_edges
+from repro.pram import CostModel, CountingMachine
+from repro.util.rng import spawn_seeds
+
+__all__ = ["ABLATIONS", "run_ablation"]
+
+
+def _time_best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def a01_marking_kernel(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Fully-marked-edge detection: sparse matvec vs per-edge Python loop."""
+    sizes = _scales(scale, [(500, 1500), (2000, 6000)], [(500, 1500), (2000, 6000), (8000, 24000)])
+    rows = []
+    for i, (n, m) in enumerate(sizes):
+        seeds = spawn_seeds((seed, 100 + i), 2)
+        H = uniform_hypergraph(n, m, 3, seed=seeds[0])
+        rng = np.random.default_rng(seeds[1])
+        mask = rng.random(n) < 0.3
+        marks = set(np.flatnonzero(mask).tolist())
+        inc = H.incidence()
+        sizes_arr = H.edge_sizes()
+        t_vec = _time_best_of(lambda: np.flatnonzero((inc @ mask.astype(np.int64)) == sizes_arr))
+        t_ref = _time_best_of(lambda: reference_fully_marked_edges(H, marks))
+        # sanity: same answer
+        vec = np.flatnonzero((inc @ mask.astype(np.int64)) == sizes_arr).tolist()
+        assert vec == reference_fully_marked_edges(H, marks)
+        rows.append([n, m, t_ref * 1e3, t_vec * 1e3, t_ref / max(t_vec, 1e-12)])
+    return ExperimentResult(
+        experiment_id="A1",
+        title="Ablation — marking kernel: CSR matvec vs per-edge loop",
+        headers=["n", "m", "reference (ms)", "vectorised (ms)", "speedup"],
+        rows=rows,
+        notes=["identical outputs verified on every measured input."],
+        extras={"min_speedup": min(r[4] for r in rows)},
+    )
+
+
+def a02_superset_pivot(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Superset removal: min-degree pivot vs O(m²) brute force."""
+    ms = _scales(scale, [200, 600], [200, 600, 1500])
+    rows = []
+    for i, m in enumerate(ms):
+        seeds = spawn_seeds((seed, 200 + i), 1)
+        H = mixed_dimension_hypergraph(m, m, [2, 3, 4, 5], seed=seeds[0])
+        t_pivot = _time_best_of(lambda: remove_superset_edges(H))
+        t_ref = _time_best_of(lambda: reference_superset_removal(H))
+        assert set(remove_superset_edges(H).edges) == set(
+            reference_superset_removal(H).edges
+        )
+        rows.append(
+            [H.num_vertices, H.num_edges, t_ref * 1e3, t_pivot * 1e3,
+             t_ref / max(t_pivot, 1e-12)]
+        )
+    return ExperimentResult(
+        experiment_id="A2",
+        title="Ablation — superset removal: min-degree pivot vs brute force",
+        headers=["n", "m", "brute force (ms)", "pivot (ms)", "speedup"],
+        rows=rows,
+        notes=["identical minimal edge sets verified on every measured input."],
+        extras={"min_speedup": min(r[4] for r in rows)},
+    )
+
+
+def a03_probability_policy(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """BL marking probability: adaptive per-round vs Algorithm-2-literal fixed."""
+    ns = _scales(scale, [100, 200], [100, 200, 400])
+    repeats = _scales(scale, 4, 10)
+    rows = []
+    for i, n in enumerate(ns):
+        seeds = spawn_seeds((seed, 300 + i), 2 * repeats + 1)
+        H = mixed_dimension_hypergraph(n, 2 * n, [2, 3, 4], seed=seeds[0])
+        adaptive, fixed = [], []
+        for k in range(repeats):
+            r1 = beame_luby(H, seeds[1 + 2 * k], recompute_probability=True)
+            check_mis(H, r1.independent_set)
+            adaptive.append(r1.num_rounds)
+            r2 = beame_luby(H, seeds[2 + 2 * k], recompute_probability=False)
+            check_mis(H, r2.independent_set)
+            fixed.append(r2.num_rounds)
+        rows.append(
+            [n, H.num_edges, float(np.mean(adaptive)), float(np.mean(fixed)),
+             float(np.mean(fixed)) / float(np.mean(adaptive))]
+        )
+    return ExperimentResult(
+        experiment_id="A3",
+        title="Ablation — BL probability policy: adaptive vs fixed (paper-literal)",
+        headers=["n", "m", "adaptive rounds", "fixed-p rounds", "fixed/adaptive"],
+        rows=rows,
+        notes=[
+            "Algorithm 2 computes p once; recomputing from the shrinking "
+            "hypergraph raises p as Δ falls and saves rounds — the analysis "
+            "(which is per-stage anyway) covers both.",
+        ],
+    )
+
+
+def a04_finisher(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """SBL end-game: KUW vs sequential greedy, PRAM depth at the floor."""
+    ns = _scales(scale, [256, 512], [256, 512, 1024])
+    rows = []
+    for i, n in enumerate(ns):
+        seeds = spawn_seeds((seed, 400 + i), 3)
+        H = mixed_dimension_hypergraph(n, 2 * n, [2, 3, 6], seed=seeds[0])
+        out = {}
+        for finisher in ("kuw", "greedy"):
+            mach = CountingMachine()
+            res = sbl(
+                H, seeds[1], machine=mach, p_override=0.25, d_cap_override=4,
+                floor_override=max(32, n // 4), finisher=finisher,
+            )
+            check_mis(H, res.independent_set)
+            out[finisher] = mach.depth
+        rows.append([n, out["kuw"], out["greedy"], out["greedy"] / max(out["kuw"], 1)])
+    return ExperimentResult(
+        experiment_id="A4",
+        title="Ablation — SBL finisher: KUW vs sequential greedy",
+        headers=["n", "depth (kuw)", "depth (greedy)", "greedy/kuw"],
+        rows=rows,
+        notes=[
+            "the sequential tail pays depth linear in the floor size, which "
+            "is why the paper calls KUW instead of the linear-time algorithm "
+            "whenever the floor is ω(polylog).",
+        ],
+    )
+
+
+def a05_cost_model(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """EREW vs CREW: what exclusive reads cost the same BL run."""
+    ns = _scales(scale, [100, 200], [100, 200, 400])
+    rows = []
+    for i, n in enumerate(ns):
+        seeds = spawn_seeds((seed, 500 + i), 2)
+        H = uniform_hypergraph(n, 2 * n, 3, seed=seeds[0])
+        depths = {}
+        for model in (CostModel.EREW, CostModel.CREW):
+            mach = CountingMachine(model=model)
+            # broadcast-heavy accounting: charge one broadcast per round on
+            # top of the algorithm's own charges
+            res = beame_luby(H, seeds[1], machine=mach)
+            for _ in range(res.num_rounds):
+                mach.broadcast(n)
+            depths[model.value] = mach.depth
+        rows.append(
+            [n, depths["erew"], depths["crew"],
+             depths["erew"] / max(depths["crew"], 1)]
+        )
+    return ExperimentResult(
+        experiment_id="A5",
+        title="Ablation — cost model: EREW vs CREW broadcast depth",
+        headers=["n", "EREW depth", "CREW depth", "EREW/CREW"],
+        rows=rows,
+        notes=[
+            "the paper states its results for EREW; the log-factor broadcast "
+            "penalty is visible but does not change any asymptotic claim.",
+        ],
+    )
+
+
+def a06_incremental_cleanup(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Fused incremental cleanup vs full trim+normalize, per BL round.
+
+    Rounds leave the hypergraph normal, so only trimmed edges can create
+    superset pairs; the fused path scans just those.  Measured on whole BL
+    runs (the differential test guarantees identical results).
+    """
+    import numpy as np
+
+    from repro.core.bl import apply_bl_round
+    from repro.hypergraph.ops import normalize, trim_vertices
+    from repro.util.rng import as_generator
+
+    sizes = _scales(scale, [(200, 400), (400, 800)], [(200, 400), (400, 800), (800, 1600)])
+    rows = []
+    for i, (n, m) in enumerate(sizes):
+        seeds = spawn_seeds((seed, 600 + i), 2)
+        H, _ = normalize(uniform_hypergraph(n, m, 3, seed=seeds[0]))
+        rng = as_generator(seeds[1])
+        markings = [rng.random(H.universe) < 0.05 for _ in range(20)]
+
+        def run(assume_normal: bool) -> float:
+            best = math.inf
+            for _ in range(3):
+                t0 = time.perf_counter()
+                W = H
+                for mask in markings:
+                    W2, added, red, _ = apply_bl_round(
+                        W, mask & W.vertex_mask(), assume_normal=assume_normal
+                    )
+                    W = W2
+                    if W.num_edges == 0:
+                        break
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_full = run(False)
+        t_fused = run(True)
+        rows.append([n, m, t_full * 1e3, t_fused * 1e3, t_full / max(t_fused, 1e-12)])
+    return ExperimentResult(
+        experiment_id="A6",
+        title="Ablation — round cleanup: fused incremental vs full normalize",
+        headers=["n", "m", "full (ms)", "fused (ms)", "speedup"],
+        rows=rows,
+        notes=[
+            "both paths produce identical hypergraphs (property-tested); "
+            "the fused path is what beame_luby uses after its one upfront "
+            "normalisation.",
+        ],
+        extras={"min_speedup": min(r[4] for r in rows)},
+    )
+
+
+def a07_component_decomposition(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Whole-instance BL vs component-parallel composition on fragmented inputs.
+
+    MIS decomposes over connected components and components run side by
+    side on a PRAM, so composed depth = max over components instead of
+    the whole-instance round structure.  Sparse hypergraphs fragment
+    heavily, making this a real win the paper leaves implicit.
+    """
+    from repro.core import karp_upfal_wigderson
+    from repro.core.decompose import solve_by_components
+    from repro.hypergraph.components import num_components
+
+    ns = _scales(scale, [300, 600], [300, 600, 1200])
+    rows = []
+    for i, n in enumerate(ns):
+        seeds = spawn_seeds((seed, 700 + i), 3)
+        # sub-critical density → many components
+        H = uniform_hypergraph(n, n // 3, 3, seed=seeds[0])
+        parts = num_components(H)
+        mach_whole = CountingMachine()
+        res_w = karp_upfal_wigderson(H, seeds[1], machine=mach_whole)
+        check_mis(H, res_w.independent_set)
+        mach_comp = CountingMachine()
+        res_c = solve_by_components(
+            H, karp_upfal_wigderson, seeds[2], machine=mach_comp
+        )
+        check_mis(H, res_c.independent_set)
+        rows.append(
+            [n, H.num_edges, parts, mach_whole.depth, mach_comp.depth,
+             mach_whole.depth / max(mach_comp.depth, 1)]
+        )
+    return ExperimentResult(
+        experiment_id="A7",
+        title="Ablation — whole-instance KUW vs component-parallel composition",
+        headers=["n", "m", "components", "whole depth", "composed depth", "speedup"],
+        rows=rows,
+        notes=[
+            "composed depth is the max over per-component runs (plus a merge "
+            "compact); it wins for KUW because KUW's round count grows with "
+            "the instance (√n-ish), so max over fragments ≪ whole.",
+            "for BL the same experiment shows ≈1× (measured): BL's global "
+            "marking already advances every component in the same round, so "
+            "the whole-instance run is implicitly component-parallel.",
+        ],
+        extras={"min_speedup": min(r[5] for r in rows)},
+    )
+
+
+#: Registry used by the A-series benches.
+ABLATIONS: dict[str, Callable[..., ExperimentResult]] = {
+    "A1": a01_marking_kernel,
+    "A2": a02_superset_pivot,
+    "A3": a03_probability_policy,
+    "A4": a04_finisher,
+    "A5": a05_cost_model,
+    "A6": a06_incremental_cleanup,
+    "A7": a07_component_decomposition,
+}
+
+
+def run_ablation(ablation_id: str, scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Run one ablation by id (``"A1"`` … ``"A5"``)."""
+    try:
+        fn = ABLATIONS[ablation_id.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown ablation {ablation_id!r}; known: {sorted(ABLATIONS)}"
+        ) from None
+    return fn(scale=scale, seed=seed)

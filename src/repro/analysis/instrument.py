@@ -1,0 +1,178 @@
+"""Per-round instrumentation and trace aggregation.
+
+* :class:`MigrationTracker` — a BL ``on_round`` hook measuring the actual
+  per-stage increase of the normalised degrees ``d_j(x, H)`` caused by
+  higher-dimensional edges shrinking (the quantity Corollaries 2 and 4
+  bound).
+* :func:`colored_fractions` — per-outer-round sampled fractions from an
+  SBL trace (claim (1) of §2.2).
+* :func:`fit_power_law` — least-squares exponent fit ``y ≈ c·x^a`` used by
+  the scaling experiments (E2, E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import MISResult, RoundRecord
+from repro.hypergraph.degrees import DegreeProfile, degree_profile
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["MigrationTracker", "PotentialTracker", "colored_fractions", "fit_power_law"]
+
+
+@dataclass
+class MigrationTracker:
+    """Track per-stage increases of ``d_j(x, H)`` across BL rounds.
+
+    Pass the instance's :meth:`on_round` as ``beame_luby(..., on_round=…)``.
+    After the run, :attr:`max_increase_by_j` maps ``j`` to the largest
+    single-stage increase of ``d_j(x, ·)`` observed over any set ``x``
+    (the paper's migration quantity), and :attr:`delta_history` records
+    ``{edge size k: Δ_k(H_s)}`` per stage for the bound evaluation.
+    """
+
+    max_increase_by_j: dict[int, float] = field(default_factory=dict)
+    delta_history: list[dict[int, float]] = field(default_factory=list)
+    _prev_profile: DegreeProfile | None = None
+
+    def on_round(
+        self,
+        record: RoundRecord,
+        before: Hypergraph,
+        after: Hypergraph,
+        marked_mask: np.ndarray,
+        added: np.ndarray,
+    ) -> None:
+        """BL round hook: diff the degree profiles of H_s and H_{s+1}."""
+        prof_before = (
+            self._prev_profile
+            if self._prev_profile is not None
+            else degree_profile(before)
+        )
+        self.delta_history.append(dict(prof_before.delta_by_size))
+        prof_after = degree_profile(after)
+        # d_j(x, ·) increase: same x, same *distance* j = i − |x|.  An edge
+        # of size i_old containing x that shrinks (outside x) to size i_new
+        # migrates from j_old = i_old − |x| to j_new = i_new − |x|.
+        before_counts: dict[tuple[tuple[int, ...], int], int] = {}
+        for (x, i), c in prof_before.counts.items():
+            before_counts[(x, i - len(x))] = c
+        increases: dict[int, float] = {}
+        for (x, i), c_new in prof_after.counts.items():
+            j = i - len(x)
+            c_old = before_counts.get((x, j), 0)
+            if c_new > c_old:
+                inc = c_new ** (1.0 / j) - c_old ** (1.0 / j)
+                if inc > increases.get(j, 0.0):
+                    increases[j] = inc
+        for j, inc in increases.items():
+            if inc > self.max_increase_by_j.get(j, 0.0):
+                self.max_increase_by_j[j] = inc
+        record.extras["dj_increase"] = increases
+        self._prev_profile = prof_after
+
+
+@dataclass
+class PotentialTracker:
+    """Track Kelsen's universal threshold ``v₂(H_s)`` across BL stages.
+
+    Lemma 5 (Lemma 4 in Kelsen) asserts that across any polylog window the
+    potential only grows by a ``(1 + o(1))`` factor, and the full argument
+    drives ``v₂`` to 0 within ``O(log n · q_d)`` stages.  The tracker
+    records the trajectory using the paper's d²-recurrence (``f``/``F``
+    fixed from the *initial* dimension) so experiment E16 can report decay
+    speed and the largest single-stage growth ratio.
+    """
+
+    v2_trajectory: list[float] = field(default_factory=list)
+    _f = None
+    _F = None
+    _log_n: float | None = None
+
+    def on_round(
+        self,
+        record: RoundRecord,
+        before: Hypergraph,
+        after: Hypergraph,
+        marked_mask: np.ndarray,
+        added: np.ndarray,
+    ) -> None:
+        """BL round hook: record v₂ of the hypergraph entering the round."""
+        from repro.hypergraph.degrees import kelsen_potentials
+        from repro.theory.recurrences import F_paper, f_paper
+
+        if self._f is None:
+            d0 = max(before.dimension, 2)
+            self._f = lambda i, _d=d0: f_paper(i, _d)
+            self._F = lambda i, _d=d0: F_paper(i, _d)
+            self._log_n = max(np.log2(max(before.num_vertices, 4)), 1.0)
+        if not self.v2_trajectory:
+            self.v2_trajectory.append(
+                kelsen_potentials(before, self._f, self._F, log_n=self._log_n).v2()
+            )
+        self.v2_trajectory.append(
+            kelsen_potentials(after, self._f, self._F, log_n=self._log_n).v2()
+        )
+        record.extras["v2"] = self.v2_trajectory[-1]
+
+    def stages_to_halve(self) -> int | None:
+        """First stage where v₂ drops to half its initial value (None if never)."""
+        if not self.v2_trajectory or self.v2_trajectory[0] <= 0:
+            return None
+        half = self.v2_trajectory[0] / 2.0
+        for s, v in enumerate(self.v2_trajectory):
+            if v <= half:
+                return s
+        return None
+
+    def stages_to_zero(self) -> int | None:
+        """First stage where v₂ reaches 0 (None if never)."""
+        for s, v in enumerate(self.v2_trajectory):
+            if v <= 0:
+                return s
+        return None
+
+    def max_growth_ratio(self) -> float:
+        """Largest single-stage ratio ``v₂(H_{s+1}) / v₂(H_s)`` (1.0 if no growth)."""
+        best = 1.0
+        for a, b in zip(self.v2_trajectory, self.v2_trajectory[1:]):
+            if a > 0 and b / a > best:
+                best = b / a
+        return best
+
+
+def colored_fractions(result: MISResult, phase: str = "sbl") -> list[tuple[int, int, float]]:
+    """Per-round ``(n_before, colored, colored / (p·n_before))`` for a phase.
+
+    "Colored" means permanently decided this round — blue (added) plus red
+    (removed) — i.e. the sampled set ``V′``, which claim (1) of §2.2 lower
+    bounds by ``p·nᵢ/2`` w.h.p.
+    """
+    out = []
+    for rec in result.rounds:
+        if rec.phase != phase:
+            continue
+        p = rec.extras.get("p")
+        if p is None or rec.n_before == 0:
+            continue
+        colored = rec.marked
+        out.append((rec.n_before, colored, colored / (p * rec.n_before)))
+    return out
+
+
+def fit_power_law(xs, ys) -> tuple[float, float]:
+    """Least-squares fit of ``y ≈ c·x^a`` in log-log space.
+
+    Returns ``(a, c)``.  Requires at least two strictly positive points.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    keep = (x > 0) & (y > 0)
+    x, y = x[keep], y[keep]
+    if x.size < 2:
+        raise ValueError("need at least two positive points for a power-law fit")
+    a, logc = np.polyfit(np.log(x), np.log(y), 1)
+    return float(a), float(np.exp(logc))

@@ -1,0 +1,94 @@
+"""Terminal sparklines and trajectory rendering for round traces.
+
+The library ships no plotting dependency; for quick visual inspection of
+round trajectories (active vertices, Kelsen's v₂ potential, per-round
+colored counts) these helpers render compact Unicode block sparklines and
+labelled multi-row trajectory views.  Used by the examples and handy in a
+REPL::
+
+    >>> from repro.analysis.sparkline import sparkline
+    >>> sparkline([0, 1, 2, 4, 8, 4, 2, 1, 0])
+    '▁▂▃▅█▅▃▂▁'
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.result import MISResult
+
+__all__ = ["sparkline", "trajectory", "trace_view"]
+
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Iterable[float], *, log: bool = False) -> str:
+    """Render values as a Unicode block sparkline.
+
+    Parameters
+    ----------
+    values:
+        Numbers (NaN/inf rejected).  An empty input gives ``""``.
+    log:
+        Scale by ``log1p`` first (for decaying quantities like v₂).
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    for v in vals:
+        if math.isnan(v) or math.isinf(v):
+            raise ValueError(f"non-finite value in sparkline: {v}")
+    if log:
+        lo = min(vals)
+        vals = [math.log1p(v - lo) for v in vals]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return BLOCKS[0] * len(vals)
+    span = hi - lo
+    return "".join(BLOCKS[min(int((v - lo) / span * 8), 7)] for v in vals)
+
+
+def trajectory(
+    label: str, values: Sequence[float], *, width: int = 60, log: bool = False
+) -> str:
+    """One labelled sparkline row, down-sampled to *width* points.
+
+    Down-sampling keeps the first and last values and the per-bucket max,
+    so spikes stay visible.
+    """
+    vals = [float(v) for v in values]
+    if len(vals) > width and width > 2:
+        bucket = len(vals) / width
+        sampled = []
+        for b in range(width):
+            lo = int(b * bucket)
+            hi = max(int((b + 1) * bucket), lo + 1)
+            sampled.append(max(vals[lo:hi]))
+        sampled[0], sampled[-1] = vals[0], vals[-1]
+        vals = sampled
+    spark = sparkline(vals, log=log)
+    tail = f"{values[0]:.4g} → {values[-1]:.4g}" if len(values) else "—"
+    return f"{label:>16} {spark}  [{tail}]"
+
+
+def trace_view(result: MISResult, *, width: int = 60) -> str:
+    """Multi-row trajectory view of an algorithm trace.
+
+    Shows active vertices, active edges and per-round commitments; adds a
+    v₂ row when the trace carries potential extras (from
+    :class:`~repro.analysis.instrument.PotentialTracker`).
+    """
+    rounds = result.rounds
+    if not rounds:
+        return f"{result.algorithm}: no trace recorded"
+    lines = [
+        f"{result.algorithm}: {result.num_rounds} rounds, |I| = {result.size}",
+        trajectory("active vertices", [r.n_before for r in rounds], width=width),
+        trajectory("active edges", [r.m_before for r in rounds], width=width),
+        trajectory("added/round", [r.added for r in rounds], width=width),
+    ]
+    v2 = [r.extras["v2"] for r in rounds if "v2" in r.extras]
+    if v2:
+        lines.append(trajectory("v2 potential", v2, width=width, log=True))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Minimal table rendering (GitHub-markdown compatible).
+
+The benchmark harness prints every regenerated table through these
+helpers so the console output can be pasted into EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_cell", "render_table", "render_kv"]
+
+
+def format_cell(value: Any, floatfmt: str = ".4g") -> str:
+    """Render one cell: floats via *floatfmt*, None as '—', others via str."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render a GitHub-markdown table with aligned columns.
+
+    Examples
+    --------
+    >>> print(render_table(["n", "rounds"], [[8, 3], [16, 4]]))
+    | n  | rounds |
+    |----|--------|
+    | 8  | 3      |
+    | 16 | 4      |
+    """
+    str_rows = [[format_cell(c, floatfmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    return "\n".join(lines)
+
+
+def render_kv(title: str, mapping: Mapping[str, Any], *, floatfmt: str = ".4g") -> str:
+    """Render a key/value block as a two-column table."""
+    return render_table(
+        ["key", "value"],
+        [[k, format_cell(v, floatfmt)] for k, v in mapping.items()],
+        title=title,
+    )

@@ -1,0 +1,130 @@
+"""MISResult / trace (de)serialisation.
+
+Long experiment runs are expensive; persisting the full
+:class:`~repro.core.result.MISResult` — set, per-round trace, PRAM
+snapshot, metadata — lets analyses re-read measurements instead of
+re-running algorithms.  Format: a single JSON document, versioned so
+readers can reject incompatible files rather than mis-parse them.
+
+Non-JSON-native metadata values (e.g. the :class:`SBLParameters`
+dataclass SBL stores in ``meta``) are rendered through ``repr`` on save
+and therefore come back as strings; everything quantitative lives in
+typed fields and round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, TextIO, Union
+
+import numpy as np
+
+from repro.core.result import MISResult, RoundRecord
+
+__all__ = ["result_to_json", "result_from_json", "save_result", "load_result"]
+
+FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return repr(value)
+    return repr(value)
+
+
+def result_to_json(result: MISResult) -> str:
+    """Serialise to a JSON string."""
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "n": result.n,
+        "m": result.m,
+        "independent_set": result.independent_set.tolist(),
+        "machine": _jsonable(result.machine) if result.machine is not None else None,
+        "meta": _jsonable(result.meta),
+        "rounds": [
+            {
+                "index": r.index,
+                "phase": r.phase,
+                "n_before": r.n_before,
+                "m_before": r.m_before,
+                "n_after": r.n_after,
+                "m_after": r.m_after,
+                "marked": r.marked,
+                "unmarked": r.unmarked,
+                "added": r.added,
+                "removed_red": r.removed_red,
+                "dimension": r.dimension,
+                "extras": _jsonable(r.extras),
+            }
+            for r in result.rounds
+        ],
+    }
+    return json.dumps(doc)
+
+
+def result_from_json(text: str) -> MISResult:
+    """Parse a document produced by :func:`result_to_json`."""
+    doc = json.loads(text)
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(this reader supports {FORMAT_VERSION})"
+        )
+    rounds = [
+        RoundRecord(
+            index=r["index"],
+            phase=r["phase"],
+            n_before=r["n_before"],
+            m_before=r["m_before"],
+            n_after=r["n_after"],
+            m_after=r["m_after"],
+            marked=r["marked"],
+            unmarked=r["unmarked"],
+            added=r["added"],
+            removed_red=r["removed_red"],
+            dimension=r["dimension"],
+            extras=r["extras"],
+        )
+        for r in doc["rounds"]
+    ]
+    return MISResult(
+        independent_set=np.asarray(doc["independent_set"], dtype=np.intp),
+        algorithm=doc["algorithm"],
+        n=doc["n"],
+        m=doc["m"],
+        rounds=rounds,
+        machine=doc["machine"],
+        meta=doc["meta"],
+    )
+
+
+def save_result(result: MISResult, fp: Union[TextIO, str, Path]) -> None:
+    """Write a result to a file object or path."""
+    text = result_to_json(result)
+    if isinstance(fp, (str, Path)):
+        Path(fp).write_text(text)
+    else:
+        fp.write(text)
+
+
+def load_result(fp: Union[TextIO, str, Path]) -> MISResult:
+    """Read a result from a file object or path."""
+    if isinstance(fp, (str, Path)):
+        return result_from_json(Path(fp).read_text())
+    return result_from_json(fp.read())

@@ -1,0 +1,42 @@
+"""Applications of the MIS primitive.
+
+The introduction's motivation for fast parallel MIS is that it serves "as
+a primitive in numerous applications"; this package implements two
+classic ones end to end:
+
+* :mod:`repro.apps.coloring` — proper (non-monochromatic) hypergraph
+  coloring by iterated MIS extraction: each color class is an independent
+  set, so no edge is ever monochromatic.
+* :mod:`repro.apps.scheduling` — resource-constrained batch scheduling:
+  jobs demanding shared finite resources induce a conflict hypergraph
+  whose MISs are exactly the maximal admissible batches; iterating yields
+  a full schedule (a coloring of the conflict hypergraph).
+"""
+
+from repro.apps.coloring import Coloring, color_by_mis, is_proper_coloring
+from repro.apps.strong import (
+    is_strong_independent,
+    strong_independent_set,
+    two_section_hypergraph,
+)
+from repro.apps.scheduling import (
+    Job,
+    Resource,
+    Schedule,
+    build_conflict_hypergraph,
+    plan_batches,
+)
+
+__all__ = [
+    "Coloring",
+    "color_by_mis",
+    "is_proper_coloring",
+    "Job",
+    "Resource",
+    "Schedule",
+    "build_conflict_hypergraph",
+    "plan_batches",
+    "is_strong_independent",
+    "strong_independent_set",
+    "two_section_hypergraph",
+]

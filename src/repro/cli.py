@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+Five subcommands mirror the library's workflow::
+
+    python -m repro generate uniform --n 200 --m 400 --d 3 -o inst.txt
+    python -m repro info inst.txt
+    python -m repro solve inst.txt --algorithm sbl --seed 7 --costs
+    python -m repro check inst.txt --set 1,4,9,12
+    python -m repro experiment E3 --scale quick
+
+``solve`` prints a JSON document (set, rounds, optional PRAM costs) so it
+composes with shell pipelines; everything else prints human-readable text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis import run_experiment
+from repro.analysis.ablations import run_ablation
+from repro.analysis.tables import render_kv
+from repro.core import (
+    beame_luby,
+    greedy_mis,
+    karp_upfal_wigderson,
+    linear_hypergraph_mis,
+    luby_mis,
+    permutation_bl,
+    sbl,
+)
+from repro.generators import (
+    bounded_edges_instance,
+    mixed_dimension_hypergraph,
+    random_linear_hypergraph,
+    sparse_random_graph,
+    uniform_hypergraph,
+)
+from repro.hypergraph import check_mis
+from repro.hypergraph.degrees import degree_profile
+from repro.hypergraph.hio import dump, load
+from repro.hypergraph.validate import (
+    IndependenceViolation,
+    MaximalityViolation,
+)
+from repro.pram import CountingMachine
+
+__all__ = ["main"]
+
+ALGORITHMS: dict[str, Callable] = {
+    "sbl": sbl,
+    "bl": beame_luby,
+    "kuw": karp_upfal_wigderson,
+    "greedy": greedy_mis,
+    "permutation": permutation_bl,
+    "luby": luby_mis,
+    "linear": linear_hypergraph_mis,
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "uniform":
+        H = uniform_hypergraph(args.n, args.m, args.d, seed=args.seed)
+    elif args.family == "mixed":
+        dims = [int(x) for x in args.dims.split(",")]
+        H = mixed_dimension_hypergraph(args.n, args.m, dims, seed=args.seed)
+    elif args.family == "graph":
+        H = sparse_random_graph(args.n, args.avg_degree, seed=args.seed)
+    elif args.family == "linear":
+        H = random_linear_hypergraph(args.n, args.m, args.d, seed=args.seed)
+    elif args.family == "bounded":
+        H = bounded_edges_instance(args.n, seed=args.seed, beta_fraction=args.beta_fraction)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.family)
+    if args.output == "-":
+        dump(H, sys.stdout)
+    else:
+        dump(H, args.output)
+        print(f"wrote {H} to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    H = load(args.instance)
+    info = {
+        "vertices": H.num_vertices,
+        "edges": H.num_edges,
+        "dimension": H.dimension,
+        "min edge size": H.min_edge_size,
+        "total edge size": H.total_edge_size,
+        "max vertex degree": H.max_degree(),
+    }
+    if H.num_edges and H.dimension <= 12:
+        prof = degree_profile(H)
+        info["max normalised degree Δ"] = round(prof.delta(), 4)
+    print(render_kv(str(args.instance), info))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    H = load(args.instance)
+    fn = ALGORITHMS[args.algorithm]
+    machine = CountingMachine() if args.costs else None
+    kwargs = {}
+    if machine is not None:
+        kwargs["machine"] = machine
+    res = fn(H, seed=args.seed, **kwargs)
+    check_mis(H, res.independent_set)
+    doc = {
+        "algorithm": res.algorithm,
+        "n": res.n,
+        "m": res.m,
+        "mis_size": res.size,
+        "rounds": res.num_rounds,
+        "independent_set": res.independent_set.tolist(),
+    }
+    if machine is not None:
+        doc["pram"] = machine.snapshot()
+    if args.save_trace:
+        from repro.analysis.traces import save_result
+
+        save_result(res, args.save_trace)
+        print(f"trace written to {args.save_trace}", file=sys.stderr)
+    json.dump(doc, sys.stdout, indent=2 if args.pretty else None)
+    print()
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import (
+        AlgorithmSpec,
+        Campaign,
+        InstanceSpec,
+        write_csv,
+    )
+    from repro.analysis.tables import render_table
+    from repro.generators import uniform_hypergraph as _uniform
+
+    algo_names = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    for a in algo_names:
+        if a not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {a!r}; known: {sorted(ALGORITHMS)}")
+    ns = [int(x) for x in args.sizes.split(",") if x.strip()]
+    camp = Campaign(
+        instances=[
+            InstanceSpec(
+                f"uniform-{args.d}-n{n}",
+                _uniform,
+                {"n": n, "m": args.edge_factor * n, "d": args.d},
+            )
+            for n in ns
+        ],
+        algorithms=[AlgorithmSpec(a, ALGORITHMS[a]) for a in algo_names],
+        repeats=args.repeats,
+    )
+    records = camp.run(seed=args.seed)
+    if args.csv:
+        write_csv(records, args.csv)
+        print(f"wrote {len(records)} runs to {args.csv}", file=sys.stderr)
+    summary = camp.summarize(records)
+    print(
+        render_table(
+            ["instance", "algorithm", "runs", "|I| (mean)", "rounds", "depth", "work"],
+            [
+                [c["instance"], c["algorithm"], c["runs"], c["mis_size"],
+                 c["rounds"], c["depth"], c["work"]]
+                for c in summary
+            ],
+            title="campaign summary",
+        )
+    )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    H = load(args.instance)
+    members = [int(x) for x in args.set.split(",")] if args.set else []
+    try:
+        check_mis(H, members)
+    except IndependenceViolation as exc:
+        print(f"NOT independent: {exc}")
+        return 1
+    except MaximalityViolation as exc:
+        print(f"independent but NOT maximal: {exc}")
+        return 2
+    print(f"valid maximal independent set of size {len(set(members))}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    eid = args.experiment_id.upper()
+    if eid.startswith("A"):
+        res = run_ablation(eid, scale=args.scale, seed=args.seed)
+    else:
+        res = run_experiment(eid, scale=args.scale, seed=args.seed)
+    print(res.to_markdown())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel maximal independent sets of hypergraphs (SPAA 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a random instance")
+    g.add_argument("family", choices=["uniform", "mixed", "graph", "linear", "bounded"])
+    g.add_argument("--n", type=int, required=True, help="number of vertices")
+    g.add_argument("--m", type=int, default=0, help="number of edges")
+    g.add_argument("--d", type=int, default=3, help="edge size (uniform/linear)")
+    g.add_argument("--dims", default="2,3,4", help="comma-separated sizes (mixed)")
+    g.add_argument("--avg-degree", type=float, default=4.0, help="mean degree (graph)")
+    g.add_argument("--beta-fraction", type=float, default=5.0, help="β multiplier (bounded)")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("-o", "--output", default="-", help="output path ('-' = stdout)")
+    g.set_defaults(func=_cmd_generate)
+
+    i = sub.add_parser("info", help="print instance statistics")
+    i.add_argument("instance")
+    i.set_defaults(func=_cmd_info)
+
+    s = sub.add_parser("solve", help="compute a verified MIS")
+    s.add_argument("instance")
+    s.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="sbl")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--costs", action="store_true", help="account EREW-PRAM depth/work")
+    s.add_argument("--pretty", action="store_true", help="indent the JSON output")
+    s.add_argument("--save-trace", default="", help="write the full round trace to this path")
+    s.set_defaults(func=_cmd_solve)
+
+    k = sub.add_parser("campaign", help="sweep a uniform-hypergraph grid over algorithms")
+    k.add_argument("--sizes", default="100,200", help="comma-separated vertex counts")
+    k.add_argument("--d", type=int, default=3, help="edge size")
+    k.add_argument("--edge-factor", type=int, default=2, help="m = factor·n")
+    k.add_argument("--algorithms", default="bl,kuw,greedy", help="comma-separated names")
+    k.add_argument("--repeats", type=int, default=3)
+    k.add_argument("--seed", type=int, default=0)
+    k.add_argument("--csv", default="", help="also write per-run records to this CSV path")
+    k.set_defaults(func=_cmd_campaign)
+
+    c = sub.add_parser("check", help="validate a claimed MIS")
+    c.add_argument("instance")
+    c.add_argument("--set", default="", help="comma-separated vertex ids")
+    c.set_defaults(func=_cmd_check)
+
+    e = sub.add_parser("experiment", help="run an experiment (E1–E17) or ablation (A1–A7)")
+    e.add_argument("experiment_id")
+    e.add_argument("--scale", choices=["quick", "full"], default="quick")
+    e.add_argument("--seed", type=int, default=0)
+    e.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,200 @@
+"""The Karp–Upfal–Wigderson (KUW) parallel MIS algorithm.
+
+Karp, Upfal and Wigderson (JCSS 1988) gave an ``O(√n)``-round MIS algorithm
+for general hypergraphs in an oracle model; the paper (§1) notes it "can be
+adapted to run in time ``O(√n)·(log n + log m)`` with high probability on
+``mn`` processors".  This module implements that adaptation in its standard
+random-permutation form:
+
+Each round, over the remaining candidates ``C`` (vertices neither committed
+to ``I`` nor permanently blocked):
+
+1. **filter**: discard every currently blocked candidate — a ``v ∈ C``
+   such that some edge ``e ∋ v`` has ``e \\ {v} ⊆ I`` (testable for all
+   candidates at once with ``mn`` processors; blocked is permanent since
+   ``I`` only grows);
+2. draw a uniformly random permutation ``π`` of the surviving ``C``;
+3. for every edge ``e``, compute the earliest prefix of ``π`` whose union
+   with ``I`` contains ``e`` — a parallel max over the positions of
+   ``e ∩ C`` (valid only when ``e \\ C ⊆ I``);
+4. the longest *safe* prefix length is ``L = min_e t(e) − 1`` (``|C|``
+   when no edge constrains); commit the first ``L`` vertices to ``I``.
+
+Each round costs ``O(log(mn))`` depth with ``mn`` processors (steps 1/3/4
+are max/min reductions).  The filter step is what separates this from the
+naive Θ(n)-round random-greedy: after a short prefix, *all* vertices the
+committed prefix blocks leave together (on a clique the whole instance
+resolves in two rounds).  The random permutation makes the expected round
+count ``O(√n)`` — the shape experiment E8 measures.
+
+Correctness: a fully-contained edge would force ``t(e) ≤ L`` (contradiction
+with step 4), so ``I`` stays independent; a vertex leaves ``C`` either into
+``I`` or as a witnessed-blocked discard, so when ``C`` empties, ``I`` is
+maximal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import MISResult, RoundRecord
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.pram.backend import ExecutionBackend, SerialBackend
+from repro.pram.machine import Machine, NullMachine
+from repro.util.itlog import log2_ceil
+from repro.util.rng import SeedLike, stream
+
+__all__ = ["karp_upfal_wigderson"]
+
+
+def karp_upfal_wigderson(
+    H: Hypergraph,
+    seed: SeedLike = None,
+    *,
+    machine: Machine | None = None,
+    backend: ExecutionBackend | None = None,
+    trace: bool = True,
+) -> MISResult:
+    """Run the KUW random-permutation MIS algorithm.
+
+    Parameters
+    ----------
+    H:
+        Input hypergraph (any dimension — this is the general-case tool).
+    seed:
+        RNG seed (one child stream per round).
+    machine:
+        PRAM cost accountant.
+    backend:
+        Unused except for API symmetry (the per-round work is permutation +
+        reductions, all in-process); accepted so callers can pass one
+        backend everywhere.
+    trace:
+        Record per-round statistics.
+    """
+    mach = machine if machine is not None else NullMachine()
+    _ = backend if backend is not None else SerialBackend()
+    rng_stream = stream(seed)
+
+    universe = H.universe
+    edges = H.edges
+    m = len(edges)
+    in_I = np.zeros(universe, dtype=bool)
+    blocked = np.zeros(universe, dtype=bool)
+    candidates = H.vertices.copy()
+    records: list[RoundRecord] = []
+    round_index = 0
+
+    # Pre-extract edge vertex arrays once.
+    edge_arrays = [np.asarray(e, dtype=np.intp) for e in edges]
+
+    while candidates.size:
+        rng = next(rng_stream)
+        c = candidates
+        c_size_prefilter = int(c.size)
+
+        # (1) Mass filter: drop every candidate already blocked by I.
+        blocked_now = 0
+        if m:
+            in_C = np.zeros(universe, dtype=bool)
+            in_C[c] = True
+            for ev in edge_arrays:
+                inI = in_I[ev]
+                if int(inI.sum()) == ev.size - 1:
+                    missing = int(ev[~inI][0])
+                    if in_C[missing] and not blocked[missing]:
+                        blocked[missing] = True
+                        blocked_now += 1
+            if blocked_now:
+                c = c[~blocked[c]]
+            mach.charge(
+                log2_ceil(max(H.dimension, 2)),
+                sum(a.size for a in edge_arrays),
+                sum(a.size for a in edge_arrays),
+            )
+        if c.size == 0:
+            if trace:
+                records.append(
+                    RoundRecord(
+                        index=round_index,
+                        phase="kuw",
+                        n_before=c_size_prefilter,
+                        m_before=m,
+                        n_after=0,
+                        m_after=m,
+                        removed_red=blocked_now,
+                        dimension=H.dimension,
+                        extras={"prefix": 0},
+                    )
+                )
+            candidates = c
+            break
+
+        perm = rng.permutation(c)
+        # position[v] = 1-based rank of v in the permutation (0 = not in C).
+        position = np.zeros(universe, dtype=np.int64)
+        position[perm] = np.arange(1, c.size + 1)
+
+        # For each edge: t(e) = max position over e ∩ C, valid iff every
+        # vertex of e is in I or C (otherwise e can never be completed).
+        L = c.size  # safe prefix if unconstrained
+        tightest_vertex = -1
+        for ev in edge_arrays:
+            pos = position[ev]
+            outside = ~(in_I[ev] | (pos > 0))
+            if outside.any():
+                continue  # a discarded vertex keeps this edge open forever
+            inC = pos > 0
+            if not inC.any():
+                # e ⊆ I would violate independence; guarded by construction.
+                raise AssertionError("edge fully inside I — independence broken")
+            t = int(pos[inC].max())
+            if t - 1 < L:
+                L = t - 1
+                tightest_vertex = int(ev[pos == t][0])
+
+        # PRAM charges: permutation (sort), per-edge max, global min.
+        mach.sort(int(c.size))
+        total = sum(a.size for a in edge_arrays)
+        if total:
+            mach.charge(log2_ceil(max(H.dimension, 2)), total, total)
+        mach.reduce(max(m, 1))
+        mach.sync()
+
+        committed = perm[:L]
+        in_I[committed] = True
+        discarded = 0
+        if L < c.size:
+            if tightest_vertex < 0:
+                raise AssertionError("constrained prefix without a blocking vertex")
+            blocked[tightest_vertex] = True
+            discarded = 1
+        new_candidates = c[~(in_I[c] | blocked[c])]
+
+        if trace:
+            records.append(
+                RoundRecord(
+                    index=round_index,
+                    phase="kuw",
+                    n_before=c_size_prefilter,
+                    m_before=m,
+                    n_after=int(new_candidates.size),
+                    m_after=m,
+                    added=int(L),
+                    removed_red=blocked_now + discarded,
+                    dimension=H.dimension,
+                    extras={"prefix": int(L)},
+                )
+            )
+        candidates = new_candidates
+        round_index += 1
+
+    return MISResult(
+        independent_set=np.flatnonzero(in_I),
+        algorithm="kuw",
+        n=H.num_vertices,
+        m=H.num_edges,
+        rounds=records,
+        machine=mach.snapshot() if hasattr(mach, "snapshot") else None,
+        meta={},
+    )

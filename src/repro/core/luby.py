@@ -1,0 +1,130 @@
+"""Luby's classic MIS algorithm for ordinary graphs (the d = 2 case).
+
+Included as the d = 2 reference point of the survey (§1: "fast parallel
+algorithms for MIS in graphs are well studied and very efficient"): on
+2-uniform hypergraphs Luby's algorithm finishes in ``O(log n)`` rounds
+w.h.p., the baseline against which the hypergraph algorithms' extra cost
+is visible (experiment E10).
+
+One round (Luby's Monte-Carlo variant A):
+
+1. every remaining vertex marks itself with probability ``1/(2·deg(v))``
+   (isolated vertices join outright);
+2. for every edge with both endpoints marked, the endpoint of **smaller
+   degree** unmarks (ties by smaller id);
+3. marked vertices join ``I``; they and all their neighbours leave the
+   graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import MISResult, RoundRecord
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.pram.machine import Machine, NullMachine
+from repro.util.rng import SeedLike, stream
+
+__all__ = ["luby_mis"]
+
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+def luby_mis(
+    H: Hypergraph,
+    seed: SeedLike = None,
+    *,
+    machine: Machine | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    trace: bool = True,
+) -> MISResult:
+    """Run Luby's algorithm; requires a 2-uniform hypergraph (a graph).
+
+    Raises
+    ------
+    ValueError
+        If some edge has size ≠ 2.
+    """
+    if any(len(e) != 2 for e in H.edges):
+        raise ValueError("luby_mis requires a 2-uniform hypergraph (a graph)")
+    mach = machine if machine is not None else NullMachine()
+    rng_stream = stream(seed)
+
+    universe = H.universe
+    edge_u = np.asarray([e[0] for e in H.edges], dtype=np.intp)
+    edge_v = np.asarray([e[1] for e in H.edges], dtype=np.intp)
+    alive_v = np.zeros(universe, dtype=bool)
+    alive_v[H.vertices] = True
+    alive_e = np.ones(edge_u.size, dtype=bool)
+    in_I = np.zeros(universe, dtype=bool)
+    records: list[RoundRecord] = []
+
+    for round_index in range(max_rounds):
+        active = np.flatnonzero(alive_v)
+        if active.size == 0:
+            break
+        eu, ev = edge_u[alive_e], edge_v[alive_e]
+        n_before = int(active.size)
+        m_before = int(eu.size)
+
+        deg = np.zeros(universe, dtype=np.int64)
+        np.add.at(deg, eu, 1)
+        np.add.at(deg, ev, 1)
+
+        rng = next(rng_stream)
+        prob = np.zeros(universe)
+        prob[active] = np.where(deg[active] > 0, 1.0 / (2.0 * np.maximum(deg[active], 1)), 1.0)
+        marked = np.zeros(universe, dtype=bool)
+        marked[active] = rng.random(active.size) < prob[active]
+
+        # Conflict resolution: on doubly marked edges the lower-priority
+        # endpoint (smaller degree, then smaller id) unmarks.
+        both = marked[eu] & marked[ev]
+        if both.any():
+            bu, bv = eu[both], ev[both]
+            u_loses = (deg[bu] < deg[bv]) | ((deg[bu] == deg[bv]) & (bu < bv))
+            losers = np.where(u_loses, bu, bv)
+            marked[losers] = False
+
+        winners = np.flatnonzero(marked)
+        in_I[winners] = True
+        # Remove winners and their neighbours.
+        dead = marked.copy()
+        touching = marked[eu] | marked[ev]
+        dead[eu[touching]] = True
+        dead[ev[touching]] = True
+        alive_v &= ~dead
+        alive_e &= alive_v[edge_u] & alive_v[edge_v]
+
+        mach.map(n_before)
+        mach.map(m_before)
+        mach.reduce(max(m_before, 1))
+        mach.sync()
+
+        if trace:
+            records.append(
+                RoundRecord(
+                    index=round_index,
+                    phase="luby",
+                    n_before=n_before,
+                    m_before=m_before,
+                    n_after=int(alive_v.sum()),
+                    m_after=int(alive_e.sum()),
+                    marked=int(marked.sum() + (both.sum() if both.any() else 0)),
+                    added=int(winners.size),
+                    removed_red=int(dead.sum() - winners.size),
+                    dimension=2,
+                )
+            )
+    else:
+        raise RuntimeError(f"Luby failed to terminate within {max_rounds} rounds")
+
+    return MISResult(
+        independent_set=np.flatnonzero(in_I),
+        algorithm="luby",
+        n=H.num_vertices,
+        m=H.num_edges,
+        rounds=records,
+        machine=mach.snapshot() if hasattr(mach, "snapshot") else None,
+        meta={},
+    )

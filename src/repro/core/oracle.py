@@ -1,0 +1,157 @@
+"""The independence-oracle model of Karp–Upfal–Wigderson.
+
+The paper (§1) notes that KUW's algorithm "actually works in a harder
+model of computation where the hypergraph is accessible only via an
+oracle".  This module builds that model:
+
+* :class:`IndependenceOracle` — the only interface to the hypergraph: a
+  query takes a vertex set and answers "independent or not".  Queries are
+  counted, and batched queries model one parallel oracle round (many
+  processors querying simultaneously).
+* :func:`kuw_oracle` — KUW driven purely through the oracle: each round
+  issues one batch to filter blocked candidates (``I ∪ {v}`` for every
+  candidate) and one batch over permutation prefixes (``I ∪ P_k`` for
+  every k; independence is monotone in k, so the largest safe prefix is
+  read off the batch).  The hypergraph structure (edges, degrees) is
+  never touched — the wrapper would raise if it were.
+
+This measures what the round/query complexity costs *without* structural
+access: ``O(|C|)`` queries per round in two parallel batches, against the
+same ``O(√n)``-round behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.result import MISResult, RoundRecord
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.validate import is_independent
+from repro.util.rng import SeedLike, stream
+
+__all__ = ["IndependenceOracle", "kuw_oracle"]
+
+
+class IndependenceOracle:
+    """Query-counting independence oracle over a hidden hypergraph.
+
+    Attributes
+    ----------
+    universe:
+        Size of the hidden ground set (the only structural fact exposed).
+    queries:
+        Total independence queries answered.
+    batches:
+        Number of parallel query rounds (one batch = one oracle round).
+    """
+
+    def __init__(self, H: Hypergraph):
+        self._H = H
+        self.universe = H.universe
+        self.vertices = H.vertices.copy()  # candidate ground set is public
+        self.queries = 0
+        self.batches = 0
+
+    def query(self, members: Iterable[int] | np.ndarray) -> bool:
+        """One independence query (counts as its own batch)."""
+        self.queries += 1
+        self.batches += 1
+        return is_independent(self._H, members)
+
+    def query_batch(self, sets: Sequence[np.ndarray]) -> list[bool]:
+        """Answer many queries as one parallel oracle round."""
+        self.queries += len(sets)
+        self.batches += 1
+        return [is_independent(self._H, s) for s in sets]
+
+
+def kuw_oracle(
+    oracle: IndependenceOracle,
+    seed: SeedLike = None,
+    *,
+    trace: bool = True,
+) -> MISResult:
+    """KUW through the oracle only: filter batch + prefix batch per round.
+
+    Parameters
+    ----------
+    oracle:
+        The only access to the hypergraph.
+    seed:
+        RNG seed (one child stream per round).
+
+    Returns
+    -------
+    MISResult
+        ``algorithm="kuw-oracle"``; ``meta`` records total queries and
+        oracle batches.
+    """
+    rng_stream = stream(seed)
+    universe = oracle.universe
+    in_I = np.zeros(universe, dtype=bool)
+    candidates = oracle.vertices.copy()
+    records: list[RoundRecord] = []
+    round_index = 0
+
+    while candidates.size:
+        rng = next(rng_stream)
+        I_now = np.flatnonzero(in_I)
+
+        # Batch 1: filter permanently blocked candidates.
+        singles = [np.append(I_now, v) for v in candidates.tolist()]
+        answers = oracle.query_batch(singles)
+        c = candidates[np.asarray(answers, dtype=bool)]
+        blocked_now = int(candidates.size - c.size)
+        if c.size == 0:
+            if trace:
+                records.append(
+                    RoundRecord(
+                        index=round_index, phase="kuw-oracle",
+                        n_before=int(candidates.size), m_before=-1,
+                        n_after=0, m_after=-1, removed_red=blocked_now,
+                        extras={"queries": len(singles)},
+                    )
+                )
+            candidates = c
+            break
+
+        # Batch 2: prefix queries along a random permutation.  A prefix is
+        # safe iff I ∪ P_k is independent; safety is monotone decreasing
+        # in k, so the largest safe k is the count of true answers up to
+        # the first false.
+        perm = rng.permutation(c)
+        prefixes = [np.concatenate([I_now, perm[:k]]) for k in range(1, c.size + 1)]
+        answers = oracle.query_batch(prefixes)
+        L = 0
+        for ok in answers:
+            if not ok:
+                break
+            L += 1
+        in_I[perm[:L]] = True
+        new_candidates = perm[L:] if L < c.size else np.empty(0, dtype=c.dtype)
+        # perm[:L] committed; perm[L] (if any) is blocked *now* but will be
+        # caught by the next round's filter batch; keep it as a candidate.
+        if trace:
+            records.append(
+                RoundRecord(
+                    index=round_index, phase="kuw-oracle",
+                    n_before=int(candidates.size), m_before=-1,
+                    n_after=int(new_candidates.size), m_after=-1,
+                    added=int(L), removed_red=blocked_now,
+                    extras={"queries": len(singles) + len(prefixes)},
+                )
+            )
+        candidates = new_candidates
+        round_index += 1
+
+    return MISResult(
+        independent_set=np.flatnonzero(in_I),
+        algorithm="kuw-oracle",
+        n=int(oracle.vertices.size),
+        m=-1,
+        rounds=records,
+        machine=None,
+        meta={"queries": oracle.queries, "oracle_batches": oracle.batches},
+    )

@@ -1,0 +1,131 @@
+"""Result and trace types shared by all MIS algorithms.
+
+Every algorithm in :mod:`repro.core` returns a :class:`MISResult`: the
+independent set plus a per-round trace rich enough to drive all the
+experiments (round counts, per-round colored fractions, degree potentials,
+PRAM cost snapshots) without re-running the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.validate import check_mis
+
+__all__ = ["RoundRecord", "MISResult"]
+
+
+@dataclass
+class RoundRecord:
+    """Statistics for one round (one iteration of an algorithm's main loop).
+
+    Attributes
+    ----------
+    index:
+        0-based round number.
+    phase:
+        Which sub-algorithm produced the round (``"bl"``, ``"sbl"``,
+        ``"kuw"``, …); SBL traces interleave phases.
+    n_before, m_before:
+        Active vertices / edges entering the round.
+    n_after, m_after:
+        Active vertices / edges leaving the round.
+    marked:
+        Vertices marked (sampled) this round.
+    unmarked:
+        Marked vertices retracted because an edge was fully marked.
+    added:
+        Vertices committed to the independent set this round.
+    removed_red:
+        Vertices permanently excluded this round (singleton cleanup, red
+        colouring, discards).
+    dimension:
+        dim of the hypergraph entering the round.
+    extras:
+        Free-form per-round measurements (e.g. ``delta``, per-size Δ_k,
+        sampled sub-hypergraph dimension, retry counts).
+    """
+
+    index: int
+    phase: str
+    n_before: int
+    m_before: int
+    n_after: int
+    m_after: int
+    marked: int = 0
+    unmarked: int = 0
+    added: int = 0
+    removed_red: int = 0
+    dimension: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class MISResult:
+    """The output of an MIS algorithm run.
+
+    Attributes
+    ----------
+    independent_set:
+        Sorted vertex ids (over the input universe).
+    algorithm:
+        Canonical algorithm name.
+    n, m:
+        Input sizes.
+    rounds:
+        Per-round trace (may be empty when tracing is disabled).
+    machine:
+        Final PRAM cost snapshot (``{"depth": …, "work": …,
+        "max_processors": …}``) or ``None`` when run on a NullMachine.
+    meta:
+        Free-form run metadata (parameters, retry counts, phase totals).
+    """
+
+    independent_set: np.ndarray
+    algorithm: str
+    n: int
+    m: int
+    rounds: list[RoundRecord] = field(default_factory=list)
+    machine: Mapping[str, int] | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.independent_set = np.unique(
+            np.asarray(self.independent_set, dtype=np.intp)
+        )
+
+    @property
+    def size(self) -> int:
+        """|I| — the number of vertices in the independent set."""
+        return int(self.independent_set.size)
+
+    @property
+    def num_rounds(self) -> int:
+        """Total recorded rounds."""
+        return len(self.rounds)
+
+    def rounds_in_phase(self, phase: str) -> list[RoundRecord]:
+        """The trace records belonging to one phase."""
+        return [r for r in self.rounds if r.phase == phase]
+
+    def verify(self, H: Hypergraph) -> None:
+        """Assert the result is an MIS of *H* (raises a witnessed violation)."""
+        check_mis(H, self.independent_set)
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dict for tables: algorithm, |I|, rounds, depth, work."""
+        out: dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "m": self.m,
+            "mis_size": self.size,
+            "rounds": self.num_rounds,
+        }
+        if self.machine is not None:
+            out["depth"] = self.machine.get("depth")
+            out["work"] = self.machine.get("work")
+        return out

@@ -1,0 +1,44 @@
+"""Random and structured hypergraph generators.
+
+Workload families used across the examples, tests and experiments:
+
+* :mod:`repro.generators.random_hypergraphs` — d-uniform and
+  mixed-dimension random hypergraphs, the bounded-edge-count regime of
+  Theorem 1 (``m ≤ n^β``), and sparse graphs (the d = 2 case).
+* :mod:`repro.generators.structured` — deterministic families with known
+  extremal structure (sunflowers, matchings, stars, tight paths/cycles,
+  complete d-uniform blocks) used for unit tests and adversarial probes.
+* :mod:`repro.generators.linear` — random *linear* hypergraphs
+  (``|e ∩ e'| ≤ 1``), the class Luczak–Szymanska proved to be in RNC.
+"""
+
+from repro.generators.linear import random_linear_hypergraph, partial_steiner_triples
+from repro.generators.random_hypergraphs import (
+    bounded_edges_instance,
+    mixed_dimension_hypergraph,
+    sparse_random_graph,
+    uniform_hypergraph,
+)
+from repro.generators.structured import (
+    complete_uniform,
+    matching_hypergraph,
+    star_hypergraph,
+    sunflower,
+    tight_cycle,
+    tight_path,
+)
+
+__all__ = [
+    "uniform_hypergraph",
+    "mixed_dimension_hypergraph",
+    "bounded_edges_instance",
+    "sparse_random_graph",
+    "sunflower",
+    "matching_hypergraph",
+    "star_hypergraph",
+    "complete_uniform",
+    "tight_path",
+    "tight_cycle",
+    "random_linear_hypergraph",
+    "partial_steiner_triples",
+]

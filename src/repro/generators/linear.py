@@ -1,0 +1,98 @@
+"""Random linear hypergraphs (``|e ∩ e'| ≤ 1``).
+
+Linear hypergraphs are the class for which Luczak and Szymanska (1997)
+proved the MIS problem to be in RNC (paper §1 survey).  Generation keeps a
+pair-occupancy bitmap over vertex pairs: an edge is accepted only if none
+of its internal pairs has been used by an earlier edge, which enforces
+linearity exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["random_linear_hypergraph", "partial_steiner_triples"]
+
+
+def random_linear_hypergraph(
+    n: int,
+    m: int,
+    d: int,
+    seed: SeedLike = None,
+    *,
+    max_attempts_factor: int = 64,
+) -> Hypergraph:
+    """Up to m random edges of size d with pairwise intersections ≤ 1.
+
+    Edges are drawn uniformly and accepted greedily while linear.  If the
+    pair budget runs out before m edges are placed (a linear d-uniform
+    hypergraph has at most ``C(n,2)/C(d,2)`` edges) the generator raises;
+    if random search stalls below the budget it also raises rather than
+    looping forever.
+
+    Parameters
+    ----------
+    n, m, d:
+        Vertices, requested edges, edge size (d ≥ 2).
+    max_attempts_factor:
+        Attempt budget = ``max_attempts_factor · m``.
+    """
+    if d < 2:
+        raise ValueError(f"linearity needs d >= 2: {d}")
+    if d > n:
+        raise ValueError(f"edge size {d} exceeds vertex count {n}")
+    pair_budget = (n * (n - 1) // 2) // (d * (d - 1) // 2)
+    if m > pair_budget:
+        raise ValueError(
+            f"a linear {d}-uniform hypergraph on {n} vertices has at most "
+            f"{pair_budget} edges; requested {m}"
+        )
+    rng = as_generator(seed)
+    used = np.zeros((n, n), dtype=bool)  # upper-triangular pair occupancy
+    edges: list[tuple[int, ...]] = []
+    attempts = 0
+    budget = max_attempts_factor * max(m, 1)
+    while len(edges) < m:
+        attempts += 1
+        if attempts > budget:
+            raise RuntimeError(
+                f"linear generator stalled at {len(edges)}/{m} edges "
+                f"(n={n}, d={d}); lower m or raise max_attempts_factor"
+            )
+        e = rng.choice(n, size=d, replace=False)
+        e.sort()
+        pairs = list(itertools.combinations(e.tolist(), 2))
+        if any(used[a, b] for a, b in pairs):
+            continue
+        for a, b in pairs:
+            used[a, b] = True
+        edges.append(tuple(int(x) for x in e))
+    return Hypergraph(n, edges)
+
+
+def partial_steiner_triples(n: int, seed: SeedLike = None) -> Hypergraph:
+    """A maximal-ish packing of triples with pairwise intersections ≤ 1.
+
+    Greedy pass over a random permutation of all triples would be Θ(n³);
+    instead we randomly probe until stalling, giving a dense partial
+    Steiner triple system — a natural hard-ish linear instance.
+    """
+    if n < 3:
+        raise ValueError(f"need n >= 3: {n}")
+    target = (n * (n - 1) // 2) // 3
+    rng = as_generator(seed)
+    while target >= 1:
+        try:
+            return random_linear_hypergraph(
+                n, target, 3, seed=rng, max_attempts_factor=256
+            )
+        except RuntimeError:
+            # Random probing stalls short of the theoretical packing bound
+            # (the last few triples require search, not luck); back off.
+            target = int(target * 0.85) if target > 1 else 0
+    return random_linear_hypergraph(n, 1, 3, seed=rng)

@@ -1,0 +1,80 @@
+"""Instances with a *planted* maximal independent set.
+
+Construction: fix a planted set ``I`` of the requested size, then
+
+* give every outside vertex ``v`` a **blocking edge** ``{v} ∪ S`` with
+  ``S ⊆ I`` (so ``v`` can never be added to ``I`` — maximality), and
+* add background edges that each contain at least one outside vertex
+  (so ``I`` stays independent).
+
+The planted set is then provably a maximal independent set of the
+instance, giving the tests a known-good certificate that does not depend
+on any solver.  Algorithms need not *find* the planted set (MIS is not
+unique), but whatever they find must pass the same validator the planted
+set passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["planted_mis_instance"]
+
+
+def planted_mis_instance(
+    n: int,
+    extra_edges: int,
+    d: int,
+    seed: SeedLike = None,
+    *,
+    planted_fraction: float = 0.5,
+) -> tuple[Hypergraph, np.ndarray]:
+    """Build an instance together with a certified planted MIS.
+
+    Parameters
+    ----------
+    n:
+        Vertices.
+    extra_edges:
+        Background edges beyond the blocking edges (one per outsider).
+    d:
+        Edge size (≥ 2); blocking edges have size ``min(d, |I|+1)``.
+    planted_fraction:
+        Fraction of vertices in the planted set (strictly between 0 and 1 —
+        both sides must be non-empty for the construction to exist).
+
+    Returns
+    -------
+    (H, planted):
+        The hypergraph and the sorted planted vertex ids.
+    """
+    if d < 2:
+        raise ValueError(f"need d >= 2: {d}")
+    if not 0.0 < planted_fraction < 1.0:
+        raise ValueError(f"planted_fraction must be in (0, 1): {planted_fraction}")
+    rng = as_generator(seed)
+    size = int(round(n * planted_fraction))
+    size = min(max(size, 1), n - 1)
+    perm = rng.permutation(n)
+    planted = np.sort(perm[:size])
+    outside = np.sort(perm[size:])
+    in_planted = np.zeros(n, dtype=bool)
+    in_planted[planted] = True
+
+    edges: list[tuple[int, ...]] = []
+    inner = min(d - 1, int(planted.size))
+    for v in outside.tolist():
+        S = rng.choice(planted, size=inner, replace=False)
+        edges.append(tuple(sorted([v, *S.tolist()])))
+    for _ in range(extra_edges):
+        # at least one outsider per background edge
+        v = int(rng.choice(outside))
+        others = rng.choice(n, size=d - 1, replace=False)
+        e = tuple(sorted({v, *(int(x) for x in others)}))
+        if len(e) >= 2:
+            edges.append(e)
+    H = Hypergraph(n, edges)
+    return H, planted

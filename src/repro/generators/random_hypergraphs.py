@@ -1,0 +1,197 @@
+"""Random hypergraph families.
+
+All generators take a ``seed`` (anything :func:`repro.util.rng.as_generator`
+accepts) and return a canonical :class:`~repro.hypergraph.Hypergraph` over
+the universe ``{0, …, n−1}``.  Edge sampling is rejection-free where easy
+and rejection-based with a retry cap otherwise; generators raise rather
+than silently return fewer edges than requested when the request is
+infeasible (e.g. more distinct d-sets than exist).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.theory.parameters import sbl_parameters
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = [
+    "uniform_hypergraph",
+    "mixed_dimension_hypergraph",
+    "bounded_edges_instance",
+    "sparse_random_graph",
+]
+
+_MAX_REJECTION_ROUNDS = 64
+
+
+def _distinct_random_sets(
+    rng: np.random.Generator, n: int, m: int, size: int
+) -> list[tuple[int, ...]]:
+    """Draw m distinct sorted *size*-subsets of {0..n-1} uniformly-ish.
+
+    Batch sampling with rejection of duplicates; raises if the space is too
+    small to hold m distinct sets.
+    """
+    if size > n:
+        raise ValueError(f"edge size {size} exceeds vertex count {n}")
+    space = math.comb(n, size)
+    if m > space:
+        raise ValueError(f"requested {m} distinct {size}-sets but only {space} exist")
+    seen: set[tuple[int, ...]] = set()
+    rounds = 0
+    while len(seen) < m:
+        rounds += 1
+        if rounds > _MAX_REJECTION_ROUNDS:
+            raise RuntimeError(
+                f"rejection sampling stalled: {len(seen)}/{m} distinct {size}-sets"
+            )
+        need = m - len(seen)
+        batch = max(need + 8, int(need * 1.2))
+        if size == 1:
+            draws = rng.integers(0, n, size=(batch, 1))
+        elif size <= n // 4:
+            # Vectorised path: sample rows with replacement and drop rows
+            # with repeated vertices (rare when size ≪ n).
+            draws = rng.integers(0, n, size=(batch, size))
+            draws.sort(axis=1)
+            ok = (np.diff(draws, axis=1) != 0).all(axis=1)
+            draws = draws[ok]
+        else:
+            # Dense regime: per-row sampling without replacement.
+            draws = np.empty((batch, size), dtype=np.int64)
+            for row in range(batch):
+                draws[row] = rng.choice(n, size=size, replace=False)
+        draws.sort(axis=1)
+        for row in draws:
+            t = tuple(int(x) for x in row)
+            seen.add(t)
+            if len(seen) == m:
+                break
+    return sorted(seen)
+
+
+def uniform_hypergraph(n: int, m: int, d: int, seed: SeedLike = None) -> Hypergraph:
+    """A d-uniform hypergraph with m distinct uniformly random edges.
+
+    Parameters
+    ----------
+    n, m, d:
+        Vertices, edges, (exact) edge size.
+    seed:
+        RNG seed.
+
+    Examples
+    --------
+    >>> H = uniform_hypergraph(20, 10, 3, seed=0)
+    >>> H.num_edges, H.dimension
+    (10, 3)
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1: {n}")
+    if m < 0:
+        raise ValueError(f"need m >= 0: {m}")
+    if d < 1:
+        raise ValueError(f"need d >= 1: {d}")
+    rng = as_generator(seed)
+    return Hypergraph(n, _distinct_random_sets(rng, n, m, d))
+
+
+def mixed_dimension_hypergraph(
+    n: int,
+    m: int,
+    dims: Sequence[int],
+    seed: SeedLike = None,
+    weights: Sequence[float] | None = None,
+) -> Hypergraph:
+    """m edges whose sizes are drawn from *dims* with optional *weights*.
+
+    Duplicate edges arising across sizes are deduplicated by the canonical
+    constructor, so the result can have marginally fewer than m edges; the
+    exact count is available from the returned hypergraph.
+    """
+    if not dims:
+        raise ValueError("dims must be non-empty")
+    if any(d < 1 or d > n for d in dims):
+        raise ValueError(f"edge sizes must lie in [1, n]: {dims}")
+    rng = as_generator(seed)
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.size != len(dims) or (w < 0).any() or w.sum() == 0:
+            raise ValueError("weights must be non-negative, aligned with dims, not all 0")
+        probs = w / w.sum()
+    else:
+        probs = np.full(len(dims), 1.0 / len(dims))
+    sizes = rng.choice(np.asarray(dims, dtype=np.int64), size=m, p=probs)
+    edges: list[tuple[int, ...]] = []
+    for s in sizes.tolist():
+        edge = rng.choice(n, size=s, replace=False)
+        edge.sort()
+        edges.append(tuple(int(x) for x in edge))
+    return Hypergraph(n, edges)
+
+
+def bounded_edges_instance(
+    n: int,
+    seed: SeedLike = None,
+    *,
+    beta_fraction: float = 1.0,
+    big_edge_fraction: float = 0.1,
+    min_size: int = 2,
+) -> Hypergraph:
+    """An instance from Theorem 1's regime: ``m ≈ n^β`` with β from §2.2.
+
+    The point of SBL is that the *input* dimension is unrestricted — only
+    the edge count is bounded — so a fraction *big_edge_fraction* of the
+    edges are large (size ``≈ √n``), and the rest have small sizes drawn
+    from ``{min_size, …, min_size+3}``.
+
+    Parameters
+    ----------
+    n:
+        Vertex count.
+    beta_fraction:
+        Scales the exponent: ``m = max(4, ⌊n^{β·beta_fraction}⌋)``, clamped
+        to ``n²`` for tiny n where the asymptotic β is above its meaningful
+        range.
+    big_edge_fraction:
+        Fraction of edges of size ``⌈√n⌉`` (capped at n).
+    min_size:
+        Smallest small-edge size.
+    """
+    if n < 4:
+        raise ValueError(f"need n >= 4: {n}")
+    if not 0.0 <= big_edge_fraction <= 1.0:
+        raise ValueError(f"big_edge_fraction out of range: {big_edge_fraction}")
+    params = sbl_parameters(n)
+    m = max(4, int(n ** (params.beta * beta_fraction)))
+    m = min(m, n * n)
+    rng = as_generator(seed)
+    n_big = int(round(m * big_edge_fraction))
+    big_size = min(n, max(min_size + 4, int(math.isqrt(n))))
+    edges: list[tuple[int, ...]] = []
+    for _ in range(n_big):
+        e = rng.choice(n, size=big_size, replace=False)
+        e.sort()
+        edges.append(tuple(int(x) for x in e))
+    small_sizes = rng.integers(min_size, min(min_size + 4, n) + 1, size=m - n_big)
+    for s in small_sizes.tolist():
+        e = rng.choice(n, size=s, replace=False)
+        e.sort()
+        edges.append(tuple(int(x) for x in e))
+    return Hypergraph(n, edges)
+
+
+def sparse_random_graph(n: int, avg_degree: float, seed: SeedLike = None) -> Hypergraph:
+    """An Erdős–Rényi-style graph (2-uniform hypergraph) with the given mean degree."""
+    if n < 2:
+        raise ValueError(f"need n >= 2: {n}")
+    if avg_degree < 0:
+        raise ValueError(f"negative average degree: {avg_degree}")
+    m = min(int(round(avg_degree * n / 2.0)), math.comb(n, 2))
+    rng = as_generator(seed)
+    return Hypergraph(n, _distinct_random_sets(rng, n, m, 2))

@@ -1,0 +1,107 @@
+"""Deterministic structured hypergraph families.
+
+Small, exactly analysable instances used by the unit tests (known MIS
+sizes, known degree structures) and by the adversarial probes of the
+experiments (sunflowers maximise the edge-migration effect Kelsen's
+analysis fights; matchings are the easiest case; stars stress singleton
+cleanup).
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "sunflower",
+    "matching_hypergraph",
+    "star_hypergraph",
+    "complete_uniform",
+    "tight_path",
+    "tight_cycle",
+]
+
+
+def sunflower(core_size: int, petals: int, petal_size: int) -> Hypergraph:
+    """A sunflower: *petals* edges sharing a common core of *core_size* vertices.
+
+    Edge i is ``core ∪ petal_i`` with pairwise disjoint petals of size
+    *petal_size*.  Sunflowers maximise ``N_j(core, H)`` and are the
+    canonical stressor for the degree-migration analysis: once the core is
+    nearly blue, every petal is one step from becoming a low-dimension
+    edge.
+
+    Vertices ``0 … core_size−1`` form the core.
+    """
+    if core_size < 1 or petals < 1 or petal_size < 1:
+        raise ValueError("core_size, petals and petal_size must be positive")
+    n = core_size + petals * petal_size
+    core = tuple(range(core_size))
+    edges = []
+    for i in range(petals):
+        start = core_size + i * petal_size
+        edges.append(core + tuple(range(start, start + petal_size)))
+    return Hypergraph(n, edges)
+
+
+def matching_hypergraph(blocks: int, block_size: int) -> Hypergraph:
+    """*blocks* pairwise disjoint edges of size *block_size*.
+
+    The easiest instance: every MIS leaves exactly one vertex out of each
+    block, so the MIS size is exactly ``n − blocks`` (for block_size ≥ 2).
+    """
+    if blocks < 0 or block_size < 1:
+        raise ValueError("blocks must be >= 0 and block_size >= 1")
+    n = blocks * block_size
+    edges = [
+        tuple(range(i * block_size, (i + 1) * block_size)) for i in range(blocks)
+    ]
+    return Hypergraph(n, edges)
+
+
+def star_hypergraph(leaves: int, edge_size: int = 2) -> Hypergraph:
+    """Vertex 0 in every edge; each edge picks ``edge_size − 1`` fresh leaves.
+
+    For ``edge_size = 2`` this is the star graph: the MIS is either
+    ``{0}``-free (all leaves) or just ``{0}``.
+    """
+    if leaves < 1 or edge_size < 2:
+        raise ValueError("need leaves >= 1 and edge_size >= 2")
+    per_edge = edge_size - 1
+    n = 1 + leaves * per_edge
+    edges = []
+    for i in range(leaves):
+        start = 1 + i * per_edge
+        edges.append((0,) + tuple(range(start, start + per_edge)))
+    return Hypergraph(n, edges)
+
+
+def complete_uniform(n: int, d: int) -> Hypergraph:
+    """All ``C(n, d)`` edges of size d — every d-subset is forbidden.
+
+    Any MIS has exactly ``d − 1`` vertices.
+    """
+    import itertools
+
+    if d < 1 or d > n:
+        raise ValueError(f"need 1 <= d <= n: d={d}, n={n}")
+    return Hypergraph(n, itertools.combinations(range(n), d))
+
+
+def tight_path(n: int, d: int) -> Hypergraph:
+    """The tight path: edges ``{i, …, i+d−1}`` for ``0 ≤ i ≤ n−d``.
+
+    Linear-structure instance with overlapping consecutive edges; maximum
+    degree d, and a known greedy MIS structure (periodic gaps).
+    """
+    if d < 2 or d > n:
+        raise ValueError(f"need 2 <= d <= n: d={d}, n={n}")
+    return Hypergraph(n, [tuple(range(i, i + d)) for i in range(n - d + 1)])
+
+
+def tight_cycle(n: int, d: int) -> Hypergraph:
+    """The tight cycle: edges ``{i, …, i+d−1 mod n}`` for each i."""
+    if d < 2 or d >= n:
+        raise ValueError(f"need 2 <= d < n: d={d}, n={n}")
+    return Hypergraph(
+        n, [tuple(sorted((i + k) % n for k in range(d))) for i in range(n)]
+    )

@@ -1,0 +1,82 @@
+"""Hypergraph substrate.
+
+The algorithms in :mod:`repro.core` operate on a finite hypergraph
+``H = (V, E)`` with ``V ⊆ {0, …, universe-1}`` and each edge ``e ⊆ V``.
+This package provides:
+
+* :mod:`repro.hypergraph.hypergraph` — the canonical
+  :class:`~repro.hypergraph.hypergraph.Hypergraph` value type (sorted-tuple
+  edges + lazily built CSR incidence matrix for vectorised marking).
+* :mod:`repro.hypergraph.ops` — the update operations the algorithms need
+  (trimming colored vertices out of edges, discarding covered edges,
+  removing superset/singleton edges, …); all return new hypergraphs.
+* :mod:`repro.hypergraph.degrees` — the degree structures of Kelsen's
+  analysis: ``N_j(x, H)``, normalised degrees ``d_j(x, H)``, the maxima
+  ``Δ_i(H)`` and ``Δ(H)``, and the potentials ``v_i(H)`` / thresholds
+  ``T_j``.
+* :mod:`repro.hypergraph.validate` — independence / maximality checkers and
+  rich violation reports.
+* :mod:`repro.hypergraph.hio` — plain-text and JSON (de)serialisation.
+"""
+
+from repro.hypergraph.components import (
+    component_labels,
+    connected_components,
+    num_components,
+)
+from repro.hypergraph.degrees import (
+    Delta,
+    Delta_i,
+    degree_profile,
+    kelsen_potentials,
+    neighborhood_count,
+    normalized_degree,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.ops import (
+    normalize,
+    remove_edges_touching,
+    remove_singleton_edges,
+    remove_superset_edges,
+    trim_vertices,
+)
+from repro.hypergraph.transversal import (
+    complement,
+    is_minimal_transversal,
+    is_transversal,
+    minimal_transversal,
+)
+from repro.hypergraph.validate import (
+    IndependenceViolation,
+    MaximalityViolation,
+    check_mis,
+    is_independent,
+    is_maximal_independent,
+)
+
+__all__ = [
+    "Hypergraph",
+    "component_labels",
+    "connected_components",
+    "num_components",
+    "is_transversal",
+    "is_minimal_transversal",
+    "minimal_transversal",
+    "complement",
+    "normalize",
+    "remove_edges_touching",
+    "remove_singleton_edges",
+    "remove_superset_edges",
+    "trim_vertices",
+    "neighborhood_count",
+    "normalized_degree",
+    "Delta_i",
+    "Delta",
+    "degree_profile",
+    "kelsen_potentials",
+    "is_independent",
+    "is_maximal_independent",
+    "check_mis",
+    "IndependenceViolation",
+    "MaximalityViolation",
+]

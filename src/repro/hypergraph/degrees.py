@@ -1,0 +1,227 @@
+"""Kelsen's degree structures.
+
+Section 3 of the paper defines, for a hypergraph ``H`` of dimension ``d``,
+a non-empty vertex set ``x`` and ``1 ≤ j ≤ d − |x|``:
+
+* ``N_j(x, H)`` — the sets ``y`` with ``x ∪ y ∈ E``, ``x ∩ y = ∅``,
+  ``|y| = j`` (equivalently: edges of size ``|x| + j`` containing ``x``),
+* the *normalised degree* ``d_j(x, H) = |N_j(x, H)|^(1/j)``,
+* ``Δ_i(H) = max { d_{i−|x|}(x, H) : x ⊆ V, 0 < |x| < i }``,
+* ``Δ(H) = max { Δ_i(H) : 2 ≤ i ≤ d }``,
+
+and the potential values ``v_i(H)`` defined inductively downward from
+``v_d(H) = Δ_d(H)`` by ``v_i(H) = max(Δ_i(H), (log n)^{f(i)} · v_{i+1}(H))``,
+with thresholds ``T_j = v_2(H) / (log n)^{F(j−1)}``.
+
+Complexity note: only sets ``x`` that are subsets of an actual edge have a
+non-zero degree, so the maxima are computed by enumerating the non-empty
+proper subsets of each edge — ``O(m · 2^d)``.  That is exactly the regime
+the paper targets (``d`` at most barely super-constant); a guard raises for
+``d`` beyond :data:`MAX_ENUMERABLE_DIMENSION` rather than hanging.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "MAX_ENUMERABLE_DIMENSION",
+    "neighborhood_count",
+    "neighborhood",
+    "normalized_degree",
+    "Delta_i",
+    "Delta",
+    "degree_profile",
+    "DegreeProfile",
+    "kelsen_potentials",
+    "KelsenPotentials",
+]
+
+#: Enumerating all subsets of an edge is 2^d; beyond this we refuse.
+MAX_ENUMERABLE_DIMENSION = 22
+
+
+def neighborhood(H: Hypergraph, x: Iterable[int], j: int) -> list[tuple[int, ...]]:
+    """``N_j(x, H)`` as an explicit list of ``j``-sets.
+
+    Direct definition; intended for small instances and as the reference
+    against which the profile-based computation is differentially tested.
+    """
+    xs = frozenset(int(v) for v in x)
+    if not xs:
+        raise ValueError("x must be non-empty")
+    if j < 1:
+        raise ValueError(f"j must be >= 1: {j}")
+    target = len(xs) + j
+    out = []
+    for e in H.edges:
+        if len(e) == target and xs.issubset(e):
+            out.append(tuple(sorted(set(e) - xs)))
+    return out
+
+
+def neighborhood_count(H: Hypergraph, x: Iterable[int], j: int) -> int:
+    """``|N_j(x, H)|`` — computed via the incidence lists of the vertices of x.
+
+    Intersects the edge lists of the members of *x* (starting from the
+    least-loaded one) instead of scanning all edges.
+    """
+    xs = sorted(set(int(v) for v in x))
+    if not xs:
+        raise ValueError("x must be non-empty")
+    if j < 1:
+        raise ValueError(f"j must be >= 1: {j}")
+    adj = H.vertex_to_edges()
+    lists = [adj.get(v) for v in xs]
+    if any(lst is None for lst in lists):
+        return 0
+    lists.sort(key=len)
+    common = set(lists[0])
+    for lst in lists[1:]:
+        common.intersection_update(lst)
+        if not common:
+            return 0
+    target = len(xs) + j
+    edges = H.edges
+    return sum(1 for i in common if len(edges[i]) == target)
+
+
+def normalized_degree(H: Hypergraph, x: Iterable[int], j: int) -> float:
+    """``d_j(x, H) = |N_j(x, H)|^{1/j}``."""
+    return neighborhood_count(H, x, j) ** (1.0 / j)
+
+
+@dataclass(frozen=True)
+class DegreeProfile:
+    """All per-(x, edge-size) counts needed by the Δ and potential maxima.
+
+    Attributes
+    ----------
+    counts:
+        Mapping ``(x, i) → |N_{i−|x|}(x, H)|`` over all non-empty proper
+        subsets ``x`` of edges and all edge sizes ``i`` present in ``H``.
+        Only non-zero entries are stored.
+    dimension:
+        ``dim(H)`` at profile time.
+    """
+
+    counts: Mapping[tuple[tuple[int, ...], int], int]
+    dimension: int
+    delta_by_size: Mapping[int, float] = field(default_factory=dict)
+
+    def delta_i(self, i: int) -> float:
+        """``Δ_i(H)`` from the cached per-size maxima (0.0 when no size-i edges)."""
+        return self.delta_by_size.get(i, 0.0)
+
+    def delta(self) -> float:
+        """``Δ(H) = max_i Δ_i(H)`` (0.0 for an edgeless hypergraph)."""
+        return max(self.delta_by_size.values(), default=0.0)
+
+
+def degree_profile(H: Hypergraph) -> DegreeProfile:
+    """Enumerate every non-empty proper subset of every edge once.
+
+    Returns a :class:`DegreeProfile` carrying the ``(x, i)`` counts and the
+    per-dimension maxima ``Δ_i(H)``.
+    """
+    d = H.dimension
+    if d > MAX_ENUMERABLE_DIMENSION:
+        raise ValueError(
+            f"dimension {d} exceeds enumerable bound {MAX_ENUMERABLE_DIMENSION}; "
+            "degree maxima would take 2^d per edge"
+        )
+    from collections import Counter
+
+    counts: Counter = Counter()
+    combos = itertools.combinations
+    for e in H.edges:
+        i = len(e)
+        if i < 2:
+            continue
+        for size in range(1, i):
+            for x in combos(e, size):
+                counts[(x, i)] += 1
+    delta_by_size: dict[int, float] = {}
+    for (x, i), c in counts.items():
+        j = i - len(x)
+        val = c ** (1.0 / j)
+        if val > delta_by_size.get(i, 0.0):
+            delta_by_size[i] = val
+    return DegreeProfile(counts=counts, dimension=d, delta_by_size=delta_by_size)
+
+
+def Delta_i(H: Hypergraph, i: int, profile: DegreeProfile | None = None) -> float:
+    """``Δ_i(H)`` — maximum normalised degree with respect to size-``i`` edges."""
+    if i < 2:
+        raise ValueError(f"Δ_i defined for i >= 2: {i}")
+    prof = profile if profile is not None else degree_profile(H)
+    return prof.delta_i(i)
+
+
+def Delta(H: Hypergraph, profile: DegreeProfile | None = None) -> float:
+    """``Δ(H)`` — the maximum normalised degree over all edge sizes.
+
+    This is the quantity that sets the BL marking probability
+    ``p = 1 / (2^{d+1} Δ(H))``.
+    """
+    prof = profile if profile is not None else degree_profile(H)
+    return prof.delta()
+
+
+@dataclass(frozen=True)
+class KelsenPotentials:
+    """The values ``v_i(H)`` and thresholds ``T_j`` of Kelsen's analysis."""
+
+    v: Mapping[int, float]
+    T: Mapping[int, float]
+    log_n: float
+    dimension: int
+
+    def v2(self) -> float:
+        """The universal threshold ``v_2(H)`` (0.0 when dim < 2)."""
+        return self.v.get(2, 0.0)
+
+
+def kelsen_potentials(
+    H: Hypergraph,
+    f: Callable[[int], float],
+    F: Callable[[int], float],
+    *,
+    log_n: float | None = None,
+    profile: DegreeProfile | None = None,
+) -> KelsenPotentials:
+    """Compute ``v_i(H)`` and ``T_j`` for the scaling function *f* (with prefix sums *F*).
+
+    Parameters
+    ----------
+    H:
+        The hypergraph.
+    f, F:
+        The scaling recurrence and its prefix ``F(i) = Σ_{j=2..i} f(j)``
+        (with ``F(1) = 0``); pass the paper's d²-variant from
+        :mod:`repro.theory.recurrences` or Kelsen's original.
+    log_n:
+        Base-2 log of the vertex count to use; defaults to
+        ``log2(max(n, 3))`` so that tiny instances stay meaningful.
+    profile:
+        Optional precomputed :func:`degree_profile`.
+    """
+    d = H.dimension
+    prof = profile if profile is not None else degree_profile(H)
+    if log_n is None:
+        log_n = math.log2(max(H.num_vertices, 3))
+    v: dict[int, float] = {}
+    if d >= 2:
+        v[d] = prof.delta_i(d)
+        for i in range(d - 1, 1, -1):
+            v[i] = max(prof.delta_i(i), (log_n ** f(i)) * v[i + 1])
+    T: dict[int, float] = {}
+    if 2 in v:
+        for j in range(2, d + 1):
+            T[j] = v[2] / (log_n ** F(j - 1))
+    return KelsenPotentials(v=v, T=T, log_n=log_n, dimension=d)

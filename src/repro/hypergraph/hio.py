@@ -1,0 +1,108 @@
+"""Hypergraph (de)serialisation.
+
+Two formats:
+
+* **Plain text** — a human-editable line format::
+
+      # optional comments
+      universe 10
+      vertices 0 1 2 3 4 5 6 7 8 9      # optional; defaults to all
+      0 1 2
+      2 3
+      4 5 6 7
+
+  Each non-directive line is one edge (whitespace-separated vertex ids).
+
+* **JSON** — ``{"universe": n, "vertices": [...], "edges": [[...], ...]}``.
+
+Both round-trip through the canonical representation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["dumps", "loads", "dump", "load", "to_json", "from_json"]
+
+PathLike = Union[str, Path]
+
+
+def dumps(H: Hypergraph) -> str:
+    """Serialise to the plain-text format."""
+    lines = [f"universe {H.universe}"]
+    verts = H.vertices
+    if verts.size != H.universe:
+        lines.append("vertices " + " ".join(str(v) for v in verts.tolist()))
+    for e in H.edges:
+        lines.append(" ".join(str(v) for v in e))
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Hypergraph:
+    """Parse the plain-text format."""
+    universe: int | None = None
+    vertices = None
+    edges: list[tuple[int, ...]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "universe":
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: malformed universe directive")
+            universe = int(parts[1])
+        elif parts[0] == "vertices":
+            vertices = [int(x) for x in parts[1:]]
+        else:
+            try:
+                edges.append(tuple(int(x) for x in parts))
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: non-integer vertex id") from exc
+    if universe is None:
+        raise ValueError("missing 'universe' directive")
+    return Hypergraph(universe, edges, vertices=vertices)
+
+
+def dump(H: Hypergraph, fp: Union[TextIO, PathLike]) -> None:
+    """Write the plain-text format to a file object or path."""
+    text = dumps(H)
+    if isinstance(fp, (str, Path)):
+        Path(fp).write_text(text)
+    else:
+        fp.write(text)
+
+
+def load(fp: Union[TextIO, PathLike]) -> Hypergraph:
+    """Read the plain-text format from a file object or path."""
+    if isinstance(fp, (str, Path)):
+        return loads(Path(fp).read_text())
+    return loads(fp.read())
+
+
+def to_json(H: Hypergraph) -> str:
+    """Serialise to a JSON string."""
+    return json.dumps(
+        {
+            "universe": H.universe,
+            "vertices": H.vertices.tolist(),
+            "edges": [list(e) for e in H.edges],
+        }
+    )
+
+
+def from_json(text: str) -> Hypergraph:
+    """Parse the JSON format produced by :func:`to_json`."""
+    obj = json.loads(text)
+    try:
+        return Hypergraph(
+            int(obj["universe"]),
+            [tuple(e) for e in obj["edges"]],
+            vertices=obj.get("vertices"),
+        )
+    except KeyError as exc:
+        raise ValueError(f"missing JSON field: {exc}") from exc

@@ -1,0 +1,331 @@
+"""The canonical hypergraph value type.
+
+Design notes
+------------
+* **Fixed universe.**  Vertices are integers in ``{0, …, universe-1}``.  The
+  universe never changes across algorithm rounds even as vertices are
+  removed, so vertex ids in the final independent set always refer to the
+  input hypergraph.  The *active* vertex set is an explicit sorted array.
+* **Canonical edges.**  Each edge is stored as a sorted tuple of distinct
+  ints; the edge list is lexicographically sorted and deduplicated.  Two
+  hypergraphs compare equal iff they have the same universe, vertex set and
+  edge multiset — which, being canonical, is a cheap tuple comparison.
+* **Vectorised hot path.**  The fully-marked-edge test at the heart of the
+  Beame–Luby algorithm is a sparse matrix–vector product against the CSR
+  incidence matrix (built lazily and cached); per-edge Python loops are kept
+  only in reference implementations used for differential testing.
+* **Value semantics.**  Instances are immutable; the update operations in
+  :mod:`repro.hypergraph.ops` return new instances.  This costs an array
+  rebuild per algorithm round — rounds are polylogarithmic, each round is
+  Ω(total edge size) anyway — and buys simple, auditable algorithm code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Hypergraph"]
+
+EdgeLike = Iterable[int]
+
+
+def _canonical_edges(edges: Iterable[EdgeLike]) -> tuple[tuple[int, ...], ...]:
+    """Sort each edge, dedupe vertices within an edge, dedupe + sort edges."""
+    seen: set[tuple[int, ...]] = set()
+    out: list[tuple[int, ...]] = []
+    for e in edges:
+        t = tuple(sorted(set(int(v) for v in e)))
+        if not t:
+            raise ValueError("empty edge is not allowed (it would make every set dependent)")
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
+    out.sort()
+    return tuple(out)
+
+
+class Hypergraph:
+    """An immutable hypergraph ``H = (V, E)`` over a fixed integer universe.
+
+    Parameters
+    ----------
+    universe:
+        Size of the ground set; vertices are ``0 … universe-1``.
+    edges:
+        Iterable of vertex iterables.  Edges are canonicalised (sorted,
+        deduplicated); an empty edge raises ``ValueError``.
+    vertices:
+        The active vertex set.  Defaults to the full universe.  Every edge
+        must be contained in the active set.
+
+    Examples
+    --------
+    >>> H = Hypergraph(5, [(0, 1, 2), (2, 3)])
+    >>> H.num_vertices, H.num_edges, H.dimension
+    (5, 2, 3)
+    >>> H.edges
+    ((0, 1, 2), (2, 3))
+    """
+
+    __slots__ = (
+        "_universe",
+        "_vertices",
+        "_edges",
+        "_incidence",
+        "_edge_sizes",
+        "_vertex_to_edges",
+    )
+
+    def __init__(
+        self,
+        universe: int,
+        edges: Iterable[EdgeLike] = (),
+        vertices: Sequence[int] | np.ndarray | None = None,
+    ):
+        if universe < 0:
+            raise ValueError(f"universe must be non-negative: {universe}")
+        self._universe = int(universe)
+        if vertices is None:
+            self._vertices = np.arange(universe, dtype=np.intp)
+        else:
+            v = np.unique(np.asarray(list(vertices) if not isinstance(vertices, np.ndarray) else vertices, dtype=np.intp))
+            if v.size and (v[0] < 0 or v[-1] >= universe):
+                raise IndexError("vertex outside universe")
+            self._vertices = v
+        self._edges = _canonical_edges(edges)
+        if self._edges:
+            vset = set(self._vertices.tolist())
+            for e in self._edges:
+                for x in e:
+                    if x not in vset:
+                        raise ValueError(f"edge {e} contains inactive vertex {x}")
+        # Lazy caches.
+        self._incidence: sp.csr_matrix | None = None
+        self._edge_sizes: np.ndarray | None = None
+        self._vertex_to_edges: dict[int, list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> int:
+        """Size of the ground set (stable across algorithm rounds)."""
+        return self._universe
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Active vertices as a sorted read-only index array."""
+        view = self._vertices.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def edges(self) -> tuple[tuple[int, ...], ...]:
+        """Canonical edge tuple (each edge a sorted tuple of vertex ids)."""
+        return self._edges
+
+    @property
+    def num_vertices(self) -> int:
+        """|V| — the number of *active* vertices."""
+        return int(self._vertices.size)
+
+    @property
+    def num_edges(self) -> int:
+        """|E|."""
+        return len(self._edges)
+
+    @property
+    def dimension(self) -> int:
+        """Maximum edge size (0 for an edgeless hypergraph)."""
+        return max((len(e) for e in self._edges), default=0)
+
+    @property
+    def min_edge_size(self) -> int:
+        """Minimum edge size (0 for an edgeless hypergraph)."""
+        return min((len(e) for e in self._edges), default=0)
+
+    @property
+    def total_edge_size(self) -> int:
+        """Σ_e |e| — the natural input-size measure."""
+        return sum(len(e) for e in self._edges)
+
+    def edge_sizes(self) -> np.ndarray:
+        """Edge sizes as an int array aligned with :attr:`edges`."""
+        if self._edge_sizes is None:
+            self._edge_sizes = np.array([len(e) for e in self._edges], dtype=np.intp)
+        return self._edge_sizes
+
+    # ------------------------------------------------------------------
+    # derived structures (lazily cached)
+    # ------------------------------------------------------------------
+    def incidence(self) -> sp.csr_matrix:
+        """The ``m × universe`` 0/1 incidence matrix in CSR form.
+
+        Row ``i`` is the indicator vector of edge ``i``.  The hot path of
+        every marking algorithm is ``incidence() @ marked`` which yields,
+        per edge, the number of marked vertices.
+        """
+        if self._incidence is None:
+            m = len(self._edges)
+            indptr = np.zeros(m + 1, dtype=np.intp)
+            sizes = self.edge_sizes()
+            np.cumsum(sizes, out=indptr[1:])
+            indices = np.fromiter(
+                (v for e in self._edges for v in e),
+                dtype=np.intp,
+                count=int(indptr[-1]),
+            )
+            data = np.ones(indices.size, dtype=np.int64)
+            self._incidence = sp.csr_matrix(
+                (data, indices, indptr), shape=(m, self._universe)
+            )
+        return self._incidence
+
+    def vertex_to_edges(self) -> dict[int, list[int]]:
+        """Map each vertex to the (sorted) list of indices of edges containing it."""
+        if self._vertex_to_edges is None:
+            adj: dict[int, list[int]] = {}
+            for i, e in enumerate(self._edges):
+                for v in e:
+                    adj.setdefault(v, []).append(i)
+            self._vertex_to_edges = adj
+        return self._vertex_to_edges
+
+    def degree(self, v: int) -> int:
+        """Number of edges containing vertex *v*."""
+        return len(self.vertex_to_edges().get(v, ()))
+
+    def max_degree(self) -> int:
+        """Maximum vertex degree (0 if edgeless)."""
+        adj = self.vertex_to_edges()
+        return max((len(es) for es in adj.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_edge(self, e: EdgeLike) -> bool:
+        """Is the canonicalised *e* an edge of H? (binary search)"""
+        t = tuple(sorted(set(int(v) for v in e)))
+        lo, hi = 0, len(self._edges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._edges[mid] < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(self._edges) and self._edges[lo] == t
+
+    def edges_within(self, member_mask: np.ndarray) -> np.ndarray:
+        """Indices of edges fully contained in the vertex set given by *member_mask*.
+
+        *member_mask* is a boolean array over the universe.  Vectorised:
+        one sparse matvec.
+        """
+        if member_mask.shape != (self._universe,):
+            raise ValueError("mask must cover the universe")
+        if not self._edges:
+            return np.empty(0, dtype=np.intp)
+        counts = self.incidence() @ member_mask.astype(np.int64)
+        return np.flatnonzero(counts == self.edge_sizes())
+
+    def edges_touching(self, member_mask: np.ndarray) -> np.ndarray:
+        """Indices of edges with at least one vertex in the masked set."""
+        if member_mask.shape != (self._universe,):
+            raise ValueError("mask must cover the universe")
+        if not self._edges:
+            return np.empty(0, dtype=np.intp)
+        counts = self.incidence() @ member_mask.astype(np.int64)
+        return np.flatnonzero(counts > 0)
+
+    def contains_fully(self, member_mask: np.ndarray) -> bool:
+        """Does some edge lie entirely inside the masked vertex set?"""
+        return self.edges_within(member_mask).size > 0
+
+    def vertex_mask(self) -> np.ndarray:
+        """Boolean mask over the universe marking the active vertices."""
+        mask = np.zeros(self._universe, dtype=bool)
+        mask[self._vertices] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    # sub-hypergraphs
+    # ------------------------------------------------------------------
+    def induced(self, vertex_subset: Iterable[int] | np.ndarray) -> "Hypergraph":
+        """The sub-hypergraph induced by *vertex_subset*.
+
+        Vertices are restricted to the subset; the edges kept are exactly
+        those **fully contained** in the subset (the paper's
+        ``E' = {e ∈ E : e ⊆ V'}`` in SBL line 7).
+        """
+        idx = np.asarray(
+            list(vertex_subset) if not isinstance(vertex_subset, np.ndarray) else vertex_subset,
+            dtype=np.intp,
+        )
+        mask = np.zeros(self._universe, dtype=bool)
+        if idx.size:
+            mask[idx] = True
+        keep = self.edges_within(mask)
+        active = np.intersect1d(self._vertices, np.unique(idx), assume_unique=False)
+        return Hypergraph(
+            self._universe,
+            [self._edges[i] for i in keep.tolist()],
+            vertices=active,
+        )
+
+    def without_vertices(self, vertex_subset: Iterable[int] | np.ndarray) -> "Hypergraph":
+        """Drop the given vertices from the active set and drop edges touching them."""
+        idx = np.asarray(
+            list(vertex_subset) if not isinstance(vertex_subset, np.ndarray) else vertex_subset,
+            dtype=np.intp,
+        )
+        mask = np.zeros(self._universe, dtype=bool)
+        if idx.size:
+            mask[idx] = True
+        touched = set(self.edges_touching(mask).tolist())
+        keep_edges = [e for i, e in enumerate(self._edges) if i not in touched]
+        remaining = np.setdiff1d(self._vertices, idx, assume_unique=False)
+        return Hypergraph(self._universe, keep_edges, vertices=remaining)
+
+    def replace(
+        self,
+        *,
+        edges: Iterable[EdgeLike] | None = None,
+        vertices: Sequence[int] | np.ndarray | None = None,
+    ) -> "Hypergraph":
+        """Functional update returning a new hypergraph over the same universe."""
+        return Hypergraph(
+            self._universe,
+            self._edges if edges is None else edges,
+            vertices=self._vertices if vertices is None else vertices,
+        )
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return (
+            self._universe == other._universe
+            and self._vertices.size == other._vertices.size
+            and bool((self._vertices == other._vertices).all())
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._universe, self._vertices.tobytes(), self._edges))
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(universe={self._universe}, n={self.num_vertices}, "
+            f"m={self.num_edges}, dim={self.dimension})"
+        )

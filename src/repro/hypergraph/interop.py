@@ -1,0 +1,118 @@
+"""Interoperability with NetworkX.
+
+Hypergraphs have two standard graph encodings, both supported here:
+
+* **Bipartite incidence graph** — one node per vertex, one per edge,
+  adjacency = membership.  Lossless; the canonical interchange format.
+* **2-section (clique expansion)** — vertices only, with a graph edge
+  between any two co-members of some hyperedge.  Lossy (it forgets which
+  cliques were hyperedges) but useful for visualisation and for comparing
+  against graph algorithms; note an MIS of the 2-section is a *strong*
+  independent set of the hypergraph (no two chosen vertices share any
+  edge), generally much smaller than a hypergraph MIS.
+
+Plain graphs (2-uniform hypergraphs) round-trip exactly through
+:func:`graph_to_hypergraph` / :func:`hypergraph_to_graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "to_bipartite",
+    "from_bipartite",
+    "two_section",
+    "graph_to_hypergraph",
+    "hypergraph_to_graph",
+]
+
+#: Node attribute marking the bipartite side (0 = vertex, 1 = hyperedge).
+BIPARTITE_KEY = "bipartite"
+
+
+def to_bipartite(H: Hypergraph) -> nx.Graph:
+    """Encode as the bipartite incidence graph.
+
+    Vertex nodes are the plain ints; edge nodes are ``("e", i)`` tuples
+    (index into the canonical edge order).  Node attributes carry the
+    bipartite side; the graph's ``universe`` attribute preserves the
+    ground-set size so the encoding is lossless.
+    """
+    G = nx.Graph(universe=H.universe)
+    for v in H.vertices.tolist():
+        G.add_node(int(v), **{BIPARTITE_KEY: 0})
+    for i, e in enumerate(H.edges):
+        enode = ("e", i)
+        G.add_node(enode, **{BIPARTITE_KEY: 1})
+        for v in e:
+            G.add_edge(int(v), enode)
+    return G
+
+
+def from_bipartite(G: nx.Graph) -> Hypergraph:
+    """Decode a graph produced by :func:`to_bipartite`."""
+    try:
+        universe = int(G.graph["universe"])
+    except KeyError:
+        raise ValueError("graph lacks the 'universe' attribute") from None
+    vertices = []
+    edges = []
+    for node, data in G.nodes(data=True):
+        side = data.get(BIPARTITE_KEY)
+        if side == 0:
+            vertices.append(int(node))
+        elif side == 1:
+            members = tuple(sorted(int(u) for u in G.neighbors(node)))
+            if members:
+                edges.append(members)
+        else:
+            raise ValueError(f"node {node!r} lacks the bipartite attribute")
+    return Hypergraph(universe, edges, vertices=vertices)
+
+
+def two_section(H: Hypergraph) -> nx.Graph:
+    """The 2-section (clique expansion) on the active vertices."""
+    G = nx.Graph()
+    G.add_nodes_from(int(v) for v in H.vertices.tolist())
+    for e in H.edges:
+        for i, u in enumerate(e):
+            for v in e[i + 1 :]:
+                G.add_edge(int(u), int(v))
+    return G
+
+
+def graph_to_hypergraph(G: nx.Graph) -> Hypergraph:
+    """A NetworkX graph as a 2-uniform hypergraph.
+
+    Nodes must be (relabelable to) integers; non-integer nodes are mapped
+    by sorted order and the mapping is stored nowhere — pass integer-
+    labelled graphs when ids matter.
+    """
+    nodes: list[Hashable] = sorted(G.nodes())
+    if all(isinstance(x, int) for x in nodes):
+        universe = max(nodes, default=-1) + 1
+        relabel = {x: x for x in nodes}
+    else:
+        universe = len(nodes)
+        relabel = {x: i for i, x in enumerate(nodes)}
+    edges = [
+        tuple(sorted((relabel[u], relabel[v])))
+        for u, v in G.edges()
+        if relabel[u] != relabel[v]
+    ]
+    return Hypergraph(universe, edges, vertices=sorted(relabel.values()))
+
+
+def hypergraph_to_graph(H: Hypergraph) -> nx.Graph:
+    """A 2-uniform hypergraph as a NetworkX graph (raises otherwise)."""
+    if any(len(e) != 2 for e in H.edges):
+        raise ValueError("hypergraph is not 2-uniform")
+    G = nx.Graph()
+    G.add_nodes_from(int(v) for v in H.vertices.tolist())
+    G.add_edges_from((int(e[0]), int(e[1])) for e in H.edges)
+    return G

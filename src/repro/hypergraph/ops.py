@@ -1,0 +1,249 @@
+"""Hypergraph update operations used by the algorithms.
+
+These are the primitive transformations of the BL cleanup phase
+(Algorithm 2, lines 13–24) and the SBL commit phase (Algorithm 1, lines
+12–20).  All operations are pure: they take a :class:`Hypergraph` and
+return a new one over the same universe.
+
+A note on the superset rule: Algorithm 2's pseudocode reads
+``if e ⊆ e′ then E′ ← E′ \\ e`` which removes the *smaller* edge — a typo
+in the paper.  Removing the smaller edge would weaken the independence
+constraint (a set containing ``e`` but not ``e′`` would wrongly become
+independent).  The correct and standard operation (as in Kelsen 1992) drops
+the *superset* ``e′``: whenever ``e ⊆ e′``, the constraint "``e`` is not
+fully blue" already implies "``e′`` is not fully blue", so ``e′`` is
+redundant.  :func:`remove_superset_edges` implements the correct rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "trim_vertices",
+    "remove_edges_touching",
+    "remove_superset_edges",
+    "remove_singleton_edges",
+    "normalize",
+    "normalize_after_trim",
+]
+
+
+def _as_mask(universe: int, vertices: Iterable[int] | np.ndarray) -> np.ndarray:
+    idx = np.asarray(
+        list(vertices) if not isinstance(vertices, np.ndarray) else vertices,
+        dtype=np.intp,
+    )
+    mask = np.zeros(universe, dtype=bool)
+    if idx.size:
+        if idx.min() < 0 or idx.max() >= universe:
+            raise IndexError("vertex outside universe")
+        mask[idx] = True
+    return mask
+
+
+def trim_vertices(H: Hypergraph, vertices: Iterable[int] | np.ndarray) -> Hypergraph:
+    """Remove *vertices* from every edge and from the active vertex set.
+
+    This is ``e ← e \\ I′`` (Algorithm 2 line 14 / Algorithm 1 line 19)
+    combined with ``V′ ← V′ \\ I′``.  An edge that becomes empty would mean
+    that an edge was entirely inside the set being committed to the
+    independent set — a correctness violation — so this raises
+    ``ValueError`` rather than silently producing an empty edge.
+    """
+    mask = _as_mask(H.universe, vertices)
+    new_edges = []
+    for e in H.edges:
+        t = tuple(v for v in e if not mask[v])
+        if not t:
+            raise ValueError(
+                f"edge {e} became empty: the removed set contains a full edge"
+            )
+        new_edges.append(t)
+    remaining = H.vertices[~mask[H.vertices]]
+    return Hypergraph(H.universe, new_edges, vertices=remaining)
+
+
+def remove_edges_touching(H: Hypergraph, vertices: Iterable[int] | np.ndarray) -> Hypergraph:
+    """Drop every edge with at least one endpoint among *vertices*.
+
+    This is SBL's red-vertex discard (Algorithm 1 lines 13–17): an edge
+    containing a permanently red vertex can never become fully blue, so its
+    constraint is vacuous.  The active vertex set is unchanged.
+    """
+    mask = _as_mask(H.universe, vertices)
+    touched = set(H.edges_touching(mask).tolist())
+    if not touched:
+        return H
+    keep = [e for i, e in enumerate(H.edges) if i not in touched]
+    return H.replace(edges=keep)
+
+
+def remove_superset_edges(H: Hypergraph) -> Hypergraph:
+    """Drop every edge that (properly) contains another edge.
+
+    Keeps the inclusion-minimal edges; their constraints imply all the
+    dropped ones.  Uses the min-degree-pivot trick: an edge ``e′`` can only
+    be a superset of edges incident to its least-loaded vertex, so we check
+    containment only against those — O(Σ_e deg_min(e)·|e|) instead of
+    O(m²·d).
+    """
+    edges = H.edges
+    m = len(edges)
+    if m <= 1:
+        return H
+    edge_sets = [frozenset(e) for e in edges]
+    adj = H.vertex_to_edges()
+    keep = np.ones(m, dtype=bool)
+    for j, e in enumerate(edges):
+        # Any superset of e must contain every vertex of e — in particular
+        # e's least-loaded vertex, so scanning that vertex's edge list finds
+        # all candidate supersets.
+        pivot = min(e, key=lambda v: len(adj[v]))
+        for i in adj[pivot]:
+            if i == j or not keep[i]:
+                continue
+            if len(edges[i]) > len(e) and edge_sets[j] < edge_sets[i]:
+                keep[i] = False
+    if keep.all():
+        return H  # nothing dropped: avoid a rebuild on the common path
+    return H.replace(edges=[edges[i] for i in np.flatnonzero(keep).tolist()])
+
+
+def remove_singleton_edges(H: Hypergraph) -> tuple[Hypergraph, np.ndarray]:
+    """Remove singleton edges ``{v}`` together with their vertices.
+
+    A vertex carrying a singleton edge can never join the independent set;
+    Algorithm 2 (lines 21–24) deletes both the edge and the vertex.  Returns
+    the new hypergraph and the array of vertices removed this way (they are
+    implicitly colored red).
+    """
+    singles = sorted({e[0] for e in H.edges if len(e) == 1})
+    if not singles:
+        return H, np.empty(0, dtype=np.intp)
+    removed = np.asarray(singles, dtype=np.intp)
+    mask = _as_mask(H.universe, removed)
+    # Edges containing a removed vertex: singleton ones disappear; larger
+    # ones keep constraining the surviving vertices only if all their
+    # vertices survive — but a red vertex in an edge makes the constraint
+    # vacuous, so we drop every touching edge (same reasoning as
+    # remove_edges_touching).
+    touched = set(H.edges_touching(mask).tolist())
+    keep = [e for i, e in enumerate(H.edges) if i not in touched]
+    remaining = H.vertices[~mask[H.vertices]]
+    return Hypergraph(H.universe, keep, vertices=remaining), removed
+
+
+def normalize_after_trim(
+    H: Hypergraph, vertices: Iterable[int] | np.ndarray
+) -> tuple[Hypergraph, np.ndarray]:
+    """Fused ``trim_vertices`` + ``normalize`` for an already-normal input.
+
+    Precondition: *H* is superset-free with no singleton edges (the state
+    every BL/permutation round leaves behind).  After removing *vertices*
+    from all edges, any new ``e ⊆ e′`` pair must involve an edge that
+    shrank — an untouched pair would have violated normality before the
+    trim — so the containment scan is restricted to the changed edges, in
+    both roles (shrunken edge as the new subset, or as a superset another
+    edge shrank onto… i.e. became equal to, which canonical dedup already
+    handles; the remaining case is a changed edge swallowing an untouched
+    one).  Singleton cleanup needs a single pass: dropping edges never
+    creates new singletons or supersets.
+
+    Produces exactly the same hypergraph as
+    ``normalize(trim_vertices(H, vertices))`` (differentially tested);
+    returns ``(H_clean, red_vertices)`` with the same meaning.
+
+    Raises
+    ------
+    ValueError
+        If an edge would become empty (the removed set contains a full
+        edge — a correctness violation upstream).
+    """
+    mask = _as_mask(H.universe, vertices)
+    changed_idx = set(H.edges_touching(mask).tolist())
+    old_edges = H.edges
+
+    # Trim, dedupe canonically, remember which surviving edges changed.
+    seen: dict[tuple[int, ...], bool] = {}  # edge -> changed?
+    for i, e in enumerate(old_edges):
+        if i in changed_idx:
+            t = tuple(v for v in e if not mask[v])
+            if not t:
+                raise ValueError(
+                    f"edge {e} became empty: the removed set contains a full edge"
+                )
+            # A dedup collision means an edge shrank onto another: the
+            # surviving copy counts as changed.
+            seen[t] = True
+        else:
+            if e not in seen:
+                seen[e] = False
+
+    edges = list(seen.keys())
+    changed = [seen[e] for e in edges]
+    alive = [True] * len(edges)
+    edge_sets = [frozenset(e) for e in edges]
+    adj: dict[int, list[int]] = {}
+    for i, e in enumerate(edges):
+        for v in e:
+            adj.setdefault(v, []).append(i)
+
+    for j, is_changed in enumerate(changed):
+        if not is_changed or not alive[j]:
+            continue
+        ej = edge_sets[j]
+        # (a) j as subset: supersets of j must contain j's pivot vertex.
+        pivot = min(edges[j], key=lambda v: len(adj[v]))
+        for i in adj[pivot]:
+            if i != j and alive[i] and len(edges[i]) > len(edges[j]) and ej < edge_sets[i]:
+                alive[i] = False
+        # (b) j as superset of an untouched (or changed) smaller edge:
+        # candidates live in the adjacency of j's vertices.
+        if alive[j]:
+            cand: set[int] = set()
+            for v in edges[j]:
+                cand.update(adj[v])
+            for k in cand:
+                if k != j and alive[k] and len(edges[k]) < len(edges[j]) and edge_sets[k] < ej:
+                    alive[j] = False
+                    break
+
+    # Single singleton pass (dropping edges creates no new singletons).
+    red_set = {edges[i][0] for i in range(len(edges)) if alive[i] and len(edges[i]) == 1}
+    if red_set:
+        for i in range(len(edges)):
+            if alive[i] and (set(edges[i]) & red_set):
+                alive[i] = False
+
+    final_edges = [edges[i] for i in range(len(edges)) if alive[i]]
+    removed = mask.copy()
+    for v in red_set:
+        removed[v] = True
+    remaining = H.vertices[~removed[H.vertices]]
+    H_new = Hypergraph(H.universe, final_edges, vertices=remaining)
+    return H_new, np.asarray(sorted(red_set), dtype=np.intp)
+
+
+def normalize(H: Hypergraph) -> tuple[Hypergraph, np.ndarray]:
+    """Full BL cleanup: iterate superset- and singleton-removal to a fixed point.
+
+    Returns ``(H_clean, red_vertices)`` where *red_vertices* are the
+    vertices removed because they carried singleton edges.  The loop runs
+    until neither rule fires; each iteration strictly decreases
+    ``m + n`` so it terminates.
+    """
+    red: list[int] = []
+    while True:
+        H2 = remove_superset_edges(H)
+        H3, removed = remove_singleton_edges(H2)
+        red.extend(removed.tolist())
+        if H3 is H or (
+            H3.num_edges == H.num_edges and H3.num_vertices == H.num_vertices
+        ):
+            return H3, np.asarray(sorted(red), dtype=np.intp)
+        H = H3

@@ -1,0 +1,103 @@
+"""Transversal (hitting-set) duality.
+
+A set ``T ⊆ V`` is a **transversal** of ``H`` when it meets every edge.
+Complementation gives an exact duality with independence:
+
+* ``I`` is independent ⟺ ``V \\ I`` is a transversal
+  (no edge inside ``I`` ⟺ every edge has a vertex outside ``I``);
+* ``I`` is a *maximal* independent set ⟺ ``V \\ I`` is a *minimal*
+  transversal (a vertex could leave ``T`` iff it could join ``I``).
+
+So every MIS algorithm in :mod:`repro.core` doubles as a parallel
+**minimal hitting set** algorithm — the form in which the MIS primitive
+appears in many applications (blocking sets, diagnosis, monotone
+dualisation).  This module provides the translation layer plus direct
+validators, and the property tests pin the duality down exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.util.rng import SeedLike
+
+__all__ = [
+    "is_transversal",
+    "is_minimal_transversal",
+    "complement",
+    "minimal_transversal",
+]
+
+
+def _member_mask(H: Hypergraph, members: Iterable[int] | np.ndarray) -> np.ndarray:
+    idx = np.asarray(
+        list(members) if not isinstance(members, np.ndarray) else members,
+        dtype=np.intp,
+    )
+    mask = np.zeros(H.universe, dtype=bool)
+    if idx.size:
+        if idx.min() < 0 or idx.max() >= H.universe:
+            raise IndexError("member outside universe")
+        mask[idx] = True
+    return mask
+
+
+def is_transversal(H: Hypergraph, members: Iterable[int] | np.ndarray) -> bool:
+    """Does *members* intersect every edge?  (Vacuously true when edgeless.)"""
+    mask = _member_mask(H, members)
+    if not H.num_edges:
+        return True
+    counts = H.incidence() @ mask.astype(np.int64)
+    return bool((counts > 0).all())
+
+
+def is_minimal_transversal(H: Hypergraph, members: Iterable[int] | np.ndarray) -> bool:
+    """Is *members* a transversal none of whose vertices is redundant?
+
+    Only vertices in the active set are considered; a transversal
+    containing an inactive or edge-free vertex is non-minimal exactly when
+    that vertex hits no otherwise-unhit edge — which for an edge-free
+    vertex is always.
+    """
+    mask = _member_mask(H, members)
+    if not is_transversal(H, members):
+        return False
+    if not H.num_edges:
+        return not mask.any()
+    counts = H.incidence() @ mask.astype(np.int64)
+    # v is essential iff some edge is hit only by v.
+    essential = np.zeros(H.universe, dtype=bool)
+    singly_hit = np.flatnonzero(counts == 1)
+    edges = H.edges
+    for i in singly_hit.tolist():
+        for v in edges[i]:
+            if mask[v]:
+                essential[v] = True
+                break
+    return bool((essential[mask]).all() if mask.any() else True)
+
+
+def complement(H: Hypergraph, members: Iterable[int] | np.ndarray) -> np.ndarray:
+    """``V \\ members`` over the *active* vertex set, sorted."""
+    mask = _member_mask(H, members)
+    active = H.vertices
+    return active[~mask[active]]
+
+
+def minimal_transversal(
+    H: Hypergraph,
+    algorithm: Callable[..., Any],
+    seed: SeedLike = None,
+    **options,
+) -> np.ndarray:
+    """A minimal transversal via any MIS algorithm (the duality in action).
+
+    *algorithm* is any :mod:`repro.core` solver (duck-typed: its result
+    must expose ``independent_set``).  Returns the sorted vertex ids of
+    ``V \\ MIS``.
+    """
+    res = algorithm(H, seed, **options)
+    return complement(H, res.independent_set)

@@ -1,0 +1,141 @@
+"""Independence / maximality validation.
+
+The correctness contract of every MIS algorithm in :mod:`repro.core` is
+checked against these validators, which implement the definitions directly:
+
+* a set ``I`` is **independent** in ``H`` iff no edge is contained in ``I``;
+* an independent ``I`` is **maximal** iff for every vertex ``v ∉ I`` the set
+  ``I ∪ {v}`` is dependent.
+
+Violations are reported as rich exception objects carrying a concrete
+witness (the offending edge or the extendable vertex), which the
+failure-injection experiment (E13) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "IndependenceViolation",
+    "MaximalityViolation",
+    "is_independent",
+    "is_maximal_independent",
+    "check_mis",
+    "find_independence_witness",
+    "find_maximality_witness",
+]
+
+
+@dataclass
+class IndependenceViolation(Exception):
+    """Raised by :func:`check_mis` when an edge lies fully inside the set."""
+
+    edge: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"set contains edge {self.edge}"
+
+
+@dataclass
+class MaximalityViolation(Exception):
+    """Raised by :func:`check_mis` when some vertex could be added."""
+
+    vertex: int
+
+    def __str__(self) -> str:
+        return f"vertex {self.vertex} can be added without creating an edge"
+
+
+def _member_mask(H: Hypergraph, members: Iterable[int] | np.ndarray) -> np.ndarray:
+    idx = np.asarray(
+        list(members) if not isinstance(members, np.ndarray) else members,
+        dtype=np.intp,
+    )
+    mask = np.zeros(H.universe, dtype=bool)
+    if idx.size:
+        if idx.min() < 0 or idx.max() >= H.universe:
+            raise IndexError("member outside universe")
+        mask[idx] = True
+    return mask
+
+
+def find_independence_witness(
+    H: Hypergraph, members: Iterable[int] | np.ndarray
+) -> tuple[int, ...] | None:
+    """Return an edge fully contained in *members*, or ``None``.
+
+    One sparse matvec over the incidence matrix.
+    """
+    mask = _member_mask(H, members)
+    inside = H.edges_within(mask)
+    if inside.size:
+        return H.edges[int(inside[0])]
+    return None
+
+
+def is_independent(H: Hypergraph, members: Iterable[int] | np.ndarray) -> bool:
+    """Does *members* contain no edge of *H*?"""
+    return find_independence_witness(H, members) is None
+
+
+def find_maximality_witness(
+    H: Hypergraph, members: Iterable[int] | np.ndarray
+) -> int | None:
+    """Return a vertex of ``V \\ I`` whose addition keeps independence, or ``None``.
+
+    Vectorised: vertex ``v`` is blocked iff some edge ``e ∋ v`` has all its
+    *other* vertices in ``I``; per edge this means ``|e ∩ I| = |e| − 1`` and
+    the one missing vertex is ``v``.  We compute per-edge member counts with
+    one matvec, then scan only the near-complete edges.
+    """
+    mask = _member_mask(H, members)
+    active = H.vertices
+    candidates = active[~mask[active]]
+    if candidates.size == 0:
+        return None
+    blocked = np.zeros(H.universe, dtype=bool)
+    if H.num_edges:
+        counts = H.incidence() @ mask.astype(np.int64)
+        sizes = H.edge_sizes()
+        near = np.flatnonzero(counts == sizes - 1)
+        edges = H.edges
+        for i in near.tolist():
+            for v in edges[i]:
+                if not mask[v]:
+                    blocked[v] = True
+                    break
+        # An edge of size 1 ({v}) blocks v whenever v ∉ I (counts==0==size-1).
+    free = candidates[~blocked[candidates]]
+    return int(free[0]) if free.size else None
+
+
+def is_maximal_independent(H: Hypergraph, members: Iterable[int] | np.ndarray) -> bool:
+    """Is *members* a maximal independent set of *H*?"""
+    return (
+        find_independence_witness(H, members) is None
+        and find_maximality_witness(H, members) is None
+    )
+
+
+def check_mis(H: Hypergraph, members: Iterable[int] | np.ndarray) -> None:
+    """Assert that *members* is an MIS of *H*; raise a witnessed violation otherwise.
+
+    Raises
+    ------
+    IndependenceViolation
+        If some edge lies fully inside the set.
+    MaximalityViolation
+        If some vertex outside the set could be added.
+    """
+    edge = find_independence_witness(H, members)
+    if edge is not None:
+        raise IndependenceViolation(edge)
+    v = find_maximality_witness(H, members)
+    if v is not None:
+        raise MaximalityViolation(v)

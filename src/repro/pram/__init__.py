@@ -1,0 +1,56 @@
+"""EREW PRAM cost model and execution backends.
+
+The paper's results are stated for the EREW PRAM: time = parallel depth,
+processors = poly(m, n).  CPython cannot honestly demonstrate shared-memory
+PRAM speedups (GIL), so this package separates the two concerns:
+
+* **Accounting** (:mod:`repro.pram.machine`): algorithms describe each bulk
+  step they perform to a :class:`~repro.pram.machine.Machine`; the
+  :class:`~repro.pram.machine.CountingMachine` charges the canonical EREW
+  costs (a broadcast or reduction over *n* items costs ``⌈log₂ n⌉`` depth,
+  a scan ``2⌈log₂ n⌉``, an elementwise map ``1``) and accumulates depth,
+  work, and the processor count implied by Brent's theorem.  The
+  :class:`~repro.pram.machine.NullMachine` makes accounting free when not
+  needed.
+* **Execution** (:mod:`repro.pram.backend`): the data-parallel inner steps
+  (Bernoulli marking, per-edge mark counts) can actually be fanned out to a
+  process pool, demonstrating real parallel execution of the
+  embarrassingly parallel part of each round.
+* **Primitives** (:mod:`repro.pram.primitives`): scan / reduce / compact
+  implementations that both compute (via NumPy) and charge the machine.
+"""
+
+from repro.pram.machine import CostModel, CountingMachine, Machine, NullMachine, PhaseCost
+from repro.pram.primitives import (
+    broadcast,
+    compact,
+    exclusive_scan,
+    inclusive_scan,
+    pmap,
+    preduce,
+)
+from repro.pram.backend import ExecutionBackend, ProcessBackend, SerialBackend
+from repro.pram.bl_program import BLRoundProgram, run_bl_round_program
+from repro.pram.simulator import AccessViolation, EREWSimulator, Instruction
+
+__all__ = [
+    "Machine",
+    "CountingMachine",
+    "NullMachine",
+    "CostModel",
+    "PhaseCost",
+    "pmap",
+    "preduce",
+    "inclusive_scan",
+    "exclusive_scan",
+    "broadcast",
+    "compact",
+    "ExecutionBackend",
+    "EREWSimulator",
+    "Instruction",
+    "AccessViolation",
+    "BLRoundProgram",
+    "run_bl_round_program",
+    "SerialBackend",
+    "ProcessBackend",
+]

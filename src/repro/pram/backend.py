@@ -1,0 +1,169 @@
+"""Execution backends for the data-parallel inner steps.
+
+The per-round hot path of every marking algorithm is two bulk operations:
+
+1. ``bernoulli(n, p)`` — draw n independent marks, and
+2. ``edge_mark_counts(incidence, marked)`` — per-edge count of marked
+   vertices (a sparse matvec).
+
+Both are embarrassingly parallel.  :class:`SerialBackend` runs them with
+NumPy in-process; :class:`ProcessBackend` fans them out over a
+``ProcessPoolExecutor``, which is the honest way to get CPU parallelism in
+CPython (the GIL rules out shared-memory threading for this workload — see
+DESIGN.md §2).  Determinism is preserved under any worker count: the random
+stream is chunked by a fixed ``chunk_size`` derived from *n*, not by the
+number of workers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util.rng import SeedLike, spawn_seeds
+
+__all__ = ["ExecutionBackend", "SerialBackend", "ProcessBackend"]
+
+
+def _bernoulli_chunk(args: tuple[np.random.SeedSequence, int, float]) -> np.ndarray:
+    seed, n, p = args
+    return np.random.default_rng(seed).random(n) < p
+
+
+def _matvec_chunk(args: tuple[sp.csr_matrix, np.ndarray]) -> np.ndarray:
+    chunk, marked = args
+    return chunk @ marked
+
+
+class ExecutionBackend:
+    """Interface for the bulk per-round operations."""
+
+    def bernoulli(self, seed: SeedLike, n: int, p: float) -> np.ndarray:
+        """n independent Bernoulli(p) draws as a boolean mask."""
+        raise NotImplementedError
+
+    def edge_mark_counts(self, incidence: sp.csr_matrix, marked: np.ndarray) -> np.ndarray:
+        """Per-edge number of marked vertices (len = number of edges)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process NumPy execution (the default).
+
+    Draws follow the same fixed-chunk seeding discipline as
+    :class:`ProcessBackend`, so for equal ``chunk_size`` the two backends
+    produce bit-identical marks from the same seed — parallel execution
+    never changes results.
+    """
+
+    def __init__(self, chunk_size: int = 1 << 16):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def bernoulli(self, seed: SeedLike, n: int, p: float) -> np.ndarray:  # noqa: D102
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability out of range: {p}")
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        chunks = [
+            min(self.chunk_size, n - start) for start in range(0, n, self.chunk_size)
+        ]
+        seeds = spawn_seeds(seed, len(chunks))
+        parts = [_bernoulli_chunk((s, c, p)) for s, c in zip(seeds, chunks)]
+        return np.concatenate(parts)
+
+    def edge_mark_counts(self, incidence: sp.csr_matrix, marked: np.ndarray) -> np.ndarray:  # noqa: D102
+        return incidence @ marked.astype(np.int64)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution of the bulk steps.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.
+    chunk_size:
+        Items per task.  Fixed chunking (rather than per-worker splits)
+        makes results independent of *workers*, so a run is reproducible on
+        any machine.
+
+    Notes
+    -----
+    Worth it only for large n (pickling incidence chunks has real cost);
+    the cross-over is measured in ``benchmarks/bench_e10_algorithm_matrix.py``.
+    """
+
+    def __init__(self, workers: int = 2, chunk_size: int = 1 << 16):
+        if workers < 1:
+            raise ValueError(f"need at least one worker: {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=workers)
+
+    def _require_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            raise RuntimeError("backend already closed")
+        return self._pool
+
+    def bernoulli(self, seed: SeedLike, n: int, p: float) -> np.ndarray:  # noqa: D102
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability out of range: {p}")
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        chunks = [
+            min(self.chunk_size, n - start) for start in range(0, n, self.chunk_size)
+        ]
+        seeds = spawn_seeds(seed, len(chunks))
+        args = [(s, c, p) for s, c in zip(seeds, chunks)]
+        parts = list(self._require_pool().map(_bernoulli_chunk, args))
+        return np.concatenate(parts)
+
+    def edge_mark_counts(self, incidence: sp.csr_matrix, marked: np.ndarray) -> np.ndarray:  # noqa: D102
+        m = incidence.shape[0]
+        if m == 0:
+            return np.zeros(0, dtype=np.int64)
+        marked64 = marked.astype(np.int64)
+        if m <= self.chunk_size:
+            return incidence @ marked64
+        args = [
+            (incidence[start : min(start + self.chunk_size, m)], marked64)
+            for start in range(0, m, self.chunk_size)
+        ]
+        parts = list(self._require_pool().map(_matvec_chunk, args))
+        return np.concatenate(parts)
+
+    def close(self) -> None:  # noqa: D102
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def deterministic_equivalence(
+    backends: Sequence[ExecutionBackend], seed: SeedLike, n: int, p: float
+) -> bool:
+    """Do all *backends* produce identical marks for the same seed?
+
+    Used by tests to certify that parallel execution does not change
+    results.  Requires all backends to share the chunking discipline, which
+    SerialBackend trivially satisfies only when compared at identical seeds
+    and chunk-free draws; see tests for the exact contract.
+    """
+    drawn = [b.bernoulli(seed, n, p) for b in backends]
+    first = drawn[0]
+    return all(np.array_equal(first, other) for other in drawn[1:])

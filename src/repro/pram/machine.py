@@ -1,0 +1,197 @@
+"""PRAM cost accounting.
+
+An algorithm announces each bulk-parallel step it performs; the machine
+translates the step into (depth, work, processors) under a chosen PRAM
+variant and accumulates totals.  The EREW costs are the textbook ones:
+
+=============  =================  ============  =========================
+step           depth              work          note
+=============  =================  ============  =========================
+``map(n)``     1                  n             independent per-item ops
+``reduce(n)``  ⌈log₂ n⌉           n − 1         binary tree
+``scan(n)``    2⌈log₂ n⌉          2n            Blelloch up+down sweep
+``broadcast``  ⌈log₂ n⌉           n − 1         EREW copy-doubling
+``sort(n)``    ⌈log₂ n⌉²          n⌈log₂ n⌉²/2  Batcher bitonic network
+=============  =================  ============  =========================
+
+On a CREW machine a broadcast is free (depth 1, concurrent reads allowed);
+the :class:`CostModel` enum selects the variant so experiments can quantify
+the EREW penalty.
+
+Processor counts: each step records the processors it would use if executed
+in the stated depth; by Brent's theorem, running on ``P`` processors instead
+takes ``work/P + depth`` steps, which :meth:`CountingMachine.brent_time`
+evaluates.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.itlog import log2_ceil
+
+__all__ = ["CostModel", "PhaseCost", "Machine", "NullMachine", "CountingMachine"]
+
+
+class CostModel(enum.Enum):
+    """PRAM variant; affects the cost of concurrent-read-shaped steps."""
+
+    EREW = "erew"
+    CREW = "crew"
+
+
+@dataclass
+class PhaseCost:
+    """Accumulated (depth, work, max processors) for one named phase."""
+
+    depth: int = 0
+    work: int = 0
+    processors: int = 0
+    steps: int = 0
+
+    def add(self, depth: int, work: int, processors: int) -> None:
+        self.depth += depth
+        self.work += work
+        self.processors = max(self.processors, processors)
+        self.steps += 1
+
+
+class Machine:
+    """Interface for PRAM cost accounting.
+
+    Subclasses implement :meth:`charge`; the step helpers translate the
+    canonical primitives into charges.  All helpers accept ``n == 0``
+    (no-op) so callers need no guards for empty rounds.
+    """
+
+    model: CostModel = CostModel.EREW
+
+    # -- the single extension point ------------------------------------
+    def charge(self, depth: int, work: int, processors: int) -> None:
+        """Record one bulk step of the given cost."""
+        raise NotImplementedError
+
+    # -- canonical steps -------------------------------------------------
+    def map(self, n: int, *, op_depth: int = 1) -> None:
+        """n independent constant-time per-item operations."""
+        if n > 0:
+            self.charge(op_depth, n * op_depth, n)
+
+    def reduce(self, n: int) -> None:
+        """Associative reduction over n items (binary tree)."""
+        if n > 1:
+            self.charge(log2_ceil(n), n - 1, (n + 1) // 2)
+        elif n == 1:
+            self.charge(1, 1, 1)
+
+    def scan(self, n: int) -> None:
+        """Parallel prefix (Blelloch two-sweep)."""
+        if n > 1:
+            self.charge(2 * log2_ceil(n), 2 * n, n)
+        elif n == 1:
+            self.charge(1, 1, 1)
+
+    def broadcast(self, n: int) -> None:
+        """One value made readable by n processors.
+
+        Costs ⌈log₂ n⌉ depth on EREW (copy doubling) but depth 1 on CREW.
+        """
+        if n <= 0:
+            return
+        if self.model is CostModel.CREW:
+            self.charge(1, n, n)
+        else:
+            self.charge(log2_ceil(max(n, 1)) or 1, max(n - 1, 1), (n + 1) // 2)
+
+    def sort(self, n: int) -> None:
+        """Batcher bitonic sort over n keys."""
+        if n > 1:
+            lg = log2_ceil(n)
+            self.charge(lg * lg, (n * lg * lg) // 2, n)
+        elif n == 1:
+            self.charge(1, 1, 1)
+
+    def compact(self, n: int) -> None:
+        """Stream compaction = scan + scatter map."""
+        self.scan(n)
+        self.map(n)
+
+    def sync(self) -> None:
+        """A global synchronisation barrier (depth 1, no work)."""
+        self.charge(1, 0, 1)
+
+
+class NullMachine(Machine):
+    """Zero-overhead machine: all charges are dropped.
+
+    Use when only the algorithmic result is needed.
+    """
+
+    def charge(self, depth: int, work: int, processors: int) -> None:  # noqa: D102
+        pass
+
+
+class CountingMachine(Machine):
+    """Accumulates depth / work / processors, with optional named phases.
+
+    Parameters
+    ----------
+    model:
+        :class:`CostModel` variant (default EREW, as in the paper).
+
+    Examples
+    --------
+    >>> mach = CountingMachine()
+    >>> mach.map(8); mach.reduce(8)
+    >>> mach.depth, mach.work
+    (4, 15)
+    """
+
+    def __init__(self, model: CostModel = CostModel.EREW):
+        self.model = model
+        self.depth = 0
+        self.work = 0
+        self.max_processors = 0
+        self.phases: dict[str, PhaseCost] = {}
+        self._phase_stack: list[str] = []
+
+    def charge(self, depth: int, work: int, processors: int) -> None:  # noqa: D102
+        if depth < 0 or work < 0 or processors < 0:
+            raise ValueError("costs must be non-negative")
+        self.depth += depth
+        self.work += work
+        self.max_processors = max(self.max_processors, processors)
+        for name in self._phase_stack:
+            self.phases.setdefault(name, PhaseCost()).add(depth, work, processors)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all charges inside the block to *name* (nestable)."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def brent_time(self, processors: int) -> float:
+        """Simulated time on *processors* CPUs by Brent's theorem: W/P + D."""
+        if processors < 1:
+            raise ValueError(f"need at least one processor: {processors}")
+        return self.work / processors + self.depth
+
+    def snapshot(self) -> dict[str, int]:
+        """Totals as a plain dict (stable keys, for traces/tables)."""
+        return {
+            "depth": self.depth,
+            "work": self.work,
+            "max_processors": self.max_processors,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingMachine(model={self.model.value}, depth={self.depth}, "
+            f"work={self.work}, max_processors={self.max_processors})"
+        )

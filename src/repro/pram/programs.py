@@ -1,0 +1,268 @@
+"""Reference EREW PRAM programs, executed on the step-level simulator.
+
+Each program builds the instruction sequence, runs it on an
+:class:`~repro.pram.simulator.EREWSimulator`, and returns the number of
+steps — which the tests compare against the canonical depths the
+:class:`~repro.pram.machine.CountingMachine` charges.  Because the
+simulator rejects any concurrent access, a green test here is a *proof*
+that the claimed EREW depths are achievable without concurrent reads,
+closing the loop on the cost model (DESIGN.md §2's substitution).
+
+All programs operate in place on named shared arrays; operand counts
+beyond the array length are switched off via ``None`` addresses.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+from repro.pram.simulator import EREWSimulator, Instruction
+from repro.util.itlog import log2_ceil
+
+__all__ = [
+    "broadcast",
+    "tree_reduce",
+    "exclusive_prefix_sum",
+    "compact",
+    "segmented_broadcast",
+    "segmented_combine",
+]
+
+
+def broadcast(sim: EREWSimulator, name: str, n: int) -> int:
+    """Copy ``x[0]`` into ``x[0 … n−1]`` by pointer doubling.
+
+    Depth ``⌈log₂ n⌉``: after step k, cells ``0 … 2^{k+1}−1`` hold the
+    value; step k has processor p (for ``2^k ≤ p < min(2^{k+1}, n)``) copy
+    ``x[p − 2^k] → x[p]`` — sources and destinations are disjoint ranges,
+    so the step is exclusive by construction.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1: {n}")
+    steps = 0
+    k = 0
+    while (1 << k) < n:
+        lo, hi = 1 << k, min(1 << (k + 1), n)
+
+        def dst(p: int, lo=lo, hi=hi) -> int | None:
+            return p if lo <= p < hi else None
+
+        def src(p: int, lo=lo) -> int | None:
+            return p - lo
+
+        sim.step(Instruction(name, dst, name, src, label=f"broadcast k={k}"))
+        steps += 1
+        k += 1
+    assert steps == log2_ceil(n)
+    return steps
+
+
+def tree_reduce(
+    sim: EREWSimulator,
+    name: str,
+    n: int,
+    op: Callable[[float, float], float] = operator.add,
+) -> int:
+    """Fold ``x[0 … n−1]`` into ``x[0]`` along a binary tree.
+
+    Depth ``⌈log₂ n⌉``: at level k, processor p with ``p ≡ 0 (mod 2^{k+1})``
+    and partner ``p + 2^k < n`` computes ``x[p] = op(x[p], x[p+2^k])``.
+    Each processor reads its own cell plus a distinct partner, so the step
+    is exclusive.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1: {n}")
+    steps = 0
+    k = 0
+    while (1 << k) < n:
+        stride = 1 << (k + 1)
+        half = 1 << k
+
+        def dst(p: int, stride=stride, half=half) -> int | None:
+            return p if p % stride == 0 and p + half < n else None
+
+        def a(p: int) -> int:
+            return p
+
+        def b(p: int, half=half) -> int:
+            return p + half
+
+        sim.step(
+            Instruction(name, dst, name, a, name, b, op=op, label=f"reduce k={k}")
+        )
+        steps += 1
+        k += 1
+    assert steps == log2_ceil(n)
+    return steps
+
+
+def exclusive_prefix_sum(sim: EREWSimulator, name: str, n: int) -> int:
+    """Blelchoch-style exclusive scan in place; requires ``n`` a power of two.
+
+    Up-sweep (``log n`` steps), root clear (1 step), down-sweep
+    (``3·log n`` steps — the swap is decomposed into three single-write
+    instructions via a scratch array ``name+'_tmp'``).
+    """
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValueError(f"n must be a positive power of two: {n}")
+    tmp = name + "_tmp"
+    try:
+        sim.memory(tmp)
+    except KeyError:
+        sim.alloc(tmp, n)
+    steps = 0
+    levels = log2_ceil(n)
+    # Up-sweep.
+    for k in range(levels):
+        stride = 1 << (k + 1)
+        half = 1 << k
+
+        def dst(p: int, stride=stride) -> int | None:
+            return p + stride - 1 if p % stride == 0 and p + stride - 1 < n else None
+
+        def a(p: int, stride=stride) -> int:
+            return p + stride - 1
+
+        def b(p: int, stride=stride, half=half) -> int:
+            return p + half - 1
+
+        sim.step(
+            Instruction(name, dst, name, a, name, b, op=operator.add,
+                        label=f"upsweep k={k}")
+        )
+        steps += 1
+    # Clear the root.
+    sim.memory(tmp)[0] = 0.0
+    sim.step(
+        Instruction(
+            name,
+            lambda p: n - 1 if p == 0 else None,
+            tmp,
+            lambda p: 0,
+            label="clear root",
+        )
+    )
+    steps += 1
+    # Down-sweep: at each level, left' = right, right' = left + right.
+    for k in reversed(range(levels)):
+        stride = 1 << (k + 1)
+        half = 1 << k
+
+        def left(p: int, stride=stride, half=half) -> int | None:
+            return p + half - 1 if p % stride == 0 and p + stride - 1 < n else None
+
+        def right(p: int, stride=stride) -> int | None:
+            return p + stride - 1 if p % stride == 0 and p + stride - 1 < n else None
+
+        # (1) tmp[left] = x[left]
+        sim.step(Instruction(tmp, left, name, left, label=f"down save k={k}"))
+        # (2) x[left] = x[right]
+        sim.step(Instruction(name, left, name, right, label=f"down move k={k}"))
+        # (3) x[right] = tmp[left] + x[right]
+        sim.step(
+            Instruction(name, right, tmp, left, name, right, op=operator.add,
+                        label=f"down add k={k}")
+        )
+        steps += 3
+    return steps
+
+
+def compact(sim: EREWSimulator, src: str, flags: str, dst: str, n: int) -> int:
+    """Stable compaction: ``dst[rank(p)] = src[p]`` for flagged positions.
+
+    Builds ranks with :func:`exclusive_prefix_sum` over a copy of the
+    flags, then scatters in one step (distinct ranks ⇒ exclusive writes).
+    Requires ``n`` a power of two (pad the inputs).
+    """
+    ranks = flags + "_ranks"
+    try:
+        sim.memory(ranks)
+    except KeyError:
+        sim.alloc(ranks, n)
+    # ranks ← flags (one parallel move), then scan in place.
+    sim.step(Instruction(ranks, lambda p: p if p < n else None, flags, lambda p: p))
+    steps = 1 + exclusive_prefix_sum(sim, ranks, n)
+
+    flag_values = sim.memory(flags)
+    rank_values = sim.memory(ranks)
+
+    def dst_addr(p: int) -> int | None:
+        if p >= n or flag_values[p] == 0:
+            return None
+        return int(rank_values[p])
+
+    sim.step(Instruction(dst, dst_addr, src, lambda p: p, label="scatter"))
+    return steps + 1
+
+
+def segmented_broadcast(sim: EREWSimulator, name: str, seg: int, num_segs: int) -> int:
+    """Copy each segment head across its segment (uniform segments).
+
+    The array is laid out as *num_segs* back-to-back segments of length
+    *seg* (a power of two); after the program, every cell of segment ``g``
+    holds the value that was at position ``g·seg``.  Depth ``log₂ seg`` by
+    in-segment copy doubling; sources and destinations are disjoint within
+    and across segments, so every step is exclusive.
+    """
+    if seg < 1 or (seg & (seg - 1)) != 0:
+        raise ValueError(f"segment size must be a positive power of two: {seg}")
+    total = seg * num_segs
+    steps = 0
+    k = 0
+    while (1 << k) < seg:
+        lo, hi = 1 << k, 1 << (k + 1)
+
+        def dst(p: int, lo=lo, hi=hi, total=total) -> int | None:
+            if p >= total:
+                return None
+            o = p % seg
+            return p if lo <= o < hi else None
+
+        def src(p: int, lo=lo) -> int:
+            return p - lo
+
+        sim.step(Instruction(name, dst, name, src, label=f"segbcast k={k}"))
+        steps += 1
+        k += 1
+    return steps
+
+
+def segmented_combine(
+    sim: EREWSimulator,
+    name: str,
+    seg: int,
+    num_segs: int,
+    op: Callable[[float, float], float] = operator.add,
+) -> int:
+    """Fold each uniform segment into its head (binary tree per segment).
+
+    Inverse of :func:`segmented_broadcast`: after the program, position
+    ``g·seg`` holds ``op``-fold of segment ``g``.  Depth ``log₂ seg``.
+    """
+    if seg < 1 or (seg & (seg - 1)) != 0:
+        raise ValueError(f"segment size must be a positive power of two: {seg}")
+    total = seg * num_segs
+    steps = 0
+    k = 0
+    while (1 << k) < seg:
+        stride = 1 << (k + 1)
+        half = 1 << k
+
+        def dst(p: int, stride=stride, half=half, total=total) -> int | None:
+            if p >= total:
+                return None
+            return p if (p % seg) % stride == 0 else None
+
+        def a(p: int) -> int:
+            return p
+
+        def b(p: int, half=half) -> int:
+            return p + half
+
+        sim.step(
+            Instruction(name, dst, name, a, name, b, op=op, label=f"segfold k={k}")
+        )
+        steps += 1
+        k += 1
+    return steps

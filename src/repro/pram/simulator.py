@@ -1,0 +1,201 @@
+"""A step-level EREW PRAM virtual machine.
+
+The :mod:`repro.pram.machine` accountant *charges* canonical costs; this
+module goes further and actually **executes** synchronous PRAM programs,
+enforcing the EREW contract: in any one step, no shared-memory cell may be
+read by more than one processor, written by more than one processor, or
+read and written simultaneously.  Violations raise
+:class:`AccessViolation` with the offending step, cell and processors —
+which is how the tests *prove* that our log-depth broadcast/reduction/scan
+programs are genuinely exclusive-read exclusive-write, rather than taking
+the textbook costs on faith.
+
+Model
+-----
+* Shared memory: named arrays of machine words (Python ints/floats).
+* A program is a sequence of *steps*; in each step every **active**
+  processor executes the same :class:`Instruction` (SIMD style) with its
+  own processor id ``p`` available for addressing.
+* Addresses are computed by pure Python callables ``p -> index`` supplied
+  per instruction; a ``None`` address deactivates the processor for that
+  step (processors are "switched off", the standard PRAM convention).
+* Time = number of steps; work = total instructions executed by active
+  processors.
+
+This is a teaching-grade interpreter (every step is a Python loop), used
+to validate the cost model and to host the reference PRAM programs in
+:mod:`repro.pram.programs` — not a performance path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "AccessViolation",
+    "Instruction",
+    "EREWSimulator",
+]
+
+Address = Callable[[int], "int | None"]
+BinOp = Callable[[float, float], float]
+
+
+class AccessViolation(RuntimeError):
+    """Concurrent access to one cell within a single EREW step.
+
+    Attributes
+    ----------
+    step:
+        0-based step index at which the violation occurred.
+    kind:
+        ``"read"``, ``"write"`` or ``"read/write"``.
+    cell:
+        ``(array_name, index)`` of the contested cell.
+    processors:
+        The processor ids involved.
+    """
+
+    def __init__(self, step: int, kind: str, cell: tuple[str, int], processors: Sequence[int]):
+        self.step = step
+        self.kind = kind
+        self.cell = cell
+        self.processors = list(processors)
+        super().__init__(
+            f"EREW violation at step {step}: {kind} of {cell[0]}[{cell[1]}] "
+            f"by processors {self.processors}"
+        )
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SIMD step: every active processor computes
+    ``dst[dst_addr(p)] = op(src_a[a_addr(p)], src_b[b_addr(p)])``.
+
+    * ``src_b``/``b_addr`` may be ``None`` for unary moves (``op`` then
+      receives the single operand and ``0.0``).
+    * Any address callable returning ``None`` deactivates that processor.
+    * ``op`` defaults to "first operand" (a move).
+    """
+
+    dst: str
+    dst_addr: Address
+    src_a: str
+    a_addr: Address
+    src_b: str | None = None
+    b_addr: Address | None = None
+    op: BinOp = field(default=lambda a, b: a)
+    label: str = ""
+
+
+class EREWSimulator:
+    """Execute programs step by step under the EREW access discipline.
+
+    Parameters
+    ----------
+    processors:
+        Number of processors ``0 … P−1``.
+
+    Examples
+    --------
+    >>> sim = EREWSimulator(4)
+    >>> sim.alloc("x", [1, 2, 3, 4]); sim.alloc("y", 4)
+    >>> from repro.pram.programs import tree_reduce
+    >>> steps = tree_reduce(sim, "x", 4)
+    >>> float(sim.memory("x")[0])
+    10.0
+    """
+
+    def __init__(self, processors: int):
+        if processors < 1:
+            raise ValueError(f"need at least one processor: {processors}")
+        self.processors = processors
+        self._mem: dict[str, np.ndarray] = {}
+        self.steps_executed = 0
+        self.work_executed = 0
+
+    # -- memory management -------------------------------------------------
+    def alloc(self, name: str, size_or_values) -> None:
+        """Allocate a shared array, optionally initialised."""
+        if name in self._mem:
+            raise ValueError(f"array {name!r} already allocated")
+        if isinstance(size_or_values, int):
+            self._mem[name] = np.zeros(size_or_values, dtype=float)
+        else:
+            self._mem[name] = np.asarray(list(size_or_values), dtype=float)
+
+    def memory(self, name: str) -> np.ndarray:
+        """Read an array's current contents (a live view)."""
+        try:
+            return self._mem[name]
+        except KeyError:
+            raise KeyError(f"no such array: {name!r}") from None
+
+    # -- execution -----------------------------------------------------------
+    def step(self, instr: Instruction) -> None:
+        """Execute one synchronous step, checking the EREW contract."""
+        reads: dict[tuple[str, int], list[int]] = {}
+        writes: dict[tuple[str, int], list[int]] = {}
+        plan: list[tuple[int, int, float]] = []  # (processor, dst index, value)
+        dst_arr = self.memory(instr.dst)
+        a_arr = self.memory(instr.src_a)
+        b_arr = self.memory(instr.src_b) if instr.src_b is not None else None
+
+        active = 0
+        for p in range(self.processors):
+            d = instr.dst_addr(p)
+            if d is None:
+                continue
+            a = instr.a_addr(p)
+            if a is None:
+                continue
+            b = instr.b_addr(p) if instr.b_addr is not None else None
+            if instr.src_b is not None and b is None:
+                continue
+            active += 1
+            if not 0 <= d < dst_arr.size:
+                raise IndexError(f"processor {p}: dst index {d} out of range")
+            if not 0 <= a < a_arr.size:
+                raise IndexError(f"processor {p}: src index {a} out of range")
+            reads.setdefault((instr.src_a, a), []).append(p)
+            if b is not None and b_arr is not None:
+                if not 0 <= b < b_arr.size:
+                    raise IndexError(f"processor {p}: src index {b} out of range")
+                reads.setdefault((instr.src_b, b), []).append(p)
+                val = instr.op(float(a_arr[a]), float(b_arr[b]))
+            else:
+                val = instr.op(float(a_arr[a]), 0.0)
+            writes.setdefault((instr.dst, d), []).append(p)
+            plan.append((p, d, val))
+
+        for cell, ps in reads.items():
+            if len(ps) > 1:
+                raise AccessViolation(self.steps_executed, "read", cell, ps)
+        for cell, ps in writes.items():
+            if len(ps) > 1:
+                raise AccessViolation(self.steps_executed, "write", cell, ps)
+        for cell, ps in writes.items():
+            if cell in reads:
+                # A processor may read and write its own cell within a step
+                # (register semantics); only *distinct* processors touching
+                # the same cell violate exclusivity.
+                involved = set(reads[cell]) | set(ps)
+                if len(involved) > 1:
+                    raise AccessViolation(
+                        self.steps_executed, "read/write", cell, sorted(involved)
+                    )
+
+        # Synchronous semantics: all reads happened above, commit writes now.
+        for _, d, val in plan:
+            dst_arr[d] = val
+        self.steps_executed += 1
+        self.work_executed += active
+
+    def run(self, program: Sequence[Instruction]) -> int:
+        """Execute a whole program; returns the number of steps run."""
+        for instr in program:
+            self.step(instr)
+        return len(program)

@@ -1,0 +1,74 @@
+"""Closed-form theory from the paper.
+
+Everything in this package is pure mathematics — no hypergraphs, no
+randomness — encoding the formulas of the paper so that experiments can
+compare measured behaviour against predicted bounds:
+
+* :mod:`repro.theory.parameters` — §2.2 parameter choices of the SBL
+  algorithm (``α, β, p, d, r``, the vertex floor ``1/p²``, the failure
+  bounds of events A/B/C, and the final runtime bound).
+* :mod:`repro.theory.recurrences` — Kelsen's scaling recurrences ``f`` /
+  ``F`` (both his original constant-``7`` variant and the paper's ``d²``
+  replacement), the stage counts ``q_j``, ``λ(n)``, and the
+  ``(log n)^{(d+4)!}`` stage bound.
+* :mod:`repro.theory.concentration` — tail bounds: Kelsen's Theorem 3,
+  the Kim–Vu polynomial bound used in §4, a Schudy–Sviridenko-shaped
+  bound, and the two migration upper bounds of Corollaries 2 and 4.
+* :mod:`repro.theory.inequalities` — the verification predicates of the
+  analysis: Lemma 6, the ``d(d+1) ≤ log⁽²⁾n·(d²−8)`` inequality, the claim
+  inequality with either recurrence, and the §4.1 necessity condition
+  ``F(j) ≥ F(j−1)·j + 5``.
+"""
+
+from repro.theory.parameters import SBLParameters, sbl_parameters
+from repro.theory.recurrences import (
+    F_original,
+    F_paper,
+    f_original,
+    f_paper,
+    factorial_bound,
+    lambda_n,
+    log2_stage_bound,
+    q_j,
+)
+from repro.theory.concentration import (
+    kelsen_migration_log_terms,
+    kelsen_tail,
+    kim_vu_tail,
+    kim_vu_threshold_factor,
+    kimvu_migration_log_terms,
+    migration_bound,
+)
+from repro.theory.inequalities import (
+    claim_inequality,
+    dimension_inequality,
+    f_necessity_holds,
+    lemma6_exponent,
+    lemma6_holds,
+    original_f_claim_sides,
+)
+
+__all__ = [
+    "SBLParameters",
+    "sbl_parameters",
+    "f_original",
+    "f_paper",
+    "F_original",
+    "F_paper",
+    "q_j",
+    "lambda_n",
+    "factorial_bound",
+    "log2_stage_bound",
+    "kelsen_tail",
+    "kim_vu_tail",
+    "kim_vu_threshold_factor",
+    "migration_bound",
+    "kelsen_migration_log_terms",
+    "kimvu_migration_log_terms",
+    "lemma6_exponent",
+    "lemma6_holds",
+    "claim_inequality",
+    "dimension_inequality",
+    "f_necessity_holds",
+    "original_f_claim_sides",
+]

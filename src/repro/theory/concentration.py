@@ -1,0 +1,169 @@
+"""Concentration bounds (paper §3 Theorem 3 and §4).
+
+Three tail bounds for the polynomial ``S(H, w, p) = Σ_e w(e)·C_e`` (the
+weighted count of fully-blue edges), all parameterised by the conditional
+expectation maxima ``D(H, w, p) = max_x P(H, w, p, x)``:
+
+* **Kelsen (Theorem 3):** ``Pr[S > k(H)·D] < p(H)`` with
+  ``k(H) = ((log n + 2)·δ)^{2^{d−1}}`` and
+  ``p(H) = (2d⌈log n⌉m)^{d−1} · log n · (4e/δ)^{(δ−1)/4}``.
+  With ``δ = log² n`` this yields Corollary 1:
+  ``Pr[S > (log n)^{2^{d+1}}·D] < n^{−Θ(log n log log n)}``.
+* **Kim–Vu (Corollary 3):** for polynomial degree ``k−j``,
+  ``Pr[S > (1 + a_{k−j}·λ^{k−j})·D] ≤ 2e²·e^{−λ}·n^{k−j−1}`` with
+  ``a_t = 8^t (t!)^{1/2}``; choosing ``λ = Θ(log² n)`` gives the improved
+  migration factor ``(log n)^{2(k−j)}`` of Corollary 4.
+* **Schudy–Sviridenko-shaped:** the same λ-power shape with the smaller
+  constant ``a_t = (√2·t)^t`` appearing in their moment bound; included
+  only to compare *shapes* in experiment E7 (we do not rely on its exact
+  constants anywhere).
+
+The migration bounds of Corollaries 2 and 4 — upper bounds on the one-stage
+increase of ``d_{j−|X|}(X, H)`` due to higher-dimensional edges shrinking —
+are exposed both directly and as per-``k`` log₂ terms for tabulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.util.itlog import log_base
+
+__all__ = [
+    "kelsen_tail",
+    "kelsen_corollary1_exponent",
+    "kim_vu_threshold_factor",
+    "kim_vu_tail",
+    "schudy_sviridenko_threshold_factor",
+    "migration_bound",
+    "kelsen_migration_log_terms",
+    "kimvu_migration_log_terms",
+]
+
+
+def kelsen_tail(n: int, m: int, d: int, delta: float) -> tuple[float, float]:
+    """Kelsen Theorem 3: return ``(log₂ k(H), log₂ p(H))``.
+
+    ``S > k(H)·D`` happens with probability below ``p(H)``.  Both values are
+    returned in log₂-space; ``k(H)`` in particular overflows floats already
+    for ``d ≈ 10`` at ``δ = log² n``.
+    """
+    if n < 3:
+        raise ValueError(f"Theorem 3 requires n >= 3: {n}")
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1: {d}")
+    if delta <= 1:
+        raise ValueError(f"delta must exceed 1: {delta}")
+    logn = log_base(n)
+    log2_k = (2 ** (d - 1)) * (math.log2(logn + 2) + math.log2(delta))
+    log2_p = (
+        (d - 1) * math.log2(max(2 * d * math.ceil(logn) * max(m, 1), 2))
+        + math.log2(logn)
+        + ((delta - 1) / 4.0) * math.log2(4 * math.e / delta)
+    )
+    return log2_k, log2_p
+
+
+def kelsen_corollary1_exponent(d: int) -> int:
+    """Corollary 1's threshold exponent: ``S > (log n)^{2^{d+1}}·D`` is unlikely."""
+    if d < 0:
+        raise ValueError(f"negative dimension: {d}")
+    return 2 ** (d + 1)
+
+
+def kim_vu_threshold_factor(degree: int, lam: float) -> float:
+    """Corollary 3 factor ``1 + a_t·λ^t`` with ``a_t = 8^t·(t!)^{1/2}``, t = degree."""
+    if degree < 1:
+        raise ValueError(f"polynomial degree must be >= 1: {degree}")
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive: {lam}")
+    a_t = 8.0**degree * math.sqrt(math.factorial(degree))
+    return 1.0 + a_t * lam**degree
+
+
+def kim_vu_tail(n: int, degree: int, lam: float) -> float:
+    """Corollary 3 tail ``2e²·e^{−λ}·n^{degree−1}`` (clipped to 1)."""
+    if degree < 1:
+        raise ValueError(f"polynomial degree must be >= 1: {degree}")
+    log_p = math.log(2.0) + 2.0 - lam + (degree - 1) * math.log(n)
+    return min(1.0, math.exp(min(log_p, 0.0)) if log_p < 0 else 1.0)
+
+
+def schudy_sviridenko_threshold_factor(degree: int, lam: float) -> float:
+    """Schudy–Sviridenko-shaped factor ``1 + (√2·t)^t·λ^t`` (shape comparison only)."""
+    if degree < 1:
+        raise ValueError(f"polynomial degree must be >= 1: {degree}")
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive: {lam}")
+    a_t = (math.sqrt(2.0) * degree) ** degree
+    return 1.0 + a_t * lam**degree
+
+
+def _check_deltas(j: int, deltas: Mapping[int, float] | Sequence[float]) -> dict[int, float]:
+    if isinstance(deltas, Mapping):
+        table = {int(k): float(v) for k, v in deltas.items()}
+    else:
+        # Sequence indexed from 2: deltas[0] ↦ Δ_2.
+        table = {k + 2: float(v) for k, v in enumerate(deltas)}
+    for k, v in table.items():
+        if v < 0:
+            raise ValueError(f"Δ_{k} negative: {v}")
+    return {k: v for k, v in table.items() if k > j}
+
+
+def migration_bound(
+    n: int,
+    j: int,
+    deltas: Mapping[int, float] | Sequence[float],
+    *,
+    variant: str = "kimvu",
+) -> float:
+    """One-stage migration upper bound on the increase of ``d_{j−|X|}(X, H)``.
+
+    * ``variant='kelsen'`` — Corollary 2: ``Σ_{k>j} (log n)^{2^{k−j+1}}·Δ_k``.
+    * ``variant='kimvu'``  — Corollary 4: ``Σ_{k>j} (log n)^{2(k−j)}·Δ_k``.
+    * ``variant='trivial'`` — the naive bound ``Σ_{k>j} Δ_k`` scaled by
+      nothing (each size-k edge set could in the worst case migrate down
+      entirely; the paper notes Δ_k can be as large as n).
+
+    *deltas* maps edge size ``k`` to ``Δ_k(H)`` (or is a sequence starting
+    at ``Δ_2``).
+    """
+    table = _check_deltas(j, deltas)
+    logn = log_base(n)
+    total = 0.0
+    for k, dk in table.items():
+        if variant == "kelsen":
+            total += logn ** (2 ** (k - j + 1)) * dk
+        elif variant == "kimvu":
+            total += logn ** (2 * (k - j)) * dk
+        elif variant == "trivial":
+            total += dk * float(n)
+        else:
+            raise ValueError(f"unknown migration variant: {variant}")
+    return total
+
+
+def kelsen_migration_log_terms(
+    n: int, j: int, deltas: Mapping[int, float] | Sequence[float]
+) -> dict[int, float]:
+    """Per-k ``log₂`` of the Corollary 2 terms ``(log n)^{2^{k−j+1}}·Δ_k``."""
+    table = _check_deltas(j, deltas)
+    logn = log_base(n)
+    return {
+        k: (2 ** (k - j + 1)) * math.log2(logn) + (math.log2(dk) if dk > 0 else -math.inf)
+        for k, dk in table.items()
+    }
+
+
+def kimvu_migration_log_terms(
+    n: int, j: int, deltas: Mapping[int, float] | Sequence[float]
+) -> dict[int, float]:
+    """Per-k ``log₂`` of the Corollary 4 terms ``(log n)^{2(k−j)}·Δ_k``."""
+    table = _check_deltas(j, deltas)
+    logn = log_base(n)
+    return {
+        k: 2 * (k - j) * math.log2(logn) + (math.log2(dk) if dk > 0 else -math.inf)
+        for k, dk in table.items()
+    }

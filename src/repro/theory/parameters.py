@@ -1,0 +1,163 @@
+"""SBL parameter choices (paper §2.2).
+
+The paper fixes, for an n-vertex input:
+
+* ``α = 1 / log⁽³⁾ n``                     (sampling exponent)
+* ``p = n^{−α}``                            (per-round sampling probability)
+* ``β = log⁽²⁾ n / (8 (log⁽³⁾ n)²)``        (edge-count exponent: m ≤ n^β)
+* ``d = log⁽²⁾ n / (4 log⁽³⁾ n)``           (dimension cap for the BL calls)
+* ``r = 2 log n / p``                       (w.h.p. round bound)
+* vertex floor ``1/p² = n^{2α}``            (while-loop exit threshold)
+* runtime bound ``n^{2 / log⁽³⁾ n}``        (Theorem 1)
+
+and proves three failure events small:
+
+* **A** — some round colours fewer than ``p·nᵢ/2`` vertices
+  (per-round probability ``≤ e^{−p·nᵢ/8} ≤ e^{−1/(8p)}`` by Chernoff);
+* **B** — some sampled sub-hypergraph has an edge of size ``> d``
+  (probability ``≤ r·m·p^{d+1}``);
+* **C** — some BL invocation exceeds its stage bound.
+
+At laptop-scale n these asymptotic formulas give ``d < 2`` and ``p`` close
+to 1 — the regime where the theorem's inequalities only hold "for
+sufficiently large n".  :class:`SBLParameters` therefore records both the
+**raw** formula values and the **effective** clamped values a practical
+implementation must use (``d ≥ 2``, ``p ≤ p_max``); every experiment table
+reports both so the asymptotic/practical gap stays visible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.itlog import log_base, loglog, logloglog
+
+__all__ = [
+    "SBLParameters",
+    "sbl_parameters",
+    "round_bound",
+    "chernoff_round_failure",
+    "oversize_edge_bound",
+    "runtime_bound_log2",
+]
+
+
+@dataclass(frozen=True)
+class SBLParameters:
+    """All §2.2 parameters for a given instance size.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    alpha, p, beta, d, r, vertex_floor:
+        Raw values of the paper's formulas (floats; ``d`` not rounded).
+    m_max:
+        ``n^β`` — the largest edge count covered by Theorem 1.
+    effective_d:
+        ``max(2, ⌊d⌋)`` — the dimension cap an implementation actually
+        enforces (a cap below 2 would reject ordinary graphs).
+    effective_p:
+        ``min(p, p_cap)`` with ``p_cap`` chosen so sampling is a strict
+        subset even at small n (default cap 1/2).
+    effective_vertex_floor:
+        ``max(1/effective_p², floor_min)`` — the implementation exits to
+        KUW below this many active vertices.  (Derived from the *effective*
+        p: using the raw asymptotic p would put the floor above n itself
+        for every feasible n, skipping the sampling loop entirely.)
+    """
+
+    n: int
+    alpha: float
+    p: float
+    beta: float
+    d: float
+    r: float
+    vertex_floor: float
+    m_max: float
+    effective_d: int
+    effective_p: float
+    effective_vertex_floor: int
+
+    def runtime_bound_log2(self) -> float:
+        """``log₂`` of the Theorem 1 bound ``n^{2/log⁽³⁾n}``."""
+        return runtime_bound_log2(self.n)
+
+
+def sbl_parameters(
+    n: int,
+    *,
+    p_cap: float = 0.5,
+    d_min: int = 2,
+    floor_min: int = 4,
+) -> SBLParameters:
+    """Evaluate the §2.2 formulas (base-2 logs) for an n-vertex instance.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; must be at least 2.
+    p_cap:
+        Upper clamp for the effective sampling probability.
+    d_min:
+        Lower clamp for the effective dimension cap.
+    floor_min:
+        Lower clamp for the effective vertex floor.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2: {n}")
+    log3 = logloglog(n, floor=1.0)
+    log2n = loglog(n, floor=1.0)
+    logn = log_base(n)
+    alpha = 1.0 / log3
+    p = n ** (-alpha)
+    beta = log2n / (8.0 * log3 * log3)
+    d = log2n / (4.0 * log3)
+    r = 2.0 * logn / p
+    vertex_floor = p ** (-2.0)
+    effective_p = min(p, p_cap)
+    return SBLParameters(
+        n=n,
+        alpha=alpha,
+        p=p,
+        beta=beta,
+        d=d,
+        r=r,
+        vertex_floor=vertex_floor,
+        m_max=n**beta,
+        effective_d=max(d_min, math.floor(d)),
+        effective_p=effective_p,
+        effective_vertex_floor=max(floor_min, math.ceil(effective_p ** (-2.0))),
+    )
+
+
+def round_bound(n: int, p: float) -> float:
+    """``r = 2 log n / p`` — the smallest r with ``(1−p/2)^r ≤ 1/(p²n)`` up to slack."""
+    if not 0 < p <= 1:
+        raise ValueError(f"p out of range: {p}")
+    return 2.0 * log_base(n) / p
+
+
+def chernoff_round_failure(p: float, n_i: int) -> float:
+    """Per-round probability that fewer than ``p·nᵢ/2`` vertices get sampled.
+
+    Lemma 1 with ``a = p·nᵢ/2``: ``exp(−p·nᵢ/8)``.
+    """
+    if not 0 < p <= 1:
+        raise ValueError(f"p out of range: {p}")
+    if n_i < 0:
+        raise ValueError(f"negative round size: {n_i}")
+    return math.exp(-p * n_i / 8.0)
+
+
+def oversize_edge_bound(r: float, m: int, p: float, d: int) -> float:
+    """Event B bound: ``r·m·p^{d+1}`` — some round fully marks an edge of size > d."""
+    if not 0 < p <= 1:
+        raise ValueError(f"p out of range: {p}")
+    return r * m * p ** (d + 1)
+
+
+def runtime_bound_log2(n: int) -> float:
+    """``log₂`` of Theorem 1's runtime bound ``n^{2/log⁽³⁾n}``."""
+    return (2.0 / logloglog(n, floor=1.0)) * log_base(n)

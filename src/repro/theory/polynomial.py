@@ -1,0 +1,175 @@
+"""The migration polynomial of §3 — ``S(H′, w′, p)`` and ``D(H′, w′, p)``.
+
+Kelsen's (and the paper's) migration analysis bounds how many size-
+``|X|+j`` edges can appear around a set ``X`` when size-``|X|+k`` edges
+shrink.  The object it controls is a polynomial in the marking indicators:
+
+* the auxiliary hypergraph ``H′`` has the same vertices as ``H`` and one
+  edge for every ``(k−j)``-subset ``Y`` of some ``Z ∈ N_k(X, H)`` — all the
+  ways a size-``|X|+k`` edge around ``X`` could lose ``k−j`` vertices,
+* the weight ``w′(Y) = |{Z ∈ N_k(X, H) : Y ⊆ Z}|`` counts how many new
+  size-``|X|+j`` edges appear around ``X`` if ``Y`` is fully colored blue,
+* ``S(H′, w′, p) = Σ_Y w′(Y)·C_Y`` (with ``C_Y = Π_{v∈Y} C_v``) upper
+  bounds the migration into ``N_j(X, H)``,
+* ``P(H′, w′, p, x) = Σ_{Y ⊇ x} w′(Y)·p^{|Y|−|x|}`` is the conditional
+  expectation given ``x`` blue, and ``D = max_x P`` (including ``x = ∅``,
+  so ``D ≥ E[S]``).
+
+Lemma 4 (= Lemma 3 in Kelsen) gives ``D(H′, w′, p) ≤ (Δ_{|X|+k}(H))^j``
+when ``p ≤ 1/(2^{d+1}Δ(H))``; Theorem 3 / Kim–Vu then bound the upper tail
+of ``S`` by multiples of ``D``.  This module constructs all of it exactly
+and supports Monte-Carlo sampling of ``S``, which experiment E15 compares
+against both tail bounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = [
+    "WeightedHypergraph",
+    "migration_polynomial",
+    "partial_expectation",
+    "D_value",
+    "sample_S",
+]
+
+
+@dataclass(frozen=True)
+class WeightedHypergraph:
+    """An edge-weighted hypergraph ``(H′, w′)`` over the universe of ``H``.
+
+    Attributes
+    ----------
+    universe:
+        Ground-set size (same as the source hypergraph's).
+    weights:
+        Mapping from canonical edge tuples to positive weights.
+    dimension:
+        Maximum edge size (0 when empty).
+    """
+
+    universe: int
+    weights: Mapping[tuple[int, ...], float]
+
+    @property
+    def dimension(self) -> int:
+        return max((len(e) for e in self.weights), default=0)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.weights)
+
+    def total_weight(self) -> float:
+        """``Σ_Y w′(Y)`` — the value of S when everything is marked."""
+        return float(sum(self.weights.values()))
+
+
+def migration_polynomial(
+    H: Hypergraph, X: Iterable[int], j: int, k: int
+) -> WeightedHypergraph:
+    """Construct ``(H′, w′)`` for the migration from ``N_k(X)`` to ``N_j(X)``.
+
+    Parameters
+    ----------
+    H:
+        Source hypergraph.
+    X:
+        The centre set (non-empty, disjoint from the counted ``Z`` sets).
+    j, k:
+        Target and source distances with ``1 ≤ j < k ≤ dim(H) − |X|``.
+
+    Returns
+    -------
+    WeightedHypergraph
+        Edges are the ``(k−j)``-subsets ``Y``; ``w′(Y)`` counts the
+        ``Z ∈ N_k(X, H)`` containing ``Y``.
+    """
+    Xs = frozenset(int(v) for v in X)
+    if not Xs:
+        raise ValueError("X must be non-empty")
+    if not 1 <= j < k:
+        raise ValueError(f"need 1 <= j < k: j={j}, k={k}")
+    target = len(Xs) + k
+    weights: dict[tuple[int, ...], float] = {}
+    for e in H.edges:
+        if len(e) != target or not Xs.issubset(e):
+            continue
+        Z = tuple(sorted(set(e) - Xs))
+        for Y in itertools.combinations(Z, k - j):
+            weights[Y] = weights.get(Y, 0.0) + 1.0
+    return WeightedHypergraph(universe=H.universe, weights=weights)
+
+
+def partial_expectation(
+    W: WeightedHypergraph, p: float, x: Iterable[int] = ()
+) -> float:
+    """``P(H′, w′, p, x) = Σ_{Y ⊇ x} w′(Y)·p^{|Y|−|x|}``.
+
+    For ``x = ∅`` this is ``E[S]``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p out of range: {p}")
+    xs = frozenset(int(v) for v in x)
+    total = 0.0
+    for Y, w in W.weights.items():
+        if xs.issubset(Y):
+            total += w * p ** (len(Y) - len(xs))
+    return total
+
+
+def D_value(W: WeightedHypergraph, p: float) -> float:
+    """``D(H′, w′, p) = max_x P(H′, w′, p, x)`` over all ``x`` (incl. ∅).
+
+    Only subsets of actual edges can increase ``P`` beyond the ``x = ∅``
+    value's competitors, so the maximisation enumerates edge subsets.
+    """
+    best = partial_expectation(W, p, ())
+    seen: set[frozenset[int]] = set()
+    for Y in W.weights:
+        for size in range(1, len(Y) + 1):
+            for x in itertools.combinations(Y, size):
+                key = frozenset(x)
+                if key in seen:
+                    continue
+                seen.add(key)
+                best = max(best, partial_expectation(W, p, x))
+    return best
+
+
+def sample_S(
+    W: WeightedHypergraph,
+    p: float,
+    trials: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Monte-Carlo draws of ``S(H′, w′, p)``.
+
+    Each trial marks every vertex independently with probability *p* and
+    sums the weights of fully marked edges.  Returns the ``trials`` draws.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p out of range: {p}")
+    if trials < 1:
+        raise ValueError(f"need at least one trial: {trials}")
+    rng = as_generator(seed)
+    if not W.weights:
+        return np.zeros(trials)
+    edges = list(W.weights.items())
+    # Only vertices that occur in edges matter.
+    support = sorted({v for Y, _ in edges for v in Y})
+    index = {v: i for i, v in enumerate(support)}
+    edge_idx = [np.array([index[v] for v in Y], dtype=np.intp) for Y, _ in edges]
+    w = np.array([wt for _, wt in edges])
+    out = np.empty(trials)
+    for t in range(trials):
+        marked = rng.random(len(support)) < p
+        out[t] = float(sum(wt for ei, wt in zip(edge_idx, w) if marked[ei].all()))
+    return out

@@ -1,0 +1,159 @@
+"""Kelsen's scaling recurrences and stage counts (paper §3.1).
+
+Kelsen's potential analysis hinges on a function ``f`` that scales the
+threshold ladder ``v_i(H) = max(Δ_i, (log n)^{f(i)} v_{i+1})``:
+
+* **Original (Kelsen 1992):** ``f(2) = 7``,
+  ``f(i) = (i−1)·Σ_{j=2}^{i−1} f(j) + 7``, giving prefix sums
+  ``F(1) = 0``, ``F(i) = i·F(i−1) + 7``.
+* **Paper's replacement (§3.1):** the additive constant becomes ``d²``:
+  ``f(i) = (i−1)·Σ_{j=2}^{i−1} f(j) + d²`` and ``F(i) = i·F(i−1) + d²``.
+  This is what makes the claim inequality survive super-constant ``d``.
+
+Derived quantities:
+
+* ``λ(n) = 2 log⁽²⁾n / log n`` — the slack factor,
+* ``q_j = 2^{d(d+1)} · log⁽²⁾n · (log n)^{F(j−1)(j−1)+2}`` — stages needed
+  to knock ``Δ_j`` down once,
+* the stage bound ``(log n)^{(d+4)!}`` of Theorem 2, verified against the
+  induction ``F(i) ≤ d²·(i+2)!``.
+
+Values explode quickly (``F`` is super-factorial); everything that can
+overflow is also exposed in log₂-space.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.util.itlog import log_base, loglog
+
+__all__ = [
+    "f_original",
+    "F_original",
+    "f_paper",
+    "F_paper",
+    "lambda_n",
+    "q_j",
+    "log2_q_j",
+    "factorial_bound",
+    "log2_stage_bound",
+    "F_upper_bound",
+    "paper_scaling",
+    "original_scaling",
+]
+
+
+@lru_cache(maxsize=None)
+def F_original(i: int) -> int:
+    """Prefix sum of Kelsen's original f: ``F(1)=0, F(i)=i·F(i−1)+7``."""
+    if i < 1:
+        raise ValueError(f"F defined for i >= 1: {i}")
+    if i == 1:
+        return 0
+    return i * F_original(i - 1) + 7
+
+
+def f_original(i: int) -> int:
+    """Kelsen's original ``f``: ``f(2)=7``, ``f(i) = (i−1)·F(i−1) + 7``."""
+    if i < 2:
+        raise ValueError(f"f defined for i >= 2: {i}")
+    return F_original(i) - F_original(i - 1)
+
+
+def F_paper(i: int, d: int) -> int:
+    """The paper's prefix sum: ``F(1)=0, F(i)=i·F(i−1)+d²``."""
+    if i < 1:
+        raise ValueError(f"F defined for i >= 1: {i}")
+    if d < 2:
+        raise ValueError(f"dimension must be >= 2: {d}")
+    val = 0
+    for k in range(2, i + 1):
+        val = k * val + d * d
+    return val
+
+
+def f_paper(i: int, d: int) -> int:
+    """The paper's ``f``: ``f(i) = (i−1)·F(i−1) + d²``."""
+    if i < 2:
+        raise ValueError(f"f defined for i >= 2: {i}")
+    return F_paper(i, d) - F_paper(i - 1, d)
+
+
+def lambda_n(n: int) -> float:
+    """Slack factor ``λ(n) = 2·log⁽²⁾n / log n``."""
+    return 2.0 * loglog(n, floor=1.0) / log_base(n)
+
+
+def q_j(j: int, d: int, n: int, *, variant: str = "paper") -> float:
+    """Stage count ``q_j = 2^{d(d+1)} · log⁽²⁾n · (log n)^{F(j−1)·(j−1)+2}``.
+
+    May overflow to ``inf`` for moderate d; use :func:`log2_q_j` for tables.
+    """
+    return 2.0 ** min(log2_q_j(j, d, n, variant=variant), 1023.0)
+
+
+def log2_q_j(j: int, d: int, n: int, *, variant: str = "paper") -> float:
+    """``log₂ q_j`` — overflow-safe version of :func:`q_j`."""
+    if j < 2:
+        raise ValueError(f"q_j defined for j >= 2: {j}")
+    Fjm1 = _F(j - 1, d, variant)
+    logn = log_base(n)
+    return (
+        d * (d + 1)
+        + math.log2(loglog(n, floor=1.0))
+        + (Fjm1 * (j - 1) + 2) * math.log2(logn)
+    )
+
+
+def _F(i: int, d: int, variant: str) -> int:
+    if variant == "paper":
+        return F_paper(i, d)
+    if variant == "original":
+        return F_original(i)
+    raise ValueError(f"unknown recurrence variant: {variant}")
+
+
+def factorial_bound(d: int) -> int:
+    """``(d+4)!`` — the exponent of Theorem 2's stage bound."""
+    if d < 0:
+        raise ValueError(f"negative dimension: {d}")
+    return math.factorial(d + 4)
+
+
+def log2_stage_bound(n: int, d: int) -> float:
+    """``log₂`` of Theorem 2's bound ``(log n)^{(d+4)!}``."""
+    return factorial_bound(d) * math.log2(log_base(n))
+
+
+def F_upper_bound(i: int, d: int) -> int:
+    """The induction bound ``d²·(i+2)!`` that closes §3.1 (``F(i) ≤ d²(i+2)!``)."""
+    return d * d * math.factorial(i + 2)
+
+
+def paper_scaling(d: int):
+    """Bind the paper's d²-recurrence as ``(f, F)`` callables.
+
+    Convenience for the potential machinery
+    (:func:`repro.hypergraph.degrees.kelsen_potentials` takes the scaling
+    functions as arguments)::
+
+        f, F = paper_scaling(d=4)
+        pots = kelsen_potentials(H, f, F)
+    """
+    if d < 2:
+        raise ValueError(f"dimension must be >= 2: {d}")
+
+    def f(i: int, _d: int = d) -> int:
+        return f_paper(i, _d)
+
+    def F(i: int, _d: int = d) -> int:
+        return F_paper(i, _d)
+
+    return f, F
+
+
+def original_scaling():
+    """Kelsen's original recurrence as ``(f, F)`` callables."""
+    return f_original, F_original

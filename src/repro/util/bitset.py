@@ -1,0 +1,174 @@
+"""A NumPy-backed fixed-universe bitset.
+
+Vertex subsets over a fixed universe ``{0, …, n-1}`` appear everywhere in
+the algorithms (marked sets, independent sets, removed vertices).  Python
+``set`` objects are flexible but slow and memory-hungry at scale; this bitset
+stores membership as a boolean NumPy array, giving O(1) membership tests,
+vectorised bulk updates, and cheap conversion to index arrays.
+
+Only the operations the algorithms need are implemented; the class is
+deliberately not a full :class:`collections.abc.MutableSet` to keep the hot
+paths free of abstraction overhead (see the HPC guide's advice on avoiding
+needless copies and Python-level loops).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Bitset"]
+
+
+class Bitset:
+    """A subset of ``{0, …, universe-1}`` stored as a boolean array.
+
+    Parameters
+    ----------
+    universe:
+        Size of the ground set.
+    members:
+        Optional initial members (iterable of ints or an index array).
+
+    Examples
+    --------
+    >>> b = Bitset(8, [1, 3, 5])
+    >>> 3 in b, 4 in b
+    (True, False)
+    >>> sorted(b)
+    [1, 3, 5]
+    >>> len(b)
+    3
+    """
+
+    __slots__ = ("_mask",)
+
+    def __init__(self, universe: int, members: Iterable[int] | None = None):
+        if universe < 0:
+            raise ValueError(f"universe size must be non-negative: {universe}")
+        self._mask = np.zeros(universe, dtype=bool)
+        if members is not None:
+            idx = np.asarray(list(members) if not isinstance(members, np.ndarray) else members, dtype=np.intp)
+            if idx.size:
+                if idx.min() < 0 or idx.max() >= universe:
+                    raise IndexError("member outside universe")
+                self._mask[idx] = True
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Bitset":
+        """Wrap an existing boolean array (copied)."""
+        b = cls(0)
+        b._mask = np.asarray(mask, dtype=bool).copy()
+        return b
+
+    @classmethod
+    def full(cls, universe: int) -> "Bitset":
+        """The complete set ``{0, …, universe-1}``."""
+        b = cls(0)
+        b._mask = np.ones(universe, dtype=bool)
+        return b
+
+    # -- basic protocol ----------------------------------------------------
+    @property
+    def universe(self) -> int:
+        """Size of the ground set."""
+        return int(self._mask.size)
+
+    @property
+    def mask(self) -> np.ndarray:
+        """The underlying boolean array (read-only view)."""
+        view = self._mask.view()
+        view.flags.writeable = False
+        return view
+
+    def __contains__(self, v: int) -> bool:
+        return 0 <= v < self._mask.size and bool(self._mask[v])
+
+    def __len__(self) -> int:
+        return int(self._mask.sum())
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(np.flatnonzero(self._mask).tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitset):
+            return NotImplemented
+        return self._mask.size == other._mask.size and bool((self._mask == other._mask).all())
+
+    def __hash__(self):  # pragma: no cover - mutable container
+        raise TypeError("Bitset is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        n = len(self)
+        preview = np.flatnonzero(self._mask)[:8].tolist()
+        suffix = ", …" if n > 8 else ""
+        return f"Bitset(universe={self.universe}, size={n}, members={preview}{suffix})"
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, v: int) -> None:
+        """Insert one element."""
+        self._mask[v] = True
+
+    def discard(self, v: int) -> None:
+        """Remove one element if present."""
+        if 0 <= v < self._mask.size:
+            self._mask[v] = False
+
+    def update(self, members: Iterable[int] | np.ndarray) -> None:
+        """Bulk insert (vectorised)."""
+        idx = np.asarray(list(members) if not isinstance(members, np.ndarray) else members, dtype=np.intp)
+        if idx.size:
+            self._mask[idx] = True
+
+    def difference_update(self, members: Iterable[int] | np.ndarray) -> None:
+        """Bulk remove (vectorised)."""
+        idx = np.asarray(list(members) if not isinstance(members, np.ndarray) else members, dtype=np.intp)
+        if idx.size:
+            self._mask[idx] = False
+
+    # -- set algebra ---------------------------------------------------------
+    def _check_same_universe(self, other: "Bitset") -> None:
+        if self._mask.size != other._mask.size:
+            raise ValueError(
+                f"universe mismatch: {self._mask.size} vs {other._mask.size}"
+            )
+
+    def union(self, other: "Bitset") -> "Bitset":
+        """Return ``self | other`` as a new bitset."""
+        self._check_same_universe(other)
+        return Bitset.from_mask(self._mask | other._mask)
+
+    def intersection(self, other: "Bitset") -> "Bitset":
+        """Return ``self & other`` as a new bitset."""
+        self._check_same_universe(other)
+        return Bitset.from_mask(self._mask & other._mask)
+
+    def difference(self, other: "Bitset") -> "Bitset":
+        """Return ``self - other`` as a new bitset."""
+        self._check_same_universe(other)
+        return Bitset.from_mask(self._mask & ~other._mask)
+
+    def issubset(self, other: "Bitset") -> bool:
+        """``self ⊆ other``."""
+        self._check_same_universe(other)
+        return bool((~self._mask | other._mask).all())
+
+    def isdisjoint(self, other: "Bitset") -> bool:
+        """``self ∩ other == ∅``."""
+        self._check_same_universe(other)
+        return not bool((self._mask & other._mask).any())
+
+    # -- conversions ---------------------------------------------------------
+    def indices(self) -> np.ndarray:
+        """Members as a sorted ``intp`` index array."""
+        return np.flatnonzero(self._mask)
+
+    def to_set(self) -> set[int]:
+        """Members as a Python ``set`` (for small sets / tests)."""
+        return set(self.indices().tolist())
+
+    def copy(self) -> "Bitset":
+        """Deep copy."""
+        return Bitset.from_mask(self._mask)

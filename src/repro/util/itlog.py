@@ -1,0 +1,86 @@
+"""Iterated logarithms and related closed forms.
+
+The paper's parameters are all phrased in terms of iterated logarithms:
+
+* ``log n``         — natural or base-2 logarithm (the paper is agnostic up
+  to constants; we default to base 2 and expose the base),
+* ``log^(2) n = log log n``,
+* ``log^(3) n = log log log n``.
+
+For small ``n`` these compositions become non-positive and the paper's
+formulas are only meaningful "for sufficiently large n"; the helpers here
+clamp at a configurable floor so that downstream parameter formulas remain
+well-defined (and document exactly where the asymptotic regime starts).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["log_base", "loglog", "logloglog", "ilog", "log2_ceil", "MIN_MEANINGFUL_N"]
+
+#: Smallest n for which log^(3) n (base 2) exceeds 1; below this the paper's
+#: parameter formulas degenerate.  2^(2^2) = 16 gives log3 = 1 exactly.
+MIN_MEANINGFUL_N = 17
+
+
+def log_base(x: float, base: float = 2.0) -> float:
+    """``log_base(x)`` with a hard error on the non-positive domain."""
+    if x <= 0:
+        raise ValueError(f"log of non-positive value: {x}")
+    return math.log(x, base)
+
+
+def loglog(n: float, base: float = 2.0, floor: float = 1.0) -> float:
+    """``log^(2) n = log log n``, clamped below at *floor*.
+
+    The clamp keeps parameter formulas finite for small ``n`` where the
+    asymptotic expressions are meaningless; callers that need the raw value
+    can pass ``floor=-math.inf``.
+    """
+    if n <= 1:
+        raise ValueError(f"loglog undefined for n <= 1: {n}")
+    inner = log_base(n, base)
+    if inner <= 0:
+        return floor
+    return max(floor, log_base(inner, base)) if floor > -math.inf else log_base(inner, base)
+
+
+def logloglog(n: float, base: float = 2.0, floor: float = 1.0) -> float:
+    """``log^(3) n = log log log n``, clamped below at *floor*."""
+    if n <= 1:
+        raise ValueError(f"logloglog undefined for n <= 1: {n}")
+    inner = loglog(n, base, floor=-math.inf) if n > base else floor
+    if inner <= 0:
+        return floor
+    val = log_base(inner, base) if inner > 0 else floor
+    return max(floor, val) if floor > -math.inf else val
+
+
+def ilog(n: float, k: int, base: float = 2.0, floor: float = 1.0) -> float:
+    """The *k*-fold iterated logarithm ``log^(k) n``.
+
+    ``ilog(n, 1) == log n``, ``ilog(n, 2) == log log n`` and so on.  Values
+    are clamped below at *floor* as soon as an intermediate iterate drops to
+    or below zero.
+    """
+    if k < 1:
+        raise ValueError(f"iteration count must be >= 1: {k}")
+    if n <= 1:
+        raise ValueError(f"ilog undefined for n <= 1: {n}")
+    value = float(n)
+    for _ in range(k):
+        if value <= 0:
+            return floor
+        value = log_base(value, base)
+    return max(floor, value)
+
+
+def log2_ceil(n: int) -> int:
+    """``ceil(log2 n)`` for positive integers; 0 for ``n == 1``.
+
+    This is the EREW PRAM depth of a broadcast/reduction over *n* items.
+    """
+    if n < 1:
+        raise ValueError(f"log2_ceil undefined for n < 1: {n}")
+    return (n - 1).bit_length()

@@ -1,0 +1,52 @@
+"""Tests for the ablation runners A1–A5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ablations import ABLATIONS, run_ablation
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(ABLATIONS) == {"A1", "A2", "A3", "A4", "A5", "A6", "A7"}
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown ablation"):
+            run_ablation("A9")
+
+    def test_case_insensitive(self):
+        assert run_ablation("a5").experiment_id == "A5"
+
+
+class TestVerdicts:
+    def test_a1_vectorisation_wins(self):
+        res = run_ablation("A1", seed=0)
+        assert res.extras["min_speedup"] > 2.0
+
+    def test_a2_pivot_wins(self):
+        res = run_ablation("A2", seed=0)
+        assert res.extras["min_speedup"] > 1.0
+
+    def test_a3_adaptive_needs_fewer_rounds(self):
+        res = run_ablation("A3", seed=0)
+        # fixed/adaptive ratio above 1 on every size
+        assert all(row[4] > 1.0 for row in res.rows)
+
+    def test_a4_rows_well_formed(self):
+        res = run_ablation("A4", seed=0)
+        for row in res.rows:
+            assert len(row) == len(res.headers)
+            assert row[1] > 0 and row[2] > 0
+
+    def test_a5_erew_at_least_crew(self):
+        res = run_ablation("A5", seed=0)
+        assert all(row[1] >= row[2] for row in res.rows)
+
+    def test_a6_fused_cleanup_wins(self):
+        res = run_ablation("A6", seed=0)
+        assert res.extras["min_speedup"] > 1.2
+
+    def test_a7_component_composition_wins_for_kuw(self):
+        res = run_ablation("A7", seed=0)
+        assert res.extras["min_speedup"] > 1.0

@@ -1,0 +1,117 @@
+"""Tests for the campaign grid runner."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.campaign import (
+    AlgorithmSpec,
+    Campaign,
+    InstanceSpec,
+    RunRecord,
+    write_csv,
+)
+from repro.core import beame_luby, greedy_mis, karp_upfal_wigderson
+from repro.generators import sparse_random_graph, uniform_hypergraph
+
+
+def small_campaign(repeats: int = 2) -> Campaign:
+    return Campaign(
+        instances=[
+            InstanceSpec("u3", uniform_hypergraph, {"n": 30, "m": 45, "d": 3}),
+            InstanceSpec("graph", sparse_random_graph, {"n": 30, "avg_degree": 3.0}),
+        ],
+        algorithms=[
+            AlgorithmSpec("bl", beame_luby),
+            AlgorithmSpec("kuw", karp_upfal_wigderson),
+        ],
+        repeats=repeats,
+    )
+
+
+class TestRun:
+    def test_grid_coverage(self):
+        records = small_campaign().run(seed=0)
+        assert len(records) == 2 * 2 * 2
+        cells = {(r.instance, r.algorithm) for r in records}
+        assert cells == {("u3", "bl"), ("u3", "kuw"), ("graph", "bl"), ("graph", "kuw")}
+
+    def test_records_carry_costs(self):
+        for r in small_campaign().run(seed=0):
+            assert r.depth > 0 and r.work > 0
+            assert 0 < r.mis_size <= r.n
+
+    def test_deterministic(self):
+        a = small_campaign().run(seed=5)
+        b = small_campaign().run(seed=5)
+        assert a == b
+
+    def test_repeats_vary_seeds(self):
+        records = small_campaign(repeats=4).run(seed=0)
+        bl_rounds = {r.rounds for r in records if r.algorithm == "bl" and r.instance == "u3"}
+        assert len(bl_rounds) > 1  # different seeds → (almost surely) different rounds
+
+    def test_algorithm_options_forwarded(self):
+        camp = Campaign(
+            instances=[InstanceSpec("u3", uniform_hypergraph, {"n": 20, "m": 25, "d": 3})],
+            algorithms=[AlgorithmSpec("bl-fixed", beame_luby,
+                                      {"recompute_probability": False})],
+            repeats=1,
+        )
+        assert camp.run(seed=0)[0].algorithm == "bl-fixed"
+
+    def test_validation_failure_propagates(self):
+        def broken(H, seed, machine=None):
+            res = greedy_mis(H, seed)
+            # corrupt: drop one member
+            res.independent_set = res.independent_set[1:]
+            return res
+
+        camp = Campaign(
+            instances=[InstanceSpec("u3", uniform_hypergraph, {"n": 20, "m": 25, "d": 3})],
+            algorithms=[AlgorithmSpec("broken", broken)],
+            repeats=1,
+        )
+        with pytest.raises(Exception):
+            camp.run(seed=0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign(instances=[], algorithms=[]).run()
+
+    def test_bad_repeats(self):
+        camp = small_campaign()
+        camp.repeats = 0
+        with pytest.raises(ValueError):
+            camp.run()
+
+
+class TestSummarize:
+    def test_per_cell_means(self):
+        camp = small_campaign(repeats=3)
+        records = camp.run(seed=1)
+        summary = camp.summarize(records)
+        assert len(summary) == 4
+        for cell in summary:
+            assert cell["runs"] == 3
+            assert cell["mis_size"] > 0
+
+
+class TestCsv:
+    def test_round_trip(self):
+        records = small_campaign().run(seed=0)
+        buf = io.StringIO()
+        write_csv(records, buf)
+        buf.seek(0)
+        rows = list(csv.reader(buf))
+        assert rows[0] == list(RunRecord.FIELDS)
+        assert len(rows) == len(records) + 1
+
+    def test_path_output(self, tmp_path):
+        records = small_campaign().run(seed=0)
+        path = tmp_path / "runs.csv"
+        write_csv(records, path)
+        assert path.read_text().startswith("instance,algorithm")

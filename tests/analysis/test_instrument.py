@@ -1,0 +1,82 @@
+"""Tests for instrumentation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.instrument import MigrationTracker, colored_fractions, fit_power_law
+from repro.core import beame_luby, sbl
+from repro.generators import mixed_dimension_hypergraph, sunflower
+
+
+class TestFitPowerLaw:
+    def test_exact_power(self):
+        xs = [1, 2, 4, 8]
+        ys = [3 * x**2 for x in xs]
+        a, c = fit_power_law(xs, ys)
+        assert a == pytest.approx(2.0)
+        assert c == pytest.approx(3.0)
+
+    def test_constant_series(self):
+        a, _ = fit_power_law([1, 2, 4], [5, 5, 5])
+        assert a == pytest.approx(0.0)
+
+    def test_filters_nonpositive(self):
+        a, _ = fit_power_law([1, 2, 0, 4], [2, 4, 9, 8])
+        assert a == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+
+class TestMigrationTracker:
+    def test_tracks_bl_run(self):
+        H = mixed_dimension_hypergraph(50, 80, [2, 3, 4], seed=0)
+        tracker = MigrationTracker()
+        res = beame_luby(H, seed=0, on_round=tracker.on_round)
+        assert len(tracker.delta_history) > 0
+        # delta history aligns with constrained rounds
+        constrained = [r for r in res.rounds if r.m_before > 0]
+        assert len(tracker.delta_history) == len(constrained)
+
+    def test_extras_populated(self):
+        H = mixed_dimension_hypergraph(40, 60, [2, 3, 4], seed=1)
+        tracker = MigrationTracker()
+        res = beame_luby(H, seed=1, on_round=tracker.on_round)
+        for rec in res.rounds:
+            if rec.m_before > 0:
+                assert "dj_increase" in rec.extras
+
+    def test_sunflower_core_migration_detected(self):
+        """When a petal vertex is colored, core degrees at lower j rise."""
+        H = sunflower(2, 8, 2)  # edges of size 4
+        increases = []
+        for seed in range(12):
+            tracker = MigrationTracker()
+            beame_luby(H, seed=seed, on_round=tracker.on_round)
+            increases.append(sum(tracker.max_increase_by_j.values()))
+        assert any(v > 0 for v in increases)
+
+    def test_increases_nonnegative(self):
+        H = mixed_dimension_hypergraph(40, 60, [3, 4], seed=2)
+        tracker = MigrationTracker()
+        beame_luby(H, seed=2, on_round=tracker.on_round)
+        assert all(v >= 0 for v in tracker.max_increase_by_j.values())
+
+
+class TestColoredFractions:
+    def test_extracts_sbl_rounds(self):
+        H = mixed_dimension_hypergraph(200, 300, [2, 3, 6], seed=0)
+        res = sbl(H, seed=0, p_override=0.25, d_cap_override=4, floor_override=16)
+        fracs = colored_fractions(res)
+        assert len(fracs) == len(res.rounds_in_phase("sbl"))
+        for n_before, colored, ratio in fracs:
+            assert colored <= n_before
+            assert ratio == pytest.approx(colored / (0.25 * n_before))
+
+    def test_empty_for_missing_phase(self):
+        H = mixed_dimension_hypergraph(30, 30, [2, 3], seed=0)
+        res = beame_luby(H, seed=0)
+        assert colored_fractions(res, phase="sbl") == []

@@ -1,0 +1,83 @@
+"""Tests for terminal sparklines and trace views."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.instrument import PotentialTracker
+from repro.analysis.sparkline import BLOCKS, sparkline, trace_view, trajectory
+from repro.core import beame_luby
+from repro.generators import uniform_hypergraph
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        out = sparkline(range(8))
+        assert out == BLOCKS
+
+    def test_constant_series_lowest_block(self):
+        assert sparkline([5, 5, 5]) == BLOCKS[0] * 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_peak_gets_top_block(self):
+        out = sparkline([0, 10, 0])
+        assert out[1] == BLOCKS[-1]
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, math.nan])
+        with pytest.raises(ValueError):
+            sparkline([1.0, math.inf])
+
+    def test_log_scaling_compresses(self):
+        lin = sparkline([1, 10, 100, 1000])
+        logd = sparkline([1, 10, 100, 1000], log=True)
+        # linear view buries the small values at the bottom block
+        assert lin[:2] == BLOCKS[0] * 2
+        assert logd[1] != BLOCKS[0]
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(37))) == 37
+
+
+class TestTrajectory:
+    def test_label_and_endpoints(self):
+        out = trajectory("vertices", [100, 50, 25])
+        assert "vertices" in out
+        assert "100 → 25" in out
+
+    def test_downsampling_caps_width(self):
+        out = trajectory("x", list(range(500)), width=40)
+        spark = out.split()[1]
+        assert len(spark) == 40
+
+    def test_short_series_untouched(self):
+        out = trajectory("x", [1, 2, 3], width=40)
+        assert len(out.split()[1]) == 3
+
+
+class TestTraceView:
+    def test_rows_present(self):
+        H = uniform_hypergraph(40, 60, 3, seed=0)
+        res = beame_luby(H, seed=0)
+        view = trace_view(res)
+        assert "active vertices" in view
+        assert "active edges" in view
+        assert "added/round" in view
+        assert "v2" not in view
+
+    def test_v2_row_when_tracked(self):
+        H = uniform_hypergraph(40, 60, 3, seed=0)
+        tracker = PotentialTracker()
+        res = beame_luby(H, seed=0, on_round=tracker.on_round)
+        view = trace_view(res)
+        assert "v2 potential" in view
+
+    def test_empty_trace(self):
+        H = uniform_hypergraph(20, 20, 3, seed=0)
+        res = beame_luby(H, seed=0, trace=False)
+        assert "no trace" in trace_view(res)

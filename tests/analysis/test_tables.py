@@ -1,0 +1,67 @@
+"""Tests for table rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_cell, render_kv, render_table
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "—"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_float_formats(self):
+        assert format_cell(3.14159, ".2f") == "3.14"
+
+    def test_nan_inf(self):
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(math.inf) == "inf"
+        assert format_cell(-math.inf) == "-inf"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_markdown_shape(self):
+        out = render_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+        assert len(lines) == 4
+
+    def test_column_alignment(self):
+        out = render_table(["x"], [["looooong"], ["s"]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.startswith("**T**")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert out.count("\n") == 1
+
+
+class TestRenderKv:
+    def test_basic(self):
+        out = render_kv("params", {"alpha": 0.5, "n": 100})
+        assert "alpha" in out and "0.5" in out and "params" in out

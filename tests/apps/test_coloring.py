@@ -1,0 +1,109 @@
+"""Tests for MIS-based proper hypergraph coloring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.coloring import Coloring, color_by_mis, is_proper_coloring
+from repro.core import beame_luby, karp_upfal_wigderson
+from repro.generators import (
+    complete_uniform,
+    matching_hypergraph,
+    sparse_random_graph,
+    uniform_hypergraph,
+)
+from repro.hypergraph import Hypergraph
+
+
+class TestColorByMis:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_is_proper(self, seed):
+        H = uniform_hypergraph(60, 120, 3, seed=seed)
+        col = color_by_mis(H, seed=seed)
+        assert is_proper_coloring(H, col.colors)
+
+    def test_matching_two_colors(self):
+        # disjoint 3-blocks: class 1 takes 2 per block, class 2 the rest
+        H = matching_hypergraph(5, 3)
+        col = color_by_mis(H, seed=0)
+        assert col.num_colors == 2
+        assert is_proper_coloring(H, col.colors)
+
+    def test_edgeless_one_color(self):
+        H = Hypergraph(6)
+        col = color_by_mis(H, seed=0)
+        assert col.num_colors == 1
+        assert (col.colors[:6] == 0).all()
+
+    def test_complete_uniform_color_count(self):
+        # K_9^(3): each class has ≤ 2 vertices → ≥ ⌈9/2⌉ = 5 classes
+        H = complete_uniform(9, 3)
+        col = color_by_mis(H, seed=1)
+        assert is_proper_coloring(H, col.colors)
+        assert col.num_colors == 5
+
+    def test_graph_case(self):
+        G = sparse_random_graph(80, 5.0, seed=0)
+        col = color_by_mis(G, seed=0)
+        assert is_proper_coloring(G, col.colors)
+        # MIS coloring of a graph uses at most maxdeg+1 colors
+        assert col.num_colors <= G.max_degree() + 1
+
+    def test_classes_partition_vertices(self):
+        H = uniform_hypergraph(40, 60, 3, seed=2)
+        col = color_by_mis(H, seed=2)
+        allv = np.sort(np.concatenate(col.classes))
+        assert np.array_equal(allv, H.vertices)
+
+    def test_parallel_algorithms_work_too(self):
+        H = uniform_hypergraph(40, 60, 3, seed=3)
+        for algo in (beame_luby, karp_upfal_wigderson):
+            col = color_by_mis(H, seed=3, algorithm=algo)
+            assert is_proper_coloring(H, col.colors)
+
+    def test_singleton_edge_rejected(self):
+        H = Hypergraph(3, [(0,), (1, 2)])
+        with pytest.raises(ValueError, match="size-1"):
+            color_by_mis(H, seed=0)
+
+    def test_max_colors_guard(self):
+        H = complete_uniform(8, 2)  # clique: needs 8 colors
+        with pytest.raises(RuntimeError, match="colors"):
+            color_by_mis(H, seed=0, max_colors=3)
+
+    def test_class_of_bounds(self):
+        H = Hypergraph(4, [(0, 1)])
+        col = color_by_mis(H, seed=0)
+        with pytest.raises(IndexError):
+            col.class_of(col.num_colors)
+
+    def test_deterministic(self):
+        H = uniform_hypergraph(30, 50, 3, seed=0)
+        a = color_by_mis(H, seed=9)
+        b = color_by_mis(H, seed=9)
+        assert np.array_equal(a.colors, b.colors)
+
+
+class TestIsProper:
+    def test_detects_monochromatic_edge(self, triangle):
+        colors = np.zeros(3, dtype=np.intp)  # all same color on a triangle
+        assert not is_proper_coloring(triangle, colors)
+
+    def test_accepts_proper(self, triangle):
+        colors = np.array([0, 1, 2], dtype=np.intp)
+        assert is_proper_coloring(triangle, colors)
+
+    def test_uncolored_active_vertex_fails(self):
+        H = Hypergraph(3, [(0, 1)])
+        colors = np.array([0, 1, -1], dtype=np.intp)
+        assert not is_proper_coloring(H, colors)
+
+    def test_shape_checked(self, triangle):
+        with pytest.raises(ValueError):
+            is_proper_coloring(triangle, np.zeros(5, dtype=np.intp))
+
+    def test_size_one_edges_ignored_by_checker(self):
+        H = Hypergraph(2, [(0,)])
+        colors = np.array([0, 0], dtype=np.intp)
+        assert is_proper_coloring(H, colors)

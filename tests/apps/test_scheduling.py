@@ -1,0 +1,157 @@
+"""Tests for conflict-hypergraph batch scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.scheduling import (
+    Job,
+    Resource,
+    build_conflict_hypergraph,
+    plan_batches,
+    verify_schedule,
+)
+from repro.core import karp_upfal_wigderson
+from repro.hypergraph import check_mis
+from repro.util.rng import as_generator
+
+
+def toy_workload():
+    resources = [Resource("gpu", 2), Resource("db", 1)]
+    jobs = [
+        Job("a", ("gpu",)),
+        Job("b", ("gpu",)),
+        Job("c", ("gpu", "db")),
+        Job("d", ("db",)),
+        Job("e", ()),
+    ]
+    return jobs, resources
+
+
+def random_workload(num_jobs: int, num_resources: int, seed: int):
+    rng = as_generator(seed)
+    resources = [
+        Resource(f"r{i}", int(rng.integers(1, 4))) for i in range(num_resources)
+    ]
+    jobs = []
+    for j in range(num_jobs):
+        needs = tuple(
+            r.name for r in resources if rng.random() < 0.15
+        )
+        jobs.append(Job(f"job{j}", needs))
+    return jobs, resources
+
+
+class TestConflictHypergraph:
+    def test_toy_edges(self):
+        jobs, resources = toy_workload()
+        H = build_conflict_hypergraph(jobs, resources)
+        # gpu (cap 2, consumers a,b,c): one 3-edge; db (cap 1, consumers
+        # c,d): one 2-edge.
+        assert set(H.edges) == {(0, 1, 2), (2, 3)}
+
+    def test_under_capacity_resource_contributes_nothing(self):
+        jobs = [Job("a", ("r",)), Job("b", ())]
+        H = build_conflict_hypergraph(jobs, [Resource("r", 2)])
+        assert H.num_edges == 0
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError, match="unknown resource"):
+            build_conflict_hypergraph([Job("a", ("ghost",))], [Resource("r", 1)])
+
+    def test_blowup_guard(self):
+        jobs = [Job(f"j{i}", ("r",)) for i in range(40)]
+        with pytest.raises(ValueError, match="shard"):
+            build_conflict_hypergraph(jobs, [Resource("r", 1)],
+                                      max_edges_per_resource=100)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource("r", 0)
+
+    def test_mis_is_maximal_batch(self):
+        jobs, resources = random_workload(40, 8, seed=0)
+        H = build_conflict_hypergraph(jobs, resources)
+        res = karp_upfal_wigderson(H, seed=0)
+        check_mis(H, res.independent_set)
+
+
+class TestPlanBatches:
+    def test_toy_schedule_valid(self):
+        jobs, resources = toy_workload()
+        schedule = plan_batches(jobs, resources, seed=0)
+        verify_schedule(schedule, jobs, resources)
+        # job e (no needs) runs in the first batch (maximality)
+        assert 4 in schedule.batches[0]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_schedules_valid(self, seed):
+        jobs, resources = random_workload(60, 10, seed=seed)
+        schedule = plan_batches(jobs, resources, seed=seed)
+        verify_schedule(schedule, jobs, resources)
+
+    def test_every_batch_maximal(self):
+        """No job can be moved to an earlier batch without oversubscription.
+
+        This is exactly the MIS maximality of each extracted batch, checked
+        directly against the resource capacities.
+        """
+        jobs, resources = random_workload(40, 8, seed=1)
+        res_map = {r.name: r for r in resources}
+        schedule = plan_batches(jobs, resources, seed=1)
+        verify_schedule(schedule, jobs, resources)
+
+        def oversubscribed(batch: list[int]) -> bool:
+            usage: dict[str, int] = {}
+            for i in batch:
+                for need in jobs[i].needs:
+                    usage[need] = usage.get(need, 0) + 1
+            return any(used > res_map[name].capacity for name, used in usage.items())
+
+        for t, batch in enumerate(schedule.batches[1:], start=1):
+            for i in batch:
+                for earlier in range(t):
+                    assert oversubscribed(schedule.batches[earlier] + [i]), (
+                        f"job {i} (batch {t}) fits into earlier batch {earlier}"
+                    )
+
+    def test_slot_of(self):
+        jobs, resources = toy_workload()
+        schedule = plan_batches(jobs, resources, seed=0)
+        for i in range(len(jobs)):
+            assert 0 <= schedule.slot_of(i) < schedule.num_batches
+        with pytest.raises(KeyError):
+            schedule.slot_of(99)
+
+    def test_parallel_algorithm_plumbs_through(self):
+        jobs, resources = random_workload(40, 8, seed=2)
+        schedule = plan_batches(
+            jobs, resources, seed=2, algorithm=karp_upfal_wigderson
+        )
+        verify_schedule(schedule, jobs, resources)
+
+
+class TestVerifySchedule:
+    def test_detects_double_scheduling(self):
+        jobs, resources = toy_workload()
+        from repro.apps.scheduling import Schedule
+
+        bad = Schedule(batches=[[0, 1], [1, 2, 3, 4]])
+        with pytest.raises(AssertionError, match="twice"):
+            verify_schedule(bad, jobs, resources)
+
+    def test_detects_oversubscription(self):
+        jobs, resources = toy_workload()
+        from repro.apps.scheduling import Schedule
+
+        bad = Schedule(batches=[[0, 1, 2, 3, 4]])  # gpu gets 3 > 2
+        with pytest.raises(AssertionError, match="oversubscribed"):
+            verify_schedule(bad, jobs, resources)
+
+    def test_detects_missing_jobs(self):
+        jobs, resources = toy_workload()
+        from repro.apps.scheduling import Schedule
+
+        bad = Schedule(batches=[[0, 1]])
+        with pytest.raises(AssertionError, match="unscheduled"):
+            verify_schedule(bad, jobs, resources)

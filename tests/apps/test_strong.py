@@ -1,0 +1,83 @@
+"""Tests for strong independent sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.strong import (
+    is_strong_independent,
+    strong_independent_set,
+    two_section_hypergraph,
+)
+from repro.generators import matching_hypergraph, uniform_hypergraph
+from repro.hypergraph import Hypergraph, is_independent
+
+
+class TestTwoSection:
+    def test_pairs_of_each_edge(self):
+        H = Hypergraph(5, [(0, 1, 2)])
+        G = two_section_hypergraph(H)
+        assert G.edges == ((0, 1), (0, 2), (1, 2))
+
+    def test_shared_pairs_deduped(self):
+        H = Hypergraph(5, [(0, 1, 2), (0, 1, 3)])
+        G = two_section_hypergraph(H)
+        assert (0, 1) in G.edges
+        assert G.num_edges == 5
+
+    def test_universe_and_vertices_preserved(self):
+        H = Hypergraph(9, [(1, 2)], vertices=[1, 2, 5])
+        G = two_section_hypergraph(H)
+        assert G.universe == 9
+        assert G.vertices.tolist() == [1, 2, 5]
+
+
+class TestIsStrongIndependent:
+    def test_basic(self):
+        H = Hypergraph(5, [(0, 1, 2)])
+        assert is_strong_independent(H, [0, 3])
+        assert not is_strong_independent(H, [0, 1])
+
+    def test_strong_implies_ordinary(self):
+        H = uniform_hypergraph(30, 50, 3, seed=0)
+        res = strong_independent_set(H, seed=0)
+        assert is_strong_independent(H, res.independent_set)
+        assert is_independent(H, res.independent_set)
+
+    def test_ordinary_not_strong(self):
+        H = Hypergraph(4, [(0, 1, 2)])
+        # {0,1} ordinary-independent (edge not complete) but not strong
+        assert is_independent(H, [0, 1])
+        assert not is_strong_independent(H, [0, 1])
+
+
+class TestStrongIndependentSet:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_strong_and_maximal_on_two_section(self, seed):
+        from repro.hypergraph import is_maximal_independent
+
+        H = uniform_hypergraph(40, 60, 3, seed=seed)
+        res = strong_independent_set(H, seed=seed)
+        assert is_strong_independent(H, res.independent_set)
+        G = two_section_hypergraph(H)
+        assert is_maximal_independent(G, res.independent_set)
+
+    def test_matching_picks_one_per_block(self):
+        H = matching_hypergraph(4, 3)
+        res = strong_independent_set(H, seed=0)
+        assert res.size == 4  # exactly one vertex per disjoint block
+
+    def test_smaller_than_ordinary_mis(self):
+        from repro.core import greedy_mis
+
+        H = uniform_hypergraph(60, 100, 3, seed=1)
+        strong = strong_independent_set(H, seed=1).size
+        ordinary = greedy_mis(H, seed=1).size
+        assert strong < ordinary
+
+    def test_deterministic(self):
+        H = uniform_hypergraph(30, 50, 3, seed=2)
+        a = strong_independent_set(H, seed=7)
+        b = strong_independent_set(H, seed=7)
+        assert np.array_equal(a.independent_set, b.independent_set)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """The 3-cycle graph as a 2-uniform hypergraph."""
+    return Hypergraph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def small_mixed() -> Hypergraph:
+    """A small mixed-dimension hypergraph used across algorithm tests."""
+    return Hypergraph(
+        8,
+        [(0, 1, 2), (2, 3), (3, 4, 5, 6), (1, 5), (6, 7), (0, 4, 7)],
+    )
+
+
+@pytest.fixture
+def single_edge() -> Hypergraph:
+    """One 3-edge on 5 vertices (2 isolated vertices)."""
+    return Hypergraph(5, [(1, 2, 3)])
+
+
+@pytest.fixture
+def edgeless() -> Hypergraph:
+    """Six vertices, no constraints: the MIS is everything."""
+    return Hypergraph(6)

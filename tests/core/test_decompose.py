@@ -1,0 +1,82 @@
+"""Tests for component-parallel composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import beame_luby, greedy_mis, karp_upfal_wigderson
+from repro.core.decompose import solve_by_components
+from repro.generators import matching_hypergraph, uniform_hypergraph
+from repro.hypergraph import Hypergraph, check_mis
+from repro.pram import CountingMachine
+
+
+def _disjoint_blocks() -> Hypergraph:
+    """Three disconnected blocks of different shapes."""
+    return Hypergraph(
+        12,
+        [(0, 1, 2), (1, 2, 3),          # block A
+         (5, 6), (6, 7), (5, 7),        # block B (triangle)
+         (9, 10, 11)],                  # block C (+ isolated 4, 8)
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algo", [beame_luby, karp_upfal_wigderson])
+    def test_union_is_mis(self, algo):
+        H = _disjoint_blocks()
+        res = solve_by_components(H, algo, seed=0)
+        check_mis(H, res.independent_set)
+
+    def test_isolated_vertices_included(self):
+        H = _disjoint_blocks()
+        res = solve_by_components(H, beame_luby, seed=0)
+        assert {4, 8} <= set(res.independent_set.tolist())
+
+    def test_matches_whole_instance_semantics(self):
+        """Component-wise greedy equals whole-instance greedy for a fixed
+        per-vertex order (components don't interact)."""
+        H = matching_hypergraph(4, 3)
+        whole = greedy_mis(H, order=H.vertices.tolist())
+        def algo(part, seed, machine=None):
+            return greedy_mis(part, order=sorted(part.vertices.tolist()))
+        parts = solve_by_components(H, algo, seed=0)
+        assert np.array_equal(whole.independent_set, parts.independent_set)
+
+    def test_empty_hypergraph(self):
+        res = solve_by_components(Hypergraph(0), beame_luby, seed=0)
+        assert res.size == 0
+
+    def test_meta_counts_components(self):
+        H = _disjoint_blocks()
+        res = solve_by_components(H, beame_luby, seed=0)
+        assert res.meta["components"] == 5  # 3 blocks + 2 isolated vertices
+        assert res.algorithm == "components(bl)"
+
+
+class TestPRAMComposition:
+    def test_depth_is_max_not_sum(self):
+        H = _disjoint_blocks()
+        # Solo runs per component:
+        from repro.hypergraph.components import connected_components
+        depths, works = [], []
+        from repro.util.rng import spawn_seeds
+        seeds = spawn_seeds(0, len(connected_components(H)))
+        for part, s in zip(connected_components(H), seeds):
+            m = CountingMachine()
+            beame_luby(part, s, machine=m)
+            depths.append(m.depth)
+            works.append(m.work)
+        mach = CountingMachine()
+        solve_by_components(H, beame_luby, seed=0, machine=mach)
+        # composed depth = max + merge compact, far below the sum
+        assert mach.depth >= max(depths)
+        assert mach.depth < sum(depths) + 20
+        assert mach.work >= sum(works)
+
+    def test_deterministic(self):
+        H = uniform_hypergraph(40, 15, 3, seed=0)
+        a = solve_by_components(H, beame_luby, seed=5)
+        b = solve_by_components(H, beame_luby, seed=5)
+        assert np.array_equal(a.independent_set, b.independent_set)

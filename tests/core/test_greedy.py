@@ -1,0 +1,90 @@
+"""Tests for the sequential greedy baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import greedy_mis
+from repro.generators import (
+    complete_uniform,
+    matching_hypergraph,
+    uniform_hypergraph,
+)
+from repro.hypergraph import Hypergraph, check_mis
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random(self, seed):
+        H = uniform_hypergraph(50, 100, 3, seed=seed)
+        res = greedy_mis(H, seed=seed)
+        check_mis(H, res.independent_set)
+
+    def test_small_mixed(self, small_mixed):
+        check_mis(small_mixed, greedy_mis(small_mixed, seed=0).independent_set)
+
+    def test_edgeless(self, edgeless):
+        assert greedy_mis(edgeless, seed=0).size == 6
+
+    def test_singleton_edge_rejects_vertex(self):
+        H = Hypergraph(3, [(1,)])
+        res = greedy_mis(H, seed=0)
+        assert 1 not in res.independent_set
+        check_mis(H, res.independent_set)
+
+    def test_complete_uniform_size(self):
+        H = complete_uniform(8, 4)
+        assert greedy_mis(H, seed=0).size == 3
+
+    def test_matching_size(self):
+        H = matching_hypergraph(4, 3)
+        assert greedy_mis(H, seed=0).size == 8
+
+
+class TestOrder:
+    def test_explicit_order_deterministic(self, small_mixed):
+        order = list(range(8))
+        a = greedy_mis(small_mixed, order=order)
+        b = greedy_mis(small_mixed, order=order)
+        assert np.array_equal(a.independent_set, b.independent_set)
+
+    def test_lexicographic_greedy_known(self):
+        # scan 0,1,2: take 0, take 1 → edge (0,1)? build H to check precisely
+        H = Hypergraph(4, [(0, 1), (1, 2, 3)])
+        res = greedy_mis(H, order=[0, 1, 2, 3])
+        # 0 in; 1 completes (0,1) → rejected; 2 in; 3 would complete (1,2,3)?
+        # 1 not in I so no; 3 in.
+        assert res.independent_set.tolist() == [0, 2, 3]
+
+    def test_order_changes_result(self):
+        H = Hypergraph(3, [(0, 1)])
+        a = greedy_mis(H, order=[0, 1, 2])
+        b = greedy_mis(H, order=[1, 0, 2])
+        assert 0 in a.independent_set and 1 in b.independent_set
+
+    def test_order_must_match_active_vertices(self, small_mixed):
+        with pytest.raises(ValueError):
+            greedy_mis(small_mixed, order=[0, 1, 2])
+
+    def test_order_over_partial_vertices(self):
+        H = Hypergraph(6, [(1, 2)], vertices=[1, 2, 4])
+        res = greedy_mis(H, order=[4, 2, 1])
+        check_mis(H, res.independent_set)
+
+    def test_random_order_seeded(self, small_mixed):
+        a = greedy_mis(small_mixed, seed=3)
+        b = greedy_mis(small_mixed, seed=3)
+        assert np.array_equal(a.independent_set, b.independent_set)
+
+
+class TestTrace:
+    def test_trace_record(self, small_mixed):
+        res = greedy_mis(small_mixed, seed=0, trace=True)
+        assert len(res.rounds) == 1
+        rec = res.rounds[0]
+        assert rec.added == res.size
+        assert rec.added + rec.removed_red == small_mixed.num_vertices
+
+    def test_no_trace_by_default(self, small_mixed):
+        assert greedy_mis(small_mixed, seed=0).rounds == []

@@ -1,0 +1,119 @@
+"""Tests for the Karp–Upfal–Wigderson algorithm."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import karp_upfal_wigderson as kuw
+from repro.generators import (
+    complete_uniform,
+    matching_hypergraph,
+    star_hypergraph,
+    tight_cycle,
+    uniform_hypergraph,
+)
+from repro.hypergraph import Hypergraph, check_mis
+from repro.pram import CountingMachine
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random(self, seed):
+        H = uniform_hypergraph(50, 100, 3, seed=seed)
+        res = kuw(H, seed=seed)
+        check_mis(H, res.independent_set)
+
+    def test_small_mixed(self, small_mixed):
+        res = kuw(small_mixed, seed=0)
+        check_mis(small_mixed, res.independent_set)
+
+    def test_edgeless(self, edgeless):
+        res = kuw(edgeless, seed=0)
+        assert res.size == 6
+        assert res.num_rounds == 1  # one unconstrained full-prefix round
+
+    def test_complete_graph_two_rounds(self):
+        """Commit + mass filter resolves a clique immediately."""
+        H = complete_uniform(30, 2)
+        res = kuw(H, seed=1)
+        check_mis(H, res.independent_set)
+        assert res.size == 1
+        assert res.num_rounds <= 3
+
+    def test_complete_uniform_d3(self):
+        H = complete_uniform(20, 3)
+        res = kuw(H, seed=1)
+        check_mis(H, res.independent_set)
+        assert res.size == 2
+
+    def test_singleton_edges(self):
+        H = Hypergraph(4, [(0,), (1, 2)])
+        res = kuw(H, seed=0)
+        check_mis(H, res.independent_set)
+        assert 0 not in res.independent_set
+
+    def test_matching_takes_all_but_one_per_block(self):
+        H = matching_hypergraph(5, 4)
+        res = kuw(H, seed=0)
+        check_mis(H, res.independent_set)
+        assert res.size == 15
+
+    def test_star(self):
+        H = star_hypergraph(10, 2)
+        res = kuw(H, seed=0)
+        check_mis(H, res.independent_set)
+
+    def test_tight_cycle(self):
+        H = tight_cycle(40, 4)
+        res = kuw(H, seed=0)
+        check_mis(H, res.independent_set)
+
+    def test_partial_vertex_set(self):
+        H = Hypergraph(10, [(2, 3)], vertices=[2, 3, 4])
+        res = kuw(H, seed=0)
+        check_mis(H, res.independent_set)
+        assert set(res.independent_set.tolist()) <= {2, 3, 4}
+
+
+class TestRoundBehaviour:
+    def test_round_shape(self):
+        H = uniform_hypergraph(200, 600, 3, seed=0)
+        res = kuw(H, seed=1)
+        # well below √n·log n
+        assert res.num_rounds <= math.sqrt(200) * math.log2(200)
+
+    def test_every_round_progresses(self):
+        H = uniform_hypergraph(60, 120, 3, seed=0)
+        res = kuw(H, seed=2)
+        for r in res.rounds:
+            assert r.n_after < r.n_before
+
+    def test_prefix_recorded(self):
+        H = uniform_hypergraph(40, 60, 3, seed=0)
+        res = kuw(H, seed=0)
+        assert all("prefix" in r.extras for r in res.rounds)
+        assert sum(r.extras["prefix"] for r in res.rounds) == res.size
+
+    def test_trace_disabled(self, small_mixed):
+        res = kuw(small_mixed, seed=0, trace=False)
+        assert res.rounds == []
+
+
+class TestDeterminism:
+    def test_same_seed(self):
+        H = uniform_hypergraph(50, 100, 3, seed=0)
+        a = kuw(H, seed=4)
+        b = kuw(H, seed=4)
+        assert np.array_equal(a.independent_set, b.independent_set)
+
+
+class TestMachine:
+    def test_accounting(self):
+        H = uniform_hypergraph(50, 100, 3, seed=0)
+        mach = CountingMachine()
+        res = kuw(H, seed=0, machine=mach)
+        assert mach.depth >= res.num_rounds
+        assert res.machine == mach.snapshot()

@@ -1,0 +1,75 @@
+"""Tests for the linear-hypergraph MIS specialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import beame_luby, is_linear, linear_hypergraph_mis
+from repro.generators import (
+    matching_hypergraph,
+    partial_steiner_triples,
+    random_linear_hypergraph,
+    sparse_random_graph,
+)
+from repro.hypergraph import Hypergraph, check_mis
+
+
+class TestIsLinear:
+    def test_linear_cases(self):
+        assert is_linear(Hypergraph(6, [(0, 1, 2), (2, 3, 4)]))
+        assert is_linear(Hypergraph(4))
+        assert is_linear(matching_hypergraph(3, 3))
+
+    def test_nonlinear(self):
+        assert not is_linear(Hypergraph(5, [(0, 1, 2), (0, 1, 3)]))
+
+    def test_graphs_always_linear(self):
+        assert is_linear(sparse_random_graph(30, 4.0, seed=0))
+
+    def test_shared_single_vertex_is_fine(self):
+        assert is_linear(Hypergraph(5, [(0, 1, 2), (0, 3, 4)]))
+
+
+class TestLinearMis:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_linear(self, seed):
+        H = random_linear_hypergraph(60, 40, 3, seed=seed)
+        res = linear_hypergraph_mis(H, seed=seed)
+        check_mis(H, res.independent_set)
+        assert res.algorithm == "linear"
+
+    def test_steiner(self):
+        H = partial_steiner_triples(21, seed=0)
+        res = linear_hypergraph_mis(H, seed=0)
+        check_mis(H, res.independent_set)
+
+    def test_rejects_nonlinear(self):
+        H = Hypergraph(5, [(0, 1, 2), (0, 1, 3)])
+        with pytest.raises(ValueError, match="not a linear"):
+            linear_hypergraph_mis(H, seed=0)
+
+    def test_edgeless(self, edgeless):
+        res = linear_hypergraph_mis(edgeless, seed=0)
+        assert res.size == 6
+
+    def test_uses_larger_probability_than_bl(self):
+        H = random_linear_hypergraph(60, 40, 3, seed=1)
+        res = linear_hypergraph_mis(H, seed=1)
+        from repro.core.bl import bl_marking_probability
+
+        assert res.meta["p"] > bl_marking_probability(H)
+
+    def test_typically_fewer_rounds_than_bl(self):
+        H = random_linear_hypergraph(150, 120, 3, seed=2)
+        lin = np.mean(
+            [linear_hypergraph_mis(H, seed=s).num_rounds for s in range(3)]
+        )
+        bl = np.mean([beame_luby(H, seed=s).num_rounds for s in range(3)])
+        assert lin < bl
+
+    def test_deterministic(self):
+        H = random_linear_hypergraph(50, 30, 3, seed=3)
+        a = linear_hypergraph_mis(H, seed=5)
+        b = linear_hypergraph_mis(H, seed=5)
+        assert np.array_equal(a.independent_set, b.independent_set)

@@ -1,0 +1,85 @@
+"""Tests for Luby's graph-MIS algorithm (d = 2 specialisation)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import luby_mis
+from repro.generators import complete_uniform, sparse_random_graph, star_hypergraph
+from repro.hypergraph import Hypergraph, check_mis
+from repro.pram import CountingMachine
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        G = sparse_random_graph(80, 5.0, seed=seed)
+        res = luby_mis(G, seed=seed)
+        check_mis(G, res.independent_set)
+
+    def test_triangle(self, triangle):
+        res = luby_mis(triangle, seed=0)
+        check_mis(triangle, res.independent_set)
+        assert res.size == 1
+
+    def test_complete_graph(self):
+        G = complete_uniform(25, 2)
+        res = luby_mis(G, seed=0)
+        assert res.size == 1
+
+    def test_star(self):
+        G = star_hypergraph(12, 2)
+        res = luby_mis(G, seed=0)
+        check_mis(G, res.independent_set)
+
+    def test_edgeless(self, edgeless):
+        res = luby_mis(edgeless, seed=0)
+        assert res.size == 6
+        assert res.num_rounds == 1
+
+    def test_isolated_plus_edge(self):
+        G = Hypergraph(4, [(0, 1)])
+        res = luby_mis(G, seed=0)
+        check_mis(G, res.independent_set)
+        assert {2, 3} <= set(res.independent_set.tolist())
+
+    def test_rejects_non_graph(self, small_mixed):
+        with pytest.raises(ValueError, match="2-uniform"):
+            luby_mis(small_mixed, seed=0)
+
+    def test_path_graph(self):
+        G = Hypergraph(6, [(i, i + 1) for i in range(5)])
+        res = luby_mis(G, seed=1)
+        check_mis(G, res.independent_set)
+
+
+class TestRounds:
+    def test_logarithmic_shape(self):
+        G = sparse_random_graph(2000, 6.0, seed=0)
+        res = luby_mis(G, seed=0)
+        assert res.num_rounds <= 4 * math.log2(2000)
+
+    def test_monotone_shrink(self):
+        G = sparse_random_graph(200, 5.0, seed=1)
+        res = luby_mis(G, seed=1)
+        for r in res.rounds:
+            assert r.n_after < r.n_before
+
+
+class TestDeterminism:
+    def test_same_seed(self):
+        G = sparse_random_graph(100, 4.0, seed=0)
+        a = luby_mis(G, seed=7)
+        b = luby_mis(G, seed=7)
+        assert np.array_equal(a.independent_set, b.independent_set)
+
+
+class TestMachine:
+    def test_accounting(self):
+        G = sparse_random_graph(100, 4.0, seed=0)
+        mach = CountingMachine()
+        res = luby_mis(G, seed=0, machine=mach)
+        assert mach.depth >= res.num_rounds

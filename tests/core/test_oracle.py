@@ -1,0 +1,91 @@
+"""Tests for the independence-oracle model of KUW."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import IndependenceOracle, kuw_oracle
+from repro.generators import complete_uniform, uniform_hypergraph
+from repro.hypergraph import Hypergraph, check_mis
+
+
+class TestOracle:
+    def test_query_answers_and_counts(self, triangle):
+        o = IndependenceOracle(triangle)
+        assert o.query([0]) is True
+        assert o.query([0, 1]) is False
+        assert o.queries == 2
+        assert o.batches == 2
+
+    def test_batch_counts_one_round(self, triangle):
+        o = IndependenceOracle(triangle)
+        answers = o.query_batch([np.array([0]), np.array([0, 1]), np.array([2])])
+        assert answers == [True, False, True]
+        assert o.queries == 3
+        assert o.batches == 1
+
+    def test_exposes_only_ground_set(self, small_mixed):
+        o = IndependenceOracle(small_mixed)
+        assert o.universe == small_mixed.universe
+        assert not hasattr(o, "edges")
+
+
+class TestKuwOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_returns_mis(self, seed):
+        H = uniform_hypergraph(40, 80, 3, seed=seed)
+        res = kuw_oracle(IndependenceOracle(H), seed=seed)
+        check_mis(H, res.independent_set)
+
+    def test_clique(self):
+        H = complete_uniform(20, 2)
+        res = kuw_oracle(IndependenceOracle(H), seed=0)
+        check_mis(H, res.independent_set)
+        assert res.size == 1
+
+    def test_edgeless(self, edgeless):
+        res = kuw_oracle(IndependenceOracle(edgeless), seed=0)
+        assert res.size == 6
+
+    def test_singleton_edges(self):
+        H = Hypergraph(4, [(0,), (1, 2)])
+        res = kuw_oracle(IndependenceOracle(H), seed=0)
+        check_mis(H, res.independent_set)
+        assert 0 not in res.independent_set
+
+    def test_partial_vertex_set(self):
+        H = Hypergraph(8, [(1, 2)], vertices=[1, 2, 5])
+        res = kuw_oracle(IndependenceOracle(H), seed=0)
+        check_mis(H, res.independent_set)
+        assert set(res.independent_set.tolist()) <= {1, 2, 5}
+
+    def test_query_budget_shape(self):
+        """Per round ≤ 2·|C| queries in exactly 2 batches."""
+        H = uniform_hypergraph(60, 120, 3, seed=0)
+        oracle = IndependenceOracle(H)
+        res = kuw_oracle(oracle, seed=1)
+        rounds = res.num_rounds
+        assert oracle.batches <= 2 * rounds + 2
+        # total queries bounded by 2n per round
+        assert oracle.queries <= 2 * 60 * rounds
+        assert res.meta["queries"] == oracle.queries
+
+    def test_round_shape_matches_structural_kuw(self):
+        """Oracle rounds stay within the √n·log n envelope too."""
+        H = uniform_hypergraph(150, 300, 3, seed=0)
+        res = kuw_oracle(IndependenceOracle(H), seed=2)
+        assert res.num_rounds <= math.sqrt(150) * math.log2(150)
+
+    def test_deterministic(self):
+        H = uniform_hypergraph(40, 60, 3, seed=0)
+        a = kuw_oracle(IndependenceOracle(H), seed=5)
+        b = kuw_oracle(IndependenceOracle(H), seed=5)
+        assert np.array_equal(a.independent_set, b.independent_set)
+
+    def test_trace_queries_recorded(self):
+        H = uniform_hypergraph(30, 50, 3, seed=0)
+        res = kuw_oracle(IndependenceOracle(H), seed=0)
+        assert all(r.extras["queries"] > 0 for r in res.rounds)

@@ -1,0 +1,103 @@
+"""Tests for Beame–Luby's permutation algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import permutation_bl
+from repro.generators import (
+    complete_uniform,
+    matching_hypergraph,
+    sunflower,
+    tight_cycle,
+    uniform_hypergraph,
+)
+from repro.hypergraph import Hypergraph, check_mis
+from repro.pram import CountingMachine
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random(self, seed):
+        H = uniform_hypergraph(50, 100, 3, seed=seed)
+        res = permutation_bl(H, seed=seed)
+        check_mis(H, res.independent_set)
+
+    def test_small_mixed(self, small_mixed):
+        check_mis(small_mixed, permutation_bl(small_mixed, seed=0).independent_set)
+
+    def test_edgeless(self, edgeless):
+        assert permutation_bl(edgeless, seed=0).size == 6
+
+    def test_complete_graph(self):
+        H = complete_uniform(20, 2)
+        res = permutation_bl(H, seed=0)
+        check_mis(H, res.independent_set)
+        assert res.size == 1
+
+    def test_complete_uniform(self):
+        H = complete_uniform(12, 3)
+        res = permutation_bl(H, seed=0)
+        check_mis(H, res.independent_set)
+        assert res.size == 2
+
+    def test_singleton_edges(self):
+        H = Hypergraph(4, [(0,), (1, 2)])
+        res = permutation_bl(H, seed=0)
+        check_mis(H, res.independent_set)
+
+    def test_matching(self):
+        H = matching_hypergraph(5, 3)
+        res = permutation_bl(H, seed=0)
+        assert res.size == 10
+
+    def test_sunflower(self):
+        H = sunflower(3, 6, 2)
+        check_mis(H, permutation_bl(H, seed=1).independent_set)
+
+    def test_tight_cycle(self):
+        H = tight_cycle(30, 3)
+        check_mis(H, permutation_bl(H, seed=1).independent_set)
+
+
+class TestRounds:
+    def test_few_rounds_in_practice(self):
+        """The conjectured-RNC behaviour: very few rounds on random inputs."""
+        H = uniform_hypergraph(300, 600, 3, seed=0)
+        res = permutation_bl(H, seed=0)
+        assert res.num_rounds <= 10
+
+    def test_batch_independence_per_round(self):
+        """The added batch of each round must itself be independent."""
+        H = uniform_hypergraph(60, 150, 3, seed=1)
+        seen: list[int] = []
+        res = permutation_bl(H, seed=1)
+        for rec in res.rounds:
+            assert rec.added >= 0
+        check_mis(H, res.independent_set)
+
+    def test_max_rounds_guard(self):
+        H = uniform_hypergraph(30, 60, 3, seed=0)
+        # max_rounds=0 exhausts the loop without ever finishing
+        with pytest.raises(RuntimeError):
+            permutation_bl(H, seed=0, max_rounds=0)
+
+    def test_trace_disabled(self, small_mixed):
+        assert permutation_bl(small_mixed, seed=0, trace=False).rounds == []
+
+
+class TestDeterminism:
+    def test_same_seed(self, small_mixed):
+        a = permutation_bl(small_mixed, seed=2)
+        b = permutation_bl(small_mixed, seed=2)
+        assert np.array_equal(a.independent_set, b.independent_set)
+
+
+class TestMachine:
+    def test_accounting(self):
+        H = uniform_hypergraph(40, 80, 3, seed=0)
+        mach = CountingMachine()
+        res = permutation_bl(H, seed=0, machine=mach)
+        assert mach.depth > 0
+        assert res.machine == mach.snapshot()

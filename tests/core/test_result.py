@@ -1,0 +1,70 @@
+"""Tests for MISResult / RoundRecord."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MISResult, RoundRecord
+from repro.hypergraph import Hypergraph, MaximalityViolation
+
+
+class TestMISResult:
+    def test_sorted_unique_members(self):
+        res = MISResult(
+            independent_set=np.array([3, 1, 3, 2]), algorithm="x", n=5, m=0
+        )
+        assert res.independent_set.tolist() == [1, 2, 3]
+        assert res.size == 3
+
+    def test_accepts_list(self):
+        res = MISResult(independent_set=[2, 0], algorithm="x", n=3, m=0)
+        assert res.independent_set.tolist() == [0, 2]
+
+    def test_verify_delegates(self, triangle):
+        res = MISResult(independent_set=[0], algorithm="x", n=3, m=3)
+        res.verify(triangle)  # valid MIS
+        bad = MISResult(independent_set=[], algorithm="x", n=3, m=3)
+        with pytest.raises(MaximalityViolation):
+            bad.verify(triangle)
+
+    def test_rounds_in_phase(self):
+        rounds = [
+            RoundRecord(0, "sbl", 10, 5, 8, 4),
+            RoundRecord(0, "bl", 8, 4, 6, 3),
+            RoundRecord(1, "sbl", 6, 3, 4, 2),
+        ]
+        res = MISResult(independent_set=[], algorithm="sbl", n=10, m=5, rounds=rounds)
+        assert len(res.rounds_in_phase("sbl")) == 2
+        assert len(res.rounds_in_phase("bl")) == 1
+        assert res.num_rounds == 3
+
+    def test_summary_keys(self):
+        res = MISResult(
+            independent_set=[1],
+            algorithm="bl",
+            n=4,
+            m=2,
+            machine={"depth": 3, "work": 9, "max_processors": 2},
+        )
+        s = res.summary()
+        assert s["algorithm"] == "bl"
+        assert s["mis_size"] == 1
+        assert s["depth"] == 3 and s["work"] == 9
+
+    def test_summary_without_machine(self):
+        s = MISResult(independent_set=[], algorithm="g", n=1, m=0).summary()
+        assert "depth" not in s
+
+
+class TestRoundRecord:
+    def test_defaults(self):
+        rec = RoundRecord(0, "bl", 5, 3, 4, 2)
+        assert rec.marked == 0
+        assert rec.extras == {}
+
+    def test_extras_isolated_between_instances(self):
+        a = RoundRecord(0, "bl", 5, 3, 4, 2)
+        b = RoundRecord(1, "bl", 4, 2, 3, 1)
+        a.extras["p"] = 0.5
+        assert "p" not in b.extras

@@ -1,0 +1,204 @@
+"""Tests for the SBL algorithm (the paper's contribution)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SBLFailure, sbl
+from repro.generators import (
+    bounded_edges_instance,
+    mixed_dimension_hypergraph,
+    uniform_hypergraph,
+)
+from repro.hypergraph import Hypergraph, check_mis
+from repro.pram import CountingMachine
+from repro.theory.parameters import sbl_parameters
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_mixed(self, seed):
+        H = mixed_dimension_hypergraph(60, 120, [2, 3, 4], seed=seed)
+        res = sbl(H, seed=seed, p_override=0.3, d_cap_override=4, floor_override=8)
+        check_mis(H, res.independent_set)
+
+    def test_bounded_regime_with_big_edges(self):
+        H = bounded_edges_instance(256, seed=0, beta_fraction=5.0)
+        res = sbl(H, seed=1, p_override=0.2, d_cap_override=4, floor_override=16)
+        check_mis(H, res.independent_set)
+
+    def test_small_mixed(self, small_mixed):
+        res = sbl(small_mixed, seed=0)
+        check_mis(small_mixed, res.independent_set)
+
+    def test_edgeless(self, edgeless):
+        res = sbl(edgeless, seed=0)
+        assert res.independent_set.tolist() == list(range(6))
+
+    def test_default_parameters_work(self):
+        H = uniform_hypergraph(50, 60, 3, seed=0)
+        res = sbl(H, seed=0)
+        check_mis(H, res.independent_set)
+
+    def test_greedy_finisher(self):
+        H = mixed_dimension_hypergraph(60, 100, [2, 3, 4, 5], seed=3)
+        res = sbl(
+            H, seed=3, p_override=0.3, d_cap_override=4, floor_override=30,
+            finisher="greedy",
+        )
+        check_mis(H, res.independent_set)
+        assert res.meta["finisher"] == "greedy"
+
+    def test_unknown_finisher_rejected(self, small_mixed):
+        with pytest.raises(ValueError):
+            sbl(small_mixed, finisher="quantum")
+
+
+class TestDirectBLPath:
+    def test_low_dimension_goes_straight_to_bl(self):
+        H = uniform_hypergraph(30, 40, 3, seed=0)
+        res = sbl(H, seed=0, d_cap_override=5)
+        assert res.meta["direct_bl"] is True
+        check_mis(H, res.independent_set)
+
+    def test_high_dimension_samples(self):
+        H = mixed_dimension_hypergraph(80, 60, [2, 3, 7], seed=0)
+        res = sbl(H, seed=0, p_override=0.3, d_cap_override=4, floor_override=8)
+        assert res.meta["direct_bl"] is False
+        check_mis(H, res.independent_set)
+
+
+class TestParameters:
+    def test_defaults_from_formulas(self):
+        H = uniform_hypergraph(100, 50, 3, seed=0)
+        res = sbl(H, seed=0)
+        prm = res.meta["params"]
+        assert prm.n == 100
+        assert prm == sbl_parameters(100)
+
+    def test_invalid_p(self, small_mixed):
+        with pytest.raises(ValueError):
+            sbl(small_mixed, p_override=0.0)
+        with pytest.raises(ValueError):
+            sbl(small_mixed, p_override=1.5)
+
+    def test_invalid_d_cap(self, small_mixed):
+        with pytest.raises(ValueError):
+            sbl(small_mixed, d_cap_override=0)
+
+    def test_m_bound_flag(self):
+        # tiny m: inside the n^β bound
+        H = Hypergraph(64, [(0, 1), (2, 3, 4)])
+        res = sbl(H, seed=0)
+        assert res.meta["m_bound_ok"] is True
+
+    def test_failure_cap(self):
+        # d_cap=1 on a hypergraph of 2-edges: every sampled sub-hypergraph
+        # that catches an edge fails; p=1 forces it every attempt.
+        H = uniform_hypergraph(20, 40, 2, seed=0)
+        with pytest.raises(SBLFailure):
+            sbl(
+                H, seed=0, p_override=1.0, d_cap_override=1,
+                floor_override=2, max_failures_per_round=3,
+            )
+
+
+class TestParanoid:
+    def test_paranoid_run_succeeds(self):
+        H = mixed_dimension_hypergraph(60, 100, [2, 3, 5], seed=4)
+        res = sbl(
+            H, seed=4, p_override=0.3, d_cap_override=4, floor_override=8,
+            paranoid=True,
+        )
+        check_mis(H, res.independent_set)
+
+    def test_paranoid_catches_broken_inner_solver(self, monkeypatch):
+        """Corrupt BL's output; paranoid mode must refuse to commit it."""
+        import importlib
+
+        # the package attribute `repro.core.sbl` is shadowed by the
+        # function of the same name; fetch the real module
+        sbl_module = importlib.import_module("repro.core.sbl")
+        from repro.hypergraph.validate import (
+            IndependenceViolation,
+            MaximalityViolation,
+        )
+
+        real_bl = sbl_module.beame_luby
+
+        def broken_bl(H, seed, **kw):
+            res = real_bl(H, seed, **kw)
+            if res.independent_set.size:
+                res.independent_set = res.independent_set[:-1]  # drop a member
+            return res
+
+        monkeypatch.setattr(sbl_module, "beame_luby", broken_bl)
+        H = mixed_dimension_hypergraph(60, 100, [2, 3, 5], seed=5)
+        with pytest.raises((IndependenceViolation, MaximalityViolation)):
+            sbl(
+                H, seed=5, p_override=0.3, d_cap_override=4, floor_override=8,
+                paranoid=True,
+            )
+
+
+class TestTrace:
+    def test_phases_interleaved(self):
+        H = mixed_dimension_hypergraph(80, 120, [2, 3, 6], seed=1)
+        res = sbl(H, seed=1, p_override=0.3, d_cap_override=4, floor_override=16)
+        phases = {r.phase for r in res.rounds}
+        assert "sbl" in phases
+        assert "bl" in phases
+
+    def test_outer_round_extras(self):
+        H = mixed_dimension_hypergraph(80, 120, [2, 3, 6], seed=2)
+        res = sbl(H, seed=2, p_override=0.3, d_cap_override=4, floor_override=16)
+        outer = res.rounds_in_phase("sbl")
+        assert outer, "expected at least one outer round"
+        for r in outer:
+            assert r.extras["sampled_dim"] <= 4
+            assert r.extras["p"] == 0.3
+            assert r.marked == r.added + r.removed_red
+
+    def test_colored_equals_sampled(self):
+        """Every sampled vertex is permanently colored (blue or red)."""
+        H = mixed_dimension_hypergraph(60, 80, [2, 3, 5], seed=3)
+        res = sbl(H, seed=3, p_override=0.25, d_cap_override=3, floor_override=8)
+        for r in res.rounds_in_phase("sbl"):
+            assert r.n_before - r.n_after == r.marked
+
+    def test_trace_disabled(self, small_mixed):
+        res = sbl(small_mixed, seed=0, trace=False)
+        assert res.rounds == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        H = mixed_dimension_hypergraph(60, 90, [2, 3, 5], seed=0)
+        kw = dict(p_override=0.3, d_cap_override=4, floor_override=8)
+        a = sbl(H, seed=9, **kw)
+        b = sbl(H, seed=9, **kw)
+        assert np.array_equal(a.independent_set, b.independent_set)
+        assert a.meta["outer_rounds"] == b.meta["outer_rounds"]
+
+    def test_different_seeds_usually_differ(self):
+        H = mixed_dimension_hypergraph(60, 90, [2, 3, 5], seed=0)
+        kw = dict(p_override=0.3, d_cap_override=4, floor_override=8)
+        outs = {
+            tuple(sbl(H, seed=s, **kw).independent_set.tolist()) for s in range(4)
+        }
+        assert len(outs) > 1
+
+
+class TestMachine:
+    def test_accounting_covers_all_phases(self):
+        H = mixed_dimension_hypergraph(80, 120, [2, 3, 6], seed=1)
+        mach = CountingMachine()
+        res = sbl(
+            H, seed=1, machine=mach, p_override=0.3, d_cap_override=4,
+            floor_override=16,
+        )
+        assert mach.depth > 0 and mach.work > 0
+        assert res.machine == mach.snapshot()

@@ -1,0 +1,69 @@
+"""Tests for linear hypergraph generation."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.linear_mis import is_linear
+from repro.generators import partial_steiner_triples, random_linear_hypergraph
+
+
+def pairwise_intersections_ok(H) -> bool:
+    return all(
+        len(set(a) & set(b)) <= 1 for a, b in itertools.combinations(H.edges, 2)
+    )
+
+
+class TestRandomLinear:
+    def test_linearity(self):
+        H = random_linear_hypergraph(40, 25, 3, seed=0)
+        assert pairwise_intersections_ok(H)
+        assert is_linear(H)
+
+    def test_requested_count(self):
+        H = random_linear_hypergraph(40, 25, 3, seed=0)
+        assert H.num_edges == 25
+
+    def test_uniform_size(self):
+        H = random_linear_hypergraph(30, 10, 4, seed=1)
+        assert all(len(e) == 4 for e in H.edges)
+
+    def test_deterministic(self):
+        assert random_linear_hypergraph(30, 10, 3, seed=7) == random_linear_hypergraph(
+            30, 10, 3, seed=7
+        )
+
+    def test_over_budget_raises(self):
+        # C(6,2)/C(3,2) = 15/3 = 5 max edges
+        with pytest.raises(ValueError, match="at most"):
+            random_linear_hypergraph(6, 6, 3, seed=0)
+
+    def test_stall_raises_runtime(self):
+        # budget says 5 is possible but random probing at the exact
+        # packing limit stalls with a tiny attempt budget
+        with pytest.raises((RuntimeError, ValueError)):
+            random_linear_hypergraph(6, 5, 3, seed=0, max_attempts_factor=1)
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            random_linear_hypergraph(10, 2, 1)
+        with pytest.raises(ValueError):
+            random_linear_hypergraph(3, 1, 4)
+
+
+class TestPartialSteiner:
+    def test_linear_and_dense(self):
+        H = partial_steiner_triples(15, seed=0)
+        assert pairwise_intersections_ok(H)
+        # a decent packing: at least half the theoretical budget
+        assert H.num_edges >= (15 * 14 // 2) // 3 // 2
+
+    def test_small_n(self):
+        H = partial_steiner_triples(3, seed=0)
+        assert H.num_edges == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partial_steiner_triples(2)

@@ -1,0 +1,60 @@
+"""Tests for the planted-MIS generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import beame_luby, greedy_mis
+from repro.generators.planted import planted_mis_instance
+from repro.hypergraph import check_mis, is_maximal_independent
+
+
+class TestCertificate:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_planted_set_is_mis(self, seed):
+        H, planted = planted_mis_instance(60, 40, 3, seed=seed)
+        check_mis(H, planted)
+
+    @pytest.mark.parametrize("frac", [0.2, 0.5, 0.8])
+    def test_fractions(self, frac):
+        H, planted = planted_mis_instance(50, 20, 3, seed=0, planted_fraction=frac)
+        assert is_maximal_independent(H, planted)
+        assert abs(planted.size - 50 * frac) <= 1
+
+    def test_large_d(self):
+        H, planted = planted_mis_instance(40, 10, 6, seed=1)
+        check_mis(H, planted)
+
+    def test_d_exceeding_planted_size_clamps(self):
+        H, planted = planted_mis_instance(10, 0, 8, seed=0, planted_fraction=0.2)
+        check_mis(H, planted)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            planted_mis_instance(10, 0, 1)
+        with pytest.raises(ValueError):
+            planted_mis_instance(10, 0, 3, planted_fraction=0.0)
+        with pytest.raises(ValueError):
+            planted_mis_instance(10, 0, 3, planted_fraction=1.0)
+
+    def test_deterministic(self):
+        a = planted_mis_instance(30, 10, 3, seed=4)
+        b = planted_mis_instance(30, 10, 3, seed=4)
+        assert a[0] == b[0]
+        assert np.array_equal(a[1], b[1])
+
+
+class TestAlgorithmsOnPlanted:
+    def test_solver_outputs_valid_even_if_different(self):
+        H, planted = planted_mis_instance(60, 40, 3, seed=2)
+        res = beame_luby(H, seed=2)
+        check_mis(H, res.independent_set)
+
+    def test_greedy_seeded_with_planted_order_recovers_it(self):
+        """Scanning planted vertices first must recover exactly the planted set."""
+        H, planted = planted_mis_instance(40, 25, 3, seed=3)
+        rest = np.setdiff1d(H.vertices, planted)
+        order = np.concatenate([planted, rest])
+        res = greedy_mis(H, order=order)
+        assert np.array_equal(res.independent_set, planted)

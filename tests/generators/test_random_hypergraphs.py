@@ -1,0 +1,141 @@
+"""Tests for random hypergraph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    bounded_edges_instance,
+    mixed_dimension_hypergraph,
+    sparse_random_graph,
+    uniform_hypergraph,
+)
+from repro.theory.parameters import sbl_parameters
+
+
+class TestUniform:
+    def test_sizes(self):
+        H = uniform_hypergraph(30, 20, 3, seed=0)
+        assert H.num_vertices == 30
+        assert H.num_edges == 20
+        assert all(len(e) == 3 for e in H.edges)
+
+    def test_deterministic(self):
+        a = uniform_hypergraph(30, 20, 3, seed=5)
+        b = uniform_hypergraph(30, 20, 3, seed=5)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = uniform_hypergraph(30, 20, 3, seed=1)
+        b = uniform_hypergraph(30, 20, 3, seed=2)
+        assert a != b
+
+    def test_edges_distinct(self):
+        H = uniform_hypergraph(10, 30, 3, seed=0)
+        assert len(set(H.edges)) == 30
+
+    def test_all_edges_possible(self):
+        # exactly C(5,2)=10 distinct pairs
+        H = uniform_hypergraph(5, 10, 2, seed=0)
+        assert H.num_edges == 10
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            uniform_hypergraph(5, 11, 2, seed=0)
+
+    def test_edge_size_exceeds_n_raises(self):
+        with pytest.raises(ValueError):
+            uniform_hypergraph(3, 1, 4)
+
+    def test_zero_edges(self):
+        assert uniform_hypergraph(5, 0, 2).num_edges == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            uniform_hypergraph(0, 1, 1)
+        with pytest.raises(ValueError):
+            uniform_hypergraph(5, -1, 2)
+        with pytest.raises(ValueError):
+            uniform_hypergraph(5, 1, 0)
+
+    def test_dense_regime_path(self):
+        # size > n//4 triggers the per-row choice path
+        H = uniform_hypergraph(8, 5, 5, seed=3)
+        assert all(len(e) == 5 for e in H.edges)
+
+
+class TestMixedDimension:
+    def test_sizes_from_dims(self):
+        H = mixed_dimension_hypergraph(40, 60, [2, 4], seed=0)
+        assert set(len(e) for e in H.edges) <= {2, 4}
+
+    def test_weights_respected(self):
+        H = mixed_dimension_hypergraph(60, 300, [2, 5], weights=[0, 1], seed=0)
+        assert all(len(e) == 5 for e in H.edges)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            mixed_dimension_hypergraph(10, 5, [2, 3], weights=[1], seed=0)
+        with pytest.raises(ValueError):
+            mixed_dimension_hypergraph(10, 5, [2, 3], weights=[0, 0], seed=0)
+
+    def test_empty_dims(self):
+        with pytest.raises(ValueError):
+            mixed_dimension_hypergraph(10, 5, [])
+
+    def test_dims_out_of_range(self):
+        with pytest.raises(ValueError):
+            mixed_dimension_hypergraph(4, 3, [5])
+
+    def test_deterministic(self):
+        a = mixed_dimension_hypergraph(30, 40, [2, 3], seed=9)
+        b = mixed_dimension_hypergraph(30, 40, [2, 3], seed=9)
+        assert a == b
+
+
+class TestBoundedEdges:
+    def test_within_quadratic_cap(self):
+        H = bounded_edges_instance(64, seed=0)
+        assert H.num_edges <= 64 * 64
+
+    def test_contains_big_edges(self):
+        H = bounded_edges_instance(256, seed=0, beta_fraction=5.0, big_edge_fraction=0.3)
+        assert H.dimension >= int(np.sqrt(256)) - 1
+
+    def test_no_big_edges_when_zero_fraction(self):
+        H = bounded_edges_instance(256, seed=0, beta_fraction=5.0, big_edge_fraction=0.0)
+        assert H.dimension <= 6
+
+    def test_m_tracks_beta(self):
+        n = 1024
+        params = sbl_parameters(n)
+        H = bounded_edges_instance(n, seed=0, beta_fraction=1.0)
+        # dedupe can shrink slightly; never exceed the target
+        assert H.num_edges <= max(4, int(n**params.beta))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bounded_edges_instance(2)
+        with pytest.raises(ValueError):
+            bounded_edges_instance(64, big_edge_fraction=1.5)
+
+
+class TestSparseGraph:
+    def test_two_uniform(self):
+        H = sparse_random_graph(50, 4.0, seed=0)
+        assert all(len(e) == 2 for e in H.edges)
+
+    def test_mean_degree(self):
+        H = sparse_random_graph(400, 6.0, seed=0)
+        assert abs(2 * H.num_edges / 400 - 6.0) < 0.5
+
+    def test_degree_capped_by_complete(self):
+        H = sparse_random_graph(5, 100.0, seed=0)
+        assert H.num_edges == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sparse_random_graph(1, 2.0)
+        with pytest.raises(ValueError):
+            sparse_random_graph(10, -1.0)

@@ -1,0 +1,122 @@
+"""Tests for structured hypergraph families."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.generators import (
+    complete_uniform,
+    matching_hypergraph,
+    star_hypergraph,
+    sunflower,
+    tight_cycle,
+    tight_path,
+)
+from repro.hypergraph import is_maximal_independent
+from repro.core import greedy_mis
+
+
+class TestSunflower:
+    def test_structure(self):
+        H = sunflower(2, 3, 4)
+        assert H.num_vertices == 2 + 12
+        assert H.num_edges == 3
+        assert all(len(e) == 6 for e in H.edges)
+        core = {0, 1}
+        petals = [set(e) - core for e in H.edges]
+        for a, b in itertools.combinations(petals, 2):
+            assert not (a & b)
+
+    def test_core_shared(self):
+        H = sunflower(3, 5, 2)
+        for e in H.edges:
+            assert {0, 1, 2} <= set(e)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sunflower(0, 1, 1)
+
+
+class TestMatching:
+    def test_structure(self):
+        H = matching_hypergraph(4, 3)
+        assert H.num_edges == 4
+        assert H.num_vertices == 12
+        all_vs = [v for e in H.edges for v in e]
+        assert len(all_vs) == len(set(all_vs))
+
+    def test_mis_size_exact(self):
+        H = matching_hypergraph(5, 3)
+        res = greedy_mis(H, seed=0)
+        assert res.size == 15 - 5  # drop exactly one vertex per block
+
+    def test_zero_blocks(self):
+        assert matching_hypergraph(0, 3).num_edges == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            matching_hypergraph(2, 0)
+
+
+class TestStar:
+    def test_structure(self):
+        H = star_hypergraph(5, 3)
+        assert H.num_edges == 5
+        assert all(0 in e and len(e) == 3 for e in H.edges)
+
+    def test_leaves_form_mis(self):
+        H = star_hypergraph(6, 2)
+        leaves = list(range(1, 7))
+        assert is_maximal_independent(H, leaves)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            star_hypergraph(0)
+        with pytest.raises(ValueError):
+            star_hypergraph(3, 1)
+
+
+class TestCompleteUniform:
+    def test_edge_count(self):
+        H = complete_uniform(6, 3)
+        assert H.num_edges == math.comb(6, 3)
+
+    def test_mis_size_is_d_minus_1(self):
+        H = complete_uniform(7, 3)
+        res = greedy_mis(H, seed=1)
+        assert res.size == 2
+
+    def test_d_equals_n(self):
+        H = complete_uniform(4, 4)
+        assert H.num_edges == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            complete_uniform(3, 4)
+
+
+class TestTightPathCycle:
+    def test_path_edges(self):
+        H = tight_path(6, 3)
+        assert H.edges == ((0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5))
+
+    def test_cycle_edge_count(self):
+        H = tight_cycle(8, 3)
+        assert H.num_edges == 8
+
+    def test_cycle_wraps(self):
+        H = tight_cycle(5, 2)
+        assert (0, 4) in H.edges
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tight_path(5, 1)
+        with pytest.raises(ValueError):
+            tight_cycle(5, 5)
+
+    def test_path_max_degree(self):
+        H = tight_path(10, 3)
+        assert H.max_degree() == 3

@@ -1,0 +1,152 @@
+"""Tests for Kelsen's degree structures (N_j, d_j, Δ_i, Δ, potentials)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators import sunflower, uniform_hypergraph
+from repro.hypergraph import (
+    Delta,
+    Delta_i,
+    Hypergraph,
+    degree_profile,
+    kelsen_potentials,
+    neighborhood_count,
+    normalized_degree,
+)
+from repro.hypergraph.degrees import MAX_ENUMERABLE_DIMENSION, neighborhood
+
+
+class TestNeighborhood:
+    def test_explicit_sets(self):
+        H = Hypergraph(6, [(0, 1, 2), (0, 1, 3), (0, 4)])
+        assert sorted(neighborhood(H, [0, 1], 1)) == [(2,), (3,)]
+        assert neighborhood(H, [0], 1) == [(4,)]
+
+    def test_count_matches_listing(self):
+        H = Hypergraph(6, [(0, 1, 2), (0, 1, 3), (1, 2, 3), (0, 4)])
+        for x_size in (1, 2):
+            for x in itertools.combinations(range(5), x_size):
+                for j in (1, 2):
+                    assert neighborhood_count(H, x, j) == len(neighborhood(H, x, j))
+
+    def test_empty_x_raises(self):
+        H = Hypergraph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            neighborhood_count(H, [], 1)
+        with pytest.raises(ValueError):
+            neighborhood(H, [], 1)
+
+    def test_bad_j_raises(self):
+        H = Hypergraph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            neighborhood_count(H, [0], 0)
+
+    def test_vertex_absent_from_all_edges(self):
+        H = Hypergraph(5, [(0, 1)])
+        assert neighborhood_count(H, [4], 1) == 0
+
+
+class TestNormalizedDegree:
+    def test_jth_root(self):
+        # core {0} sits in 8 edges of size 3 → d_2(0) = 8^(1/2)
+        edges = [(0, 2 * i + 1, 2 * i + 2) for i in range(8)]
+        H = Hypergraph(17, edges)
+        assert normalized_degree(H, [0], 2) == pytest.approx(math.sqrt(8))
+
+    def test_zero_when_absent(self):
+        H = Hypergraph(4, [(0, 1)])
+        assert normalized_degree(H, [3], 1) == 0.0
+
+
+class TestDelta:
+    def test_sunflower_core_dominates(self):
+        # sunflower(2, 9, 2): 9 edges of size 4 sharing core {0,1};
+        # d_2(core) = 9^(1/2) = 3 dominates.
+        H = sunflower(2, 9, 2)
+        assert Delta_i(H, 4) == pytest.approx(3.0)
+        assert Delta(H) == pytest.approx(3.0)
+
+    def test_matches_bruteforce_random(self):
+        rng = np.random.default_rng(1)
+        for trial in range(5):
+            H = uniform_hypergraph(12, 14, 3, seed=rng)
+            prof = degree_profile(H)
+            # brute force over all x ⊆ V, sizes 1..2
+            best = 0.0
+            for size in (1, 2):
+                for x in itertools.combinations(range(12), size):
+                    j = 3 - size
+                    best = max(best, neighborhood_count(H, x, j) ** (1.0 / j))
+            assert Delta(H, prof) == pytest.approx(best)
+
+    def test_edgeless_zero(self):
+        assert Delta(Hypergraph(5)) == 0.0
+
+    def test_delta_i_invalid(self):
+        with pytest.raises(ValueError):
+            Delta_i(Hypergraph(3, [(0, 1)]), 1)
+
+    def test_dimension_guard(self):
+        H = Hypergraph(30, [tuple(range(MAX_ENUMERABLE_DIMENSION + 1))])
+        with pytest.raises(ValueError):
+            degree_profile(H)
+
+    def test_graph_delta_is_max_degree(self):
+        # for a graph, Δ_2 = max_v |N_1(v)| = max degree
+        H = Hypergraph(5, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert Delta(H) == pytest.approx(3.0)
+
+
+class TestProfile:
+    def test_counts_keyed_by_subset_and_size(self):
+        H = Hypergraph(4, [(0, 1, 2)])
+        prof = degree_profile(H)
+        assert prof.counts[((0,), 3)] == 1
+        assert prof.counts[((0, 1), 3)] == 1
+        assert ((0, 1, 2), 3) not in prof.counts  # proper subsets only
+
+    def test_singleton_edges_ignored(self):
+        H = Hypergraph(4, [(0,), (1, 2)])
+        prof = degree_profile(H)
+        assert all(i >= 2 for (_, i) in prof.counts)
+
+    def test_delta_by_size_consistent(self):
+        H = Hypergraph(6, [(0, 1), (0, 1, 2), (3, 4, 5)])
+        prof = degree_profile(H)
+        assert set(prof.delta_by_size) == {2, 3}
+
+
+class TestPotentials:
+    def test_v_ladder_monotone_scaling(self):
+        H = sunflower(2, 9, 2)  # dimension 4
+        f = lambda i: 2
+        F = lambda i: 2 * max(i - 1, 0)
+        pots = kelsen_potentials(H, f, F)
+        d = H.dimension
+        assert set(pots.v) == set(range(2, d + 1))
+        # v_i ≥ (log n)^{f(i)} · v_{i+1}
+        for i in range(2, d):
+            assert pots.v[i] >= (pots.log_n ** f(i)) * pots.v[i + 1] - 1e-9
+
+    def test_thresholds_decreasing(self):
+        H = sunflower(2, 9, 2)
+        f = lambda i: 2
+        F = lambda i: 2 * max(i - 1, 0)
+        pots = kelsen_potentials(H, f, F)
+        ts = [pots.T[j] for j in sorted(pots.T)]
+        assert all(a >= b for a, b in zip(ts, ts[1:]))
+
+    def test_v2_zero_when_dim_lt_2(self):
+        H = Hypergraph(3, [(0,)])
+        pots = kelsen_potentials(H, lambda i: 2, lambda i: 0)
+        assert pots.v2() == 0.0
+
+    def test_explicit_log_n(self):
+        H = sunflower(2, 4, 2)
+        pots = kelsen_potentials(H, lambda i: 1, lambda i: max(i - 1, 0), log_n=2.0)
+        assert pots.log_n == 2.0

@@ -1,0 +1,74 @@
+"""Tests for hypergraph serialisation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.hio import dump, dumps, from_json, load, loads, to_json
+
+
+class TestTextRoundTrip:
+    def test_simple(self, small_mixed):
+        assert loads(dumps(small_mixed)) == small_mixed
+
+    def test_partial_vertices(self):
+        H = Hypergraph(6, [(1, 2)], vertices=[1, 2, 4])
+        assert loads(dumps(H)) == H
+
+    def test_edgeless(self):
+        H = Hypergraph(4)
+        assert loads(dumps(H)) == H
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        universe 4
+
+        0 1  # trailing comment
+        2 3
+        """
+        H = loads(text)
+        assert H.edges == ((0, 1), (2, 3))
+
+    def test_missing_universe_raises(self):
+        with pytest.raises(ValueError, match="universe"):
+            loads("0 1\n")
+
+    def test_malformed_universe_raises(self):
+        with pytest.raises(ValueError):
+            loads("universe 4 5\n")
+
+    def test_non_integer_vertex_raises(self):
+        with pytest.raises(ValueError, match="line"):
+            loads("universe 4\n0 x\n")
+
+    def test_file_object_round_trip(self, triangle):
+        buf = io.StringIO()
+        dump(triangle, buf)
+        buf.seek(0)
+        assert load(buf) == triangle
+
+    def test_path_round_trip(self, triangle, tmp_path):
+        path = tmp_path / "h.txt"
+        dump(triangle, path)
+        assert load(path) == triangle
+
+
+class TestJsonRoundTrip:
+    def test_simple(self, small_mixed):
+        assert from_json(to_json(small_mixed)) == small_mixed
+
+    def test_partial_vertices(self):
+        H = Hypergraph(6, [(1, 2)], vertices=[1, 2, 4])
+        assert from_json(to_json(H)) == H
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            from_json('{"universe": 3}')
+
+    def test_vertices_optional(self):
+        H = from_json('{"universe": 3, "edges": [[0, 1]]}')
+        assert H.num_vertices == 3

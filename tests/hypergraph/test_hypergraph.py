@@ -1,0 +1,203 @@
+"""Tests for the Hypergraph value type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_basic(self):
+        H = Hypergraph(5, [(0, 1, 2), (2, 3)])
+        assert H.num_vertices == 5
+        assert H.num_edges == 2
+        assert H.dimension == 3
+
+    def test_edges_canonicalised(self):
+        H = Hypergraph(5, [(2, 0, 1), (1, 0, 2)])
+        assert H.edges == ((0, 1, 2),)
+
+    def test_duplicate_vertices_in_edge_collapse(self):
+        H = Hypergraph(5, [(1, 1, 2)])
+        assert H.edges == ((1, 2),)
+
+    def test_edge_order_canonical(self):
+        H1 = Hypergraph(5, [(3, 4), (0, 1)])
+        H2 = Hypergraph(5, [(0, 1), (3, 4)])
+        assert H1.edges == H2.edges
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(5, [()])
+
+    def test_edge_outside_universe_rejected(self):
+        with pytest.raises((ValueError, IndexError)):
+            Hypergraph(3, [(1, 5)])
+
+    def test_edge_on_inactive_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(5, [(0, 4)], vertices=[0, 1, 2])
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(-1)
+
+    def test_default_vertices_full_universe(self):
+        H = Hypergraph(4)
+        assert H.vertices.tolist() == [0, 1, 2, 3]
+
+    def test_explicit_vertices_sorted_unique(self):
+        H = Hypergraph(6, vertices=[5, 1, 1, 3])
+        assert H.vertices.tolist() == [1, 3, 5]
+
+
+class TestProperties:
+    def test_dimension_edgeless(self, edgeless):
+        assert edgeless.dimension == 0
+        assert edgeless.min_edge_size == 0
+
+    def test_min_edge_size(self, small_mixed):
+        assert small_mixed.min_edge_size == 2
+        assert small_mixed.dimension == 4
+
+    def test_total_edge_size(self):
+        H = Hypergraph(5, [(0, 1), (1, 2, 3)])
+        assert H.total_edge_size == 5
+
+    def test_edge_sizes_aligned(self, small_mixed):
+        sizes = small_mixed.edge_sizes()
+        assert sizes.tolist() == [len(e) for e in small_mixed.edges]
+
+    def test_len_is_num_edges(self, small_mixed):
+        assert len(small_mixed) == small_mixed.num_edges
+
+    def test_iter_yields_edges(self, triangle):
+        assert list(triangle) == list(triangle.edges)
+
+    def test_repr_mentions_sizes(self, triangle):
+        r = repr(triangle)
+        assert "n=3" in r and "m=3" in r
+
+
+class TestIncidence:
+    def test_shape(self, small_mixed):
+        inc = small_mixed.incidence()
+        assert inc.shape == (small_mixed.num_edges, small_mixed.universe)
+
+    def test_row_sums_are_edge_sizes(self, small_mixed):
+        inc = small_mixed.incidence()
+        row_sums = np.asarray(inc.sum(axis=1)).ravel()
+        assert row_sums.tolist() == small_mixed.edge_sizes().tolist()
+
+    def test_matvec_counts_members(self, triangle):
+        mask = np.array([True, True, False])
+        counts = triangle.incidence() @ mask.astype(np.int64)
+        # edges sorted: (0,1),(0,2),(1,2)
+        assert counts.tolist() == [2, 1, 1]
+
+    def test_cached(self, triangle):
+        assert triangle.incidence() is triangle.incidence()
+
+
+class TestDegrees:
+    def test_degree(self, triangle):
+        assert all(triangle.degree(v) == 2 for v in range(3))
+
+    def test_degree_isolated(self, single_edge):
+        assert single_edge.degree(0) == 0
+
+    def test_max_degree(self, small_mixed):
+        adj = small_mixed.vertex_to_edges()
+        assert small_mixed.max_degree() == max(len(v) for v in adj.values())
+
+    def test_max_degree_edgeless(self, edgeless):
+        assert edgeless.max_degree() == 0
+
+
+class TestQueries:
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge((1, 0))
+        assert not triangle.has_edge((0, 1, 2))
+
+    def test_has_edge_empty_hypergraph(self, edgeless):
+        assert not edgeless.has_edge((0, 1))
+
+    def test_edges_within(self, small_mixed):
+        mask = np.zeros(8, dtype=bool)
+        mask[[0, 1, 2, 3]] = True
+        inside = small_mixed.edges_within(mask)
+        kept = [small_mixed.edges[i] for i in inside.tolist()]
+        assert kept == [(0, 1, 2), (2, 3)]
+
+    def test_edges_touching(self, small_mixed):
+        mask = np.zeros(8, dtype=bool)
+        mask[7] = True
+        touch = small_mixed.edges_touching(mask)
+        touched = {small_mixed.edges[i] for i in touch.tolist()}
+        assert touched == {(6, 7), (0, 4, 7)}
+
+    def test_contains_fully(self, triangle):
+        mask = np.array([True, True, True])
+        assert triangle.contains_fully(mask)
+        mask[0] = False
+        assert triangle.contains_fully(mask)  # (1,2) still inside
+        mask[1] = False
+        assert not triangle.contains_fully(mask)
+
+    def test_mask_shape_checked(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.edges_within(np.zeros(5, dtype=bool))
+
+    def test_vertex_mask(self):
+        H = Hypergraph(5, vertices=[1, 3])
+        assert H.vertex_mask().tolist() == [False, True, False, True, False]
+
+
+class TestSubhypergraphs:
+    def test_induced_keeps_contained_edges_only(self, small_mixed):
+        sub = small_mixed.induced([0, 1, 2, 3])
+        assert sub.edges == ((0, 1, 2), (2, 3))
+        assert sub.vertices.tolist() == [0, 1, 2, 3]
+
+    def test_induced_empty(self, small_mixed):
+        sub = small_mixed.induced([])
+        assert sub.num_edges == 0
+        assert sub.num_vertices == 0
+
+    def test_induced_universe_preserved(self, small_mixed):
+        sub = small_mixed.induced([0, 1])
+        assert sub.universe == small_mixed.universe
+
+    def test_without_vertices(self, small_mixed):
+        rest = small_mixed.without_vertices([2])
+        assert all(2 not in e for e in rest.edges)
+        assert 2 not in rest.vertices.tolist()
+        # edges not touching 2 survive
+        assert (6, 7) in rest.edges
+
+    def test_replace_edges(self, triangle):
+        H2 = triangle.replace(edges=[(0, 1)])
+        assert H2.edges == ((0, 1),)
+        assert triangle.num_edges == 3  # original unchanged
+
+
+class TestEquality:
+    def test_equal(self):
+        assert Hypergraph(4, [(0, 1)]) == Hypergraph(4, [(1, 0)])
+
+    def test_differs_by_edges(self):
+        assert Hypergraph(4, [(0, 1)]) != Hypergraph(4, [(0, 2)])
+
+    def test_differs_by_universe(self):
+        assert Hypergraph(4, [(0, 1)]) != Hypergraph(5, [(0, 1)])
+
+    def test_differs_by_vertices(self):
+        assert Hypergraph(4, vertices=[0, 1]) != Hypergraph(4)
+
+    def test_hashable(self):
+        assert hash(Hypergraph(4, [(0, 1)])) == hash(Hypergraph(4, [(1, 0)]))
+
+    def test_not_equal_other_type(self):
+        assert Hypergraph(2) != "hypergraph"

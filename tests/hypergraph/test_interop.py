@@ -1,0 +1,108 @@
+"""Tests for NetworkX interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import luby_mis
+from repro.generators import sparse_random_graph, uniform_hypergraph
+from repro.hypergraph import Hypergraph, is_independent
+from repro.hypergraph.interop import (
+    from_bipartite,
+    graph_to_hypergraph,
+    hypergraph_to_graph,
+    to_bipartite,
+    two_section,
+)
+
+
+class TestBipartite:
+    def test_round_trip(self, small_mixed):
+        assert from_bipartite(to_bipartite(small_mixed)) == small_mixed
+
+    def test_round_trip_partial_vertices(self):
+        H = Hypergraph(7, [(1, 2, 3)], vertices=[1, 2, 3, 5])
+        assert from_bipartite(to_bipartite(H)) == H
+
+    def test_structure(self, triangle):
+        G = to_bipartite(triangle)
+        vertex_nodes = [n for n, d in G.nodes(data=True) if d["bipartite"] == 0]
+        edge_nodes = [n for n, d in G.nodes(data=True) if d["bipartite"] == 1]
+        assert len(vertex_nodes) == 3 and len(edge_nodes) == 3
+        assert nx.is_bipartite(G)
+
+    def test_degree_matches_membership(self, small_mixed):
+        G = to_bipartite(small_mixed)
+        for i, e in enumerate(small_mixed.edges):
+            assert G.degree(("e", i)) == len(e)
+
+    def test_missing_universe_rejected(self):
+        with pytest.raises(ValueError, match="universe"):
+            from_bipartite(nx.Graph())
+
+    def test_missing_bipartite_attr_rejected(self):
+        G = nx.Graph(universe=2)
+        G.add_node(0)
+        with pytest.raises(ValueError, match="bipartite"):
+            from_bipartite(G)
+
+    def test_random_round_trip(self):
+        H = uniform_hypergraph(30, 40, 3, seed=0)
+        assert from_bipartite(to_bipartite(H)) == H
+
+
+class TestTwoSection:
+    def test_clique_per_edge(self):
+        H = Hypergraph(5, [(0, 1, 2)])
+        G = two_section(H)
+        assert set(G.edges()) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_mis_of_two_section_is_strong_is(self, small_mixed):
+        G = two_section(small_mixed)
+        # maximal IS of the 2-section via networkx
+        I = nx.maximal_independent_set(G, seed=0)
+        assert is_independent(small_mixed, I)
+
+    def test_isolated_vertices_present(self, single_edge):
+        G = two_section(single_edge)
+        assert set(G.nodes()) == {0, 1, 2, 3, 4}
+
+
+class TestGraphConversion:
+    def test_round_trip_integer_graph(self):
+        G = nx.path_graph(6)
+        H = graph_to_hypergraph(G)
+        G2 = hypergraph_to_graph(H)
+        assert set(G.edges()) == set(G2.edges())
+
+    def test_string_nodes_relabelled(self):
+        G = nx.Graph()
+        G.add_edge("a", "b")
+        H = graph_to_hypergraph(G)
+        assert H.num_vertices == 2 and H.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        G = nx.Graph()
+        G.add_edge(0, 0)
+        G.add_edge(0, 1)
+        H = graph_to_hypergraph(G)
+        assert H.edges == ((0, 1),)
+
+    def test_non_graph_rejected(self, small_mixed):
+        with pytest.raises(ValueError, match="2-uniform"):
+            hypergraph_to_graph(small_mixed)
+
+    def test_luby_on_imported_graph(self):
+        G = nx.erdos_renyi_graph(50, 0.08, seed=1)
+        H = graph_to_hypergraph(G)
+        res = luby_mis(H, seed=0)
+        res.verify(H)
+        # cross-check against the original graph directly
+        chosen = set(res.independent_set.tolist())
+        assert not any(u in chosen and v in chosen for u, v in G.edges())
+
+    def test_export_matches_generator(self):
+        H = sparse_random_graph(20, 3.0, seed=0)
+        G = hypergraph_to_graph(H)
+        assert G.number_of_edges() == H.num_edges

@@ -1,0 +1,249 @@
+"""Tests for hypergraph update operations (BL/SBL cleanup rules)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    normalize,
+    remove_edges_touching,
+    remove_singleton_edges,
+    remove_superset_edges,
+    trim_vertices,
+)
+
+
+class TestTrimVertices:
+    def test_removes_from_edges_and_vertices(self):
+        H = Hypergraph(5, [(0, 1, 2), (2, 3)])
+        H2 = trim_vertices(H, [0])
+        assert H2.edges == ((1, 2), (2, 3))
+        assert 0 not in H2.vertices.tolist()
+
+    def test_untouched_edges_survive(self):
+        H = Hypergraph(5, [(0, 1), (3, 4)])
+        H2 = trim_vertices(H, [0])
+        assert (3, 4) in H2.edges
+
+    def test_empty_edge_raises(self):
+        H = Hypergraph(4, [(1, 2)])
+        with pytest.raises(ValueError):
+            trim_vertices(H, [1, 2])
+
+    def test_noop_on_disjoint_set(self):
+        H = Hypergraph(5, [(0, 1)])
+        H2 = trim_vertices(H, [4])
+        assert H2.edges == H.edges
+
+    def test_out_of_universe_raises(self):
+        H = Hypergraph(3, [(0, 1)])
+        with pytest.raises(IndexError):
+            trim_vertices(H, [7])
+
+    def test_accepts_numpy_array(self):
+        H = Hypergraph(5, [(0, 1, 2)])
+        H2 = trim_vertices(H, np.array([0]))
+        assert H2.edges == ((1, 2),)
+
+
+class TestRemoveEdgesTouching:
+    def test_drops_touching_only(self):
+        H = Hypergraph(6, [(0, 1), (2, 3), (1, 4)])
+        H2 = remove_edges_touching(H, [1])
+        assert H2.edges == ((2, 3),)
+
+    def test_vertices_unchanged(self):
+        H = Hypergraph(6, [(0, 1)])
+        H2 = remove_edges_touching(H, [0])
+        assert H2.num_vertices == 6
+
+    def test_empty_set_noop(self):
+        H = Hypergraph(6, [(0, 1)])
+        assert remove_edges_touching(H, []).edges == H.edges
+
+
+class TestRemoveSupersetEdges:
+    def test_superset_dropped_subset_kept(self):
+        H = Hypergraph(5, [(0, 1), (0, 1, 2)])
+        H2 = remove_superset_edges(H)
+        assert H2.edges == ((0, 1),)
+
+    def test_chain_of_supersets(self):
+        H = Hypergraph(6, [(0,), (0, 1), (0, 1, 2), (0, 1, 2, 3)])
+        H2 = remove_superset_edges(H)
+        assert H2.edges == ((0,),)
+
+    def test_incomparable_edges_kept(self):
+        H = Hypergraph(6, [(0, 1, 2), (1, 2, 3), (3, 4)])
+        H2 = remove_superset_edges(H)
+        assert H2.num_edges == 3
+
+    def test_empty_and_single(self):
+        assert remove_superset_edges(Hypergraph(3)).num_edges == 0
+        H = Hypergraph(3, [(0, 1)])
+        assert remove_superset_edges(H).num_edges == 1
+
+    def test_matches_bruteforce_on_random(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = 12
+            edges = []
+            for _ in range(15):
+                size = int(rng.integers(1, 5))
+                edges.append(tuple(sorted(rng.choice(n, size, replace=False).tolist())))
+            H = Hypergraph(n, edges)
+            got = set(remove_superset_edges(H).edges)
+            sets = [frozenset(e) for e in H.edges]
+            expect = {
+                e
+                for e, fs in zip(H.edges, sets)
+                if not any(other < fs for other in sets)
+            }
+            assert got == expect
+
+
+class TestRemoveSingletonEdges:
+    def test_vertex_and_edge_removed(self):
+        H = Hypergraph(4, [(2,), (0, 1)])
+        H2, red = remove_singleton_edges(H)
+        assert red.tolist() == [2]
+        assert H2.edges == ((0, 1),)
+        assert 2 not in H2.vertices.tolist()
+
+    def test_edges_touching_singleton_vertex_dropped(self):
+        H = Hypergraph(4, [(2,), (2, 3)])
+        H2, red = remove_singleton_edges(H)
+        assert H2.num_edges == 0
+        assert 3 in H2.vertices.tolist()  # 3 survives, its constraint was vacuous
+
+    def test_no_singletons_is_noop(self):
+        H = Hypergraph(4, [(0, 1)])
+        H2, red = remove_singleton_edges(H)
+        assert red.size == 0
+        assert H2.edges == H.edges
+
+
+class TestNormalizeAfterTrim:
+    """The fused incremental cleanup must equal normalize ∘ trim exactly."""
+
+    def _random_normal_hypergraph(self, rng, n=14, m=12):
+        from repro.hypergraph import normalize as _normalize
+
+        edges = []
+        for _ in range(m):
+            size = int(rng.integers(2, 5))
+            edges.append(tuple(sorted(rng.choice(n, size, replace=False).tolist())))
+        H, _ = _normalize(Hypergraph(n, edges))
+        return H
+
+    def test_differential_random(self):
+        import numpy as np
+
+        from repro.hypergraph.ops import normalize_after_trim
+
+        rng = np.random.default_rng(0)
+        checked = 0
+        for trial in range(200):
+            H = self._random_normal_hypergraph(rng)
+            # a trim set that empties no edge
+            candidates = H.vertices.tolist()
+            rng.shuffle(candidates)
+            trim = []
+            protected = {e: len(e) for e in H.edges}
+            for v in candidates[: len(candidates) // 2]:
+                ok = True
+                for e in H.edges:
+                    if v in e:
+                        if protected[e] <= 1:
+                            ok = False
+                            break
+                if ok:
+                    trim.append(v)
+                    for e in H.edges:
+                        if v in e:
+                            protected[e] -= 1
+            if not trim:
+                continue
+            checked += 1
+            fused, red_fast = normalize_after_trim(H, trim)
+            slow, red_slow = normalize(trim_vertices(H, trim))
+            assert fused == slow, (H.edges, trim)
+            assert red_fast.tolist() == red_slow.tolist()
+        assert checked > 100
+
+    def test_empty_edge_raises(self):
+        from repro.hypergraph.ops import normalize_after_trim
+
+        H = Hypergraph(4, [(0, 1)])
+        with pytest.raises(ValueError, match="empty"):
+            normalize_after_trim(H, [0, 1])
+
+    def test_dedup_collision_counts_as_changed(self):
+        """Two edges shrinking onto the same survivor must still trigger
+        the containment scan for it."""
+        from repro.hypergraph.ops import normalize_after_trim
+
+        # (0,1,2) and (0,1,3) both shrink to (0,1) when {2,3} trimmed;
+        # (0,1) then swallows nothing, but a superset (0,1,4) must go.
+        H = Hypergraph(6, [(0, 1, 2), (0, 1, 3), (0, 1, 4)])
+        fused, red = normalize_after_trim(H, [2, 3])
+        slow, _ = normalize(trim_vertices(H, [2, 3]))
+        assert fused == slow
+        assert fused.edges == ((0, 1),)
+
+    def test_changed_edge_swallowing_untouched(self):
+        from repro.hypergraph.ops import normalize_after_trim
+
+        # (2,3) untouched; (1,2,3,4) trims to (2,3,4)?? no — trim 1 only:
+        # (1,2,3) → (2,3): collides with untouched (2,3)... use a proper
+        # superset case: (1,2,3,4) trim {1} → (2,3,4) ⊃ (2,3): drop it.
+        H = Hypergraph(6, [(2, 3), (1, 2, 3, 4)])
+        fused, _ = normalize_after_trim(H, [1])
+        assert fused.edges == ((2, 3),)
+
+    def test_singleton_cascade(self):
+        from repro.hypergraph.ops import normalize_after_trim
+
+        # (0,1) trims to (1): singleton → vertex 1 red, edge (1,5) dropped.
+        H = Hypergraph(6, [(0, 1), (1, 5), (2, 3, 4)])
+        fused, red = normalize_after_trim(H, [0])
+        assert red.tolist() == [1]
+        assert fused.edges == ((2, 3, 4),)
+        assert 1 not in fused.vertices.tolist()
+
+
+class TestNormalize:
+    def test_fixed_point_combined(self):
+        # (0,1,2) ⊇ (0,1); (3,) singleton kills 3 and the (3,4) edge.
+        H = Hypergraph(6, [(0, 1, 2), (0, 1), (3,), (3, 4)])
+        H2, red = normalize(H)
+        assert H2.edges == ((0, 1),)
+        assert red.tolist() == [3]
+
+    def test_cascading_singletons(self):
+        # Removing superset (0,1) of (0,) exposes nothing; singleton 0 kills
+        # edge (0,2) making 2 free.
+        H = Hypergraph(4, [(0,), (0, 1), (0, 2)])
+        H2, red = normalize(H)
+        assert H2.num_edges == 0
+        assert red.tolist() == [0]
+
+    def test_superset_then_new_singleton(self):
+        # (1,2) ⊂ (1,2,3): drop superset. Then (1,) singleton → removes 1,
+        # kills (1,2) → edgeless.
+        H = Hypergraph(5, [(1,), (1, 2), (1, 2, 3)])
+        H2, red = normalize(H)
+        assert H2.num_edges == 0
+        assert red.tolist() == [1]
+
+    def test_noop_already_normal(self):
+        H = Hypergraph(5, [(0, 1), (2, 3, 4)])
+        H2, red = normalize(H)
+        assert H2.edges == H.edges
+        assert red.size == 0
+
+    def test_terminates_on_edgeless(self):
+        H2, red = normalize(Hypergraph(3))
+        assert H2.num_edges == 0 and red.size == 0

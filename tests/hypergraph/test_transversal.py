@@ -1,0 +1,101 @@
+"""Tests for the MIS ↔ minimal-transversal duality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import beame_luby, greedy_mis, karp_upfal_wigderson
+from repro.generators import uniform_hypergraph
+from repro.hypergraph import Hypergraph, is_maximal_independent
+from repro.hypergraph.transversal import (
+    complement,
+    is_minimal_transversal,
+    is_transversal,
+    minimal_transversal,
+)
+
+
+class TestIsTransversal:
+    def test_hits_all(self, triangle):
+        assert is_transversal(triangle, [0, 1])  # hits (0,1),(0,2),(1,2)
+
+    def test_misses_an_edge(self, triangle):
+        assert not is_transversal(triangle, [0])  # misses (1,2)
+
+    def test_edgeless_vacuous(self, edgeless):
+        assert is_transversal(edgeless, [])
+        assert is_transversal(edgeless, [3])
+
+    def test_full_set_always_transversal(self, small_mixed):
+        assert is_transversal(small_mixed, range(8))
+
+
+class TestIsMinimal:
+    def test_minimal_example(self, triangle):
+        # {1, 2} hits all three edges; both essential ((0,1) only by 1,
+        # (0,2) only by 2)
+        assert is_minimal_transversal(triangle, [1, 2])
+
+    def test_redundant_vertex(self, triangle):
+        assert not is_minimal_transversal(triangle, [0, 1, 2])
+
+    def test_non_transversal_not_minimal(self, triangle):
+        assert not is_minimal_transversal(triangle, [0])
+
+    def test_edgeless_only_empty_minimal(self, edgeless):
+        assert is_minimal_transversal(edgeless, [])
+        assert not is_minimal_transversal(edgeless, [0])
+
+    def test_degree_zero_member_never_minimal(self, single_edge):
+        # vertex 0 touches no edge
+        assert not is_minimal_transversal(single_edge, [0, 1])
+
+
+class TestDuality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mis_complement_is_minimal_transversal(self, seed):
+        H = uniform_hypergraph(40, 70, 3, seed=seed)
+        res = beame_luby(H, seed=seed)
+        T = complement(H, res.independent_set)
+        assert is_transversal(H, T)
+        assert is_minimal_transversal(H, T)
+
+    def test_minimal_transversal_helper(self):
+        H = uniform_hypergraph(50, 90, 3, seed=1)
+        T = minimal_transversal(H, karp_upfal_wigderson, seed=2)
+        assert is_minimal_transversal(H, T)
+
+    def test_complement_of_minimal_transversal_is_mis(self):
+        H = uniform_hypergraph(40, 70, 3, seed=3)
+        T = minimal_transversal(H, greedy_mis, seed=3)
+        I = complement(H, T)
+        assert is_maximal_independent(H, I)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_duality_random(self, seed):
+        H = uniform_hypergraph(20, 30, 3, seed=seed)
+        res = greedy_mis(H, seed=seed)
+        T = complement(H, res.independent_set)
+        # both directions of the theorem
+        assert is_minimal_transversal(H, T) == is_maximal_independent(
+            H, res.independent_set
+        )
+        assert is_minimal_transversal(H, T)
+
+    def test_duality_breaks_for_non_maximal(self, small_mixed):
+        """A non-maximal IS complements to a non-minimal transversal."""
+        I = []  # empty set: independent but not maximal
+        T = complement(small_mixed, I)
+        assert is_transversal(small_mixed, T)
+        assert not is_minimal_transversal(small_mixed, T)
+
+    def test_partial_vertex_set(self):
+        H = Hypergraph(8, [(1, 2), (2, 3)], vertices=[1, 2, 3, 5])
+        res = greedy_mis(H, seed=0)
+        T = complement(H, res.independent_set)
+        assert set(T.tolist()) <= {1, 2, 3, 5}
+        assert is_minimal_transversal(H, T)

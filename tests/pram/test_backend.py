@@ -1,0 +1,96 @@
+"""Tests for execution backends (serial and process-pool)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hypergraph import Hypergraph
+from repro.pram import ProcessBackend, SerialBackend
+
+
+class TestSerialBackend:
+    def test_bernoulli_deterministic(self):
+        b = SerialBackend()
+        a = b.bernoulli(42, 1000, 0.3)
+        c = b.bernoulli(42, 1000, 0.3)
+        assert np.array_equal(a, c)
+
+    def test_bernoulli_rate(self):
+        b = SerialBackend()
+        marks = b.bernoulli(0, 20000, 0.25)
+        assert abs(marks.mean() - 0.25) < 0.02
+
+    def test_bernoulli_extremes(self):
+        b = SerialBackend()
+        assert not b.bernoulli(0, 100, 0.0).any()
+        assert b.bernoulli(0, 100, 1.0).all()
+
+    def test_bernoulli_empty(self):
+        assert SerialBackend().bernoulli(0, 0, 0.5).size == 0
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            SerialBackend().bernoulli(0, 10, 1.5)
+
+    def test_chunking_invariance(self):
+        """Same seed, different chunk sizes: chunk boundaries change draws,
+        but each fixed chunk size is self-consistent."""
+        a = SerialBackend(chunk_size=64).bernoulli(9, 200, 0.5)
+        b = SerialBackend(chunk_size=64).bernoulli(9, 200, 0.5)
+        assert np.array_equal(a, b)
+
+    def test_edge_mark_counts(self, small_mixed):
+        be = SerialBackend()
+        marked = np.zeros(small_mixed.universe, dtype=bool)
+        marked[[0, 1, 2]] = True
+        counts = be.edge_mark_counts(small_mixed.incidence(), marked)
+        expected = [sum(v in (0, 1, 2) for v in e) for e in small_mixed.edges]
+        assert counts.tolist() == expected
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            SerialBackend(chunk_size=0)
+
+
+@pytest.mark.slow
+class TestProcessBackend:
+    def test_matches_serial(self):
+        with ProcessBackend(workers=2, chunk_size=128) as pb:
+            sb = SerialBackend(chunk_size=128)
+            a = pb.bernoulli(7, 1000, 0.4)
+            b = sb.bernoulli(7, 1000, 0.4)
+            assert np.array_equal(a, b)
+
+    def test_edge_counts_match_serial(self):
+        H = Hypergraph(50, [(i, i + 1, i + 2) for i in range(48)])
+        marked = np.zeros(50, dtype=bool)
+        marked[::2] = True
+        with ProcessBackend(workers=2, chunk_size=16) as pb:
+            a = pb.edge_mark_counts(H.incidence(), marked)
+        b = SerialBackend().edge_mark_counts(H.incidence(), marked)
+        assert np.array_equal(a, b)
+
+    def test_empty_inputs(self):
+        with ProcessBackend(workers=1) as pb:
+            assert pb.bernoulli(0, 0, 0.5).size == 0
+            empty = sp.csr_matrix((0, 10), dtype=np.int64)
+            assert pb.edge_mark_counts(empty, np.zeros(10, dtype=bool)).size == 0
+
+    def test_closed_backend_raises(self):
+        pb = ProcessBackend(workers=1)
+        pb.close()
+        with pytest.raises(RuntimeError):
+            pb.bernoulli(0, 10, 0.5)
+
+    def test_close_idempotent(self):
+        pb = ProcessBackend(workers=1)
+        pb.close()
+        pb.close()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=0)
+        with pytest.raises(ValueError):
+            ProcessBackend(chunk_size=0)

@@ -1,0 +1,112 @@
+"""Tests for the certified EREW BL-round program."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bl import apply_bl_round
+from repro.generators import sunflower, uniform_hypergraph
+from repro.hypergraph import Hypergraph
+from repro.pram.bl_program import BLRoundProgram, run_bl_round_program
+
+
+def reference_resolution(H: Hypergraph, marked: np.ndarray):
+    """The NumPy ground truth: fully-marked edges and surviving marks."""
+    marked = marked & H.vertex_mask()
+    if H.num_edges:
+        counts = H.incidence() @ marked.astype(np.int64)
+        fully = counts == H.edge_sizes()
+    else:
+        fully = np.zeros(0, dtype=bool)
+    unmark = np.zeros(H.universe, dtype=bool)
+    for i in np.flatnonzero(fully).tolist():
+        for v in H.edges[i]:
+            unmark[v] = True
+    return fully, marked & ~unmark
+
+
+class TestAgainstGroundTruth:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        H = uniform_hypergraph(20, 25, 3, seed=seed)
+        rng = np.random.default_rng(seed)
+        marked = rng.random(H.universe) < 0.5
+        fully, survivors, steps = run_bl_round_program(H, marked)
+        ref_fully, ref_surv = reference_resolution(H, marked)
+        assert np.array_equal(fully, ref_fully)
+        assert np.array_equal(survivors, ref_surv)
+
+    def test_shared_vertex_unmarked_once(self):
+        """A vertex in two fully marked edges (the concurrent-write trap)."""
+        H = Hypergraph(5, [(0, 1, 2), (2, 3, 4)])
+        marked = np.ones(5, dtype=bool)
+        fully, survivors, _ = run_bl_round_program(H, marked)
+        assert fully.all()
+        assert not survivors.any()
+
+    def test_high_degree_vertex(self):
+        """deg(v) concurrent reads resolved by the segmented broadcast."""
+        H = sunflower(1, 9, 2)  # vertex 0 in nine edges
+        marked = np.zeros(H.universe, dtype=bool)
+        marked[0] = True
+        fully, survivors, _ = run_bl_round_program(H, marked)
+        assert not fully.any()
+        assert survivors[0]
+
+    def test_partial_marking(self):
+        H = Hypergraph(6, [(0, 1), (1, 2, 3), (4, 5)])
+        marked = np.array([True, True, False, False, True, True])
+        fully, survivors, _ = run_bl_round_program(H, marked)
+        assert fully.tolist() == [True, False, True]
+        assert survivors.tolist() == [False] * 6
+
+    def test_edgeless(self):
+        H = Hypergraph(4)
+        marked = np.array([True, False, True, False])
+        fully, survivors, _ = run_bl_round_program(H, marked)
+        assert fully.size == 0
+        assert np.array_equal(survivors, marked)
+
+    def test_inactive_vertices_ignored(self):
+        H = Hypergraph(6, [(1, 2)], vertices=[1, 2, 3])
+        marked = np.ones(6, dtype=bool)  # marks outside active set ignored
+        fully, survivors, _ = run_bl_round_program(H, marked)
+        assert fully.tolist() == [True]
+        assert survivors.tolist() == [False, False, False, True, False, False]
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_apply_bl_round_commit(self, seed):
+        """The program's survivors are exactly what apply_bl_round commits."""
+        H = uniform_hypergraph(15, 18, 3, seed=seed)
+        rng = np.random.default_rng(seed)
+        marked = rng.random(H.universe) < 0.4
+        _, survivors, _ = run_bl_round_program(H, marked)
+        _, added, _, _ = apply_bl_round(H, marked)
+        assert set(np.flatnonzero(survivors).tolist()) == set(added.tolist())
+
+
+class TestDepth:
+    def test_logarithmic_step_count(self):
+        H = uniform_hypergraph(40, 60, 4, seed=0)
+        prog = BLRoundProgram(H)
+        bound = 2 * math.log2(max(prog.seg_v, 2)) + 2 * math.log2(max(prog.seg_e, 2)) + 8
+        rng = np.random.default_rng(0)
+        marked = rng.random(H.universe) < 0.3
+        from repro.pram import EREWSimulator
+
+        sim = EREWSimulator(max(prog.vm_total, prog.em_total, prog.num_vertices))
+        prog.run(sim, marked)
+        assert prog.steps <= bound
+
+    def test_layout_sizes_are_padded_powers(self):
+        H = uniform_hypergraph(30, 40, 3, seed=1)
+        prog = BLRoundProgram(H)
+        assert prog.seg_e >= 3 and (prog.seg_e & (prog.seg_e - 1)) == 0
+        assert prog.seg_v >= H.max_degree()
+        assert (prog.seg_v & (prog.seg_v - 1)) == 0

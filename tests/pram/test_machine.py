@@ -1,0 +1,152 @@
+"""Tests for the PRAM cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pram import CostModel, CountingMachine, NullMachine
+
+
+class TestNullMachine:
+    def test_charges_dropped(self):
+        m = NullMachine()
+        m.map(100)
+        m.reduce(100)
+        m.scan(100)
+        m.broadcast(100)
+        # NullMachine has no counters; simply must not raise.
+
+    def test_all_helpers_accept_zero(self):
+        m = NullMachine()
+        m.map(0)
+        m.reduce(0)
+        m.scan(0)
+        m.broadcast(0)
+        m.sort(0)
+        m.compact(0)
+
+
+class TestCountingMachineSteps:
+    def test_map(self):
+        m = CountingMachine()
+        m.map(8)
+        assert (m.depth, m.work, m.max_processors) == (1, 8, 8)
+
+    def test_map_op_depth(self):
+        m = CountingMachine()
+        m.map(4, op_depth=3)
+        assert (m.depth, m.work) == (3, 12)
+
+    def test_reduce_log_depth(self):
+        m = CountingMachine()
+        m.reduce(8)
+        assert m.depth == 3
+        assert m.work == 7
+
+    def test_reduce_nonpow2(self):
+        m = CountingMachine()
+        m.reduce(9)
+        assert m.depth == 4
+
+    def test_reduce_single(self):
+        m = CountingMachine()
+        m.reduce(1)
+        assert m.depth == 1
+
+    def test_scan_two_sweeps(self):
+        m = CountingMachine()
+        m.scan(8)
+        assert m.depth == 6
+        assert m.work == 16
+
+    def test_broadcast_erew_is_log(self):
+        m = CountingMachine()
+        m.broadcast(8)
+        assert m.depth == 3
+
+    def test_broadcast_crew_is_constant(self):
+        m = CountingMachine(model=CostModel.CREW)
+        m.broadcast(8)
+        assert m.depth == 1
+
+    def test_sort_log_squared(self):
+        m = CountingMachine()
+        m.sort(16)
+        assert m.depth == 16  # (log2 16)^2
+
+    def test_compact_is_scan_plus_map(self):
+        m1 = CountingMachine()
+        m1.compact(8)
+        m2 = CountingMachine()
+        m2.scan(8)
+        m2.map(8)
+        assert m1.depth == m2.depth and m1.work == m2.work
+
+    def test_sync(self):
+        m = CountingMachine()
+        m.sync()
+        assert (m.depth, m.work) == (1, 0)
+
+    def test_accumulation(self):
+        m = CountingMachine()
+        m.map(4)
+        m.map(4)
+        assert m.depth == 2 and m.work == 8
+
+    def test_negative_charge_rejected(self):
+        m = CountingMachine()
+        with pytest.raises(ValueError):
+            m.charge(-1, 0, 0)
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        m = CountingMachine()
+        with m.phase("mark"):
+            m.map(10)
+        m.map(5)
+        assert m.phases["mark"].work == 10
+        assert m.work == 15
+
+    def test_nested_phases_both_charged(self):
+        m = CountingMachine()
+        with m.phase("outer"):
+            with m.phase("inner"):
+                m.map(3)
+        assert m.phases["outer"].work == 3
+        assert m.phases["inner"].work == 3
+
+    def test_phase_stack_unwinds_on_error(self):
+        m = CountingMachine()
+        with pytest.raises(RuntimeError):
+            with m.phase("x"):
+                raise RuntimeError("boom")
+        m.map(1)
+        assert "x" not in m.phases or m.phases["x"].work == 0
+
+
+class TestBrent:
+    def test_brent_time(self):
+        m = CountingMachine()
+        m.charge(10, 1000, 100)
+        assert m.brent_time(10) == pytest.approx(110.0)
+
+    def test_brent_one_processor_is_work_plus_depth(self):
+        m = CountingMachine()
+        m.charge(5, 50, 10)
+        assert m.brent_time(1) == pytest.approx(55.0)
+
+    def test_brent_invalid(self):
+        with pytest.raises(ValueError):
+            CountingMachine().brent_time(0)
+
+
+class TestSnapshot:
+    def test_snapshot_keys(self):
+        m = CountingMachine()
+        m.map(4)
+        snap = m.snapshot()
+        assert snap == {"depth": 1, "work": 4, "max_processors": 4}
+
+    def test_repr(self):
+        assert "depth=0" in repr(CountingMachine())

@@ -1,0 +1,95 @@
+"""Tests for computing-and-charging PRAM primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pram import (
+    CountingMachine,
+    NullMachine,
+    broadcast,
+    compact,
+    exclusive_scan,
+    inclusive_scan,
+    pmap,
+    preduce,
+)
+
+
+class TestPmap:
+    def test_computes_and_charges(self):
+        m = CountingMachine()
+        out = pmap(m, lambda x: x * 2, np.arange(5))
+        assert out.tolist() == [0, 2, 4, 6, 8]
+        assert m.work == 5
+
+    def test_op_depth(self):
+        m = CountingMachine()
+        pmap(m, lambda x: x, np.arange(4), op_depth=2)
+        assert m.depth == 2
+
+
+class TestPreduce:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("sum", 10), ("max", 4), ("min", 1), ("any", True), ("all", True)],
+    )
+    def test_ops(self, op, expected):
+        m = NullMachine()
+        assert preduce(m, np.array([1, 2, 3, 4]), op) == expected
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            preduce(NullMachine(), np.arange(3), "median")
+
+    def test_charges_log_depth(self):
+        m = CountingMachine()
+        preduce(m, np.arange(16))
+        assert m.depth == 4
+
+
+class TestScans:
+    def test_inclusive_matches_cumsum(self):
+        x = np.array([3, 1, 4, 1, 5])
+        assert inclusive_scan(NullMachine(), x).tolist() == np.cumsum(x).tolist()
+
+    def test_exclusive_shifts(self):
+        x = np.array([3, 1, 4])
+        assert exclusive_scan(NullMachine(), x).tolist() == [0, 3, 4]
+
+    def test_exclusive_empty_and_single(self):
+        assert exclusive_scan(NullMachine(), np.array([], dtype=int)).size == 0
+        assert exclusive_scan(NullMachine(), np.array([7])).tolist() == [0]
+
+    def test_scan_identity(self):
+        """inclusive[i] == exclusive[i] + x[i] — the defining relation."""
+        x = np.arange(1, 9)
+        inc = inclusive_scan(NullMachine(), x)
+        exc = exclusive_scan(NullMachine(), x)
+        assert np.array_equal(inc, exc + x)
+
+
+class TestBroadcastCompact:
+    def test_broadcast_values(self):
+        out = broadcast(NullMachine(), 7, 4)
+        assert out.tolist() == [7, 7, 7, 7]
+
+    def test_broadcast_charges_erew(self):
+        m = CountingMachine()
+        broadcast(m, 1, 8)
+        assert m.depth == 3
+
+    def test_compact(self):
+        x = np.array([10, 20, 30, 40])
+        keep = np.array([True, False, True, False])
+        assert compact(NullMachine(), x, keep).tolist() == [10, 30]
+
+    def test_compact_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compact(NullMachine(), np.arange(3), np.array([True]))
+
+    def test_compact_charges_scan(self):
+        m = CountingMachine()
+        compact(m, np.arange(8), np.ones(8, dtype=bool))
+        assert m.depth == 2 * 3 + 1  # scan + map

@@ -1,0 +1,104 @@
+"""Unit tests for the segmented EREW programs (used by the BL-round program)."""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram.programs import segmented_broadcast, segmented_combine
+from repro.pram.simulator import EREWSimulator
+
+
+def _sim_with(values):
+    sim = EREWSimulator(len(values))
+    sim.alloc("x", list(values))
+    return sim
+
+
+class TestSegmentedBroadcast:
+    def test_heads_copied(self):
+        sim = _sim_with([5, 0, 0, 0, 7, 0, 0, 0])
+        steps = segmented_broadcast(sim, "x", 4, 2)
+        assert sim.memory("x").tolist() == [5, 5, 5, 5, 7, 7, 7, 7]
+        assert steps == 2
+
+    def test_segment_size_one_is_noop(self):
+        sim = _sim_with([1, 2, 3])
+        assert segmented_broadcast(sim, "x", 1, 3) == 0
+        assert sim.memory("x").tolist() == [1, 2, 3]
+
+    def test_single_segment_equals_broadcast(self):
+        sim = _sim_with([9, 0, 0, 0, 0, 0, 0, 0])
+        segmented_broadcast(sim, "x", 8, 1)
+        assert sim.memory("x").tolist() == [9.0] * 8
+
+    def test_non_power_of_two_rejected(self):
+        sim = _sim_with([0] * 6)
+        with pytest.raises(ValueError):
+            segmented_broadcast(sim, "x", 3, 2)
+
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_layout(self, log_seg, num_segs):
+        seg = 1 << log_seg
+        heads = list(range(10, 10 + num_segs))
+        values = []
+        for h in heads:
+            values.extend([h] + [0] * (seg - 1))
+        sim = _sim_with(values)
+        segmented_broadcast(sim, "x", seg, num_segs)
+        expect = [h for h in heads for _ in range(seg)]
+        assert sim.memory("x").tolist() == expect
+
+
+class TestSegmentedCombine:
+    def test_sum_per_segment(self):
+        sim = _sim_with([1, 2, 3, 4, 10, 20, 30, 40])
+        steps = segmented_combine(sim, "x", 4, 2)
+        got = sim.memory("x")[::4].tolist()
+        assert got == [10, 100]
+        assert steps == 2
+
+    def test_max_per_segment(self):
+        sim = _sim_with([3, 9, 1, 7, 5, 2, 8, 4])
+        segmented_combine(sim, "x", 4, 2, op=max)
+        assert sim.memory("x")[::4].tolist() == [9, 8]
+
+    def test_min_models_boolean_and(self):
+        sim = _sim_with([1, 1, 1, 0, 1, 1, 1, 1])
+        segmented_combine(sim, "x", 4, 2, op=min)
+        assert sim.memory("x")[::4].tolist() == [0, 1]
+
+    def test_non_power_of_two_rejected(self):
+        sim = _sim_with([0] * 6)
+        with pytest.raises(ValueError):
+            segmented_combine(sim, "x", 6, 1)
+
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.lists(st.integers(min_value=-9, max_value=9), min_size=1, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_sums(self, log_seg, seg_sums_shape):
+        seg = 1 << log_seg
+        num_segs = len(seg_sums_shape)
+        rng = np.random.default_rng(0)
+        values = rng.integers(-5, 6, size=seg * num_segs).tolist()
+        sim = _sim_with(values)
+        segmented_combine(sim, "x", seg, num_segs, op=operator.add)
+        for g in range(num_segs):
+            assert sim.memory("x")[g * seg] == sum(values[g * seg : (g + 1) * seg])
+
+    def test_broadcast_then_combine_identity(self):
+        """combine(max) after broadcast returns the head values."""
+        sim = _sim_with([4, 0, 0, 0, 6, 0, 0, 0])
+        segmented_broadcast(sim, "x", 4, 2)
+        segmented_combine(sim, "x", 4, 2, op=max)
+        assert sim.memory("x")[::4].tolist() == [4, 6]

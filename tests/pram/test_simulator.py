@@ -1,0 +1,221 @@
+"""Tests for the step-level EREW simulator and its reference programs."""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram.programs import broadcast, compact, exclusive_prefix_sum, tree_reduce
+from repro.pram.simulator import AccessViolation, EREWSimulator, Instruction
+from repro.util.itlog import log2_ceil
+
+
+class TestSimulatorBasics:
+    def test_alloc_and_memory(self):
+        sim = EREWSimulator(2)
+        sim.alloc("x", [1, 2, 3])
+        assert sim.memory("x").tolist() == [1, 2, 3]
+
+    def test_alloc_by_size(self):
+        sim = EREWSimulator(2)
+        sim.alloc("x", 4)
+        assert sim.memory("x").tolist() == [0, 0, 0, 0]
+
+    def test_double_alloc_rejected(self):
+        sim = EREWSimulator(1)
+        sim.alloc("x", 1)
+        with pytest.raises(ValueError):
+            sim.alloc("x", 1)
+
+    def test_unknown_array(self):
+        with pytest.raises(KeyError):
+            EREWSimulator(1).memory("nope")
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            EREWSimulator(0)
+
+    def test_simple_parallel_move(self):
+        sim = EREWSimulator(4)
+        sim.alloc("x", [1, 2, 3, 4])
+        sim.alloc("y", 4)
+        sim.step(Instruction("y", lambda p: p, "x", lambda p: 3 - p))
+        assert sim.memory("y").tolist() == [4, 3, 2, 1]
+        assert sim.steps_executed == 1
+        assert sim.work_executed == 4
+
+    def test_none_address_deactivates(self):
+        sim = EREWSimulator(4)
+        sim.alloc("x", [1, 1, 1, 1])
+        sim.step(Instruction("x", lambda p: p if p < 2 else None, "x", lambda p: p,
+                             op=lambda a, b: a + 1))
+        assert sim.memory("x").tolist() == [2, 2, 1, 1]
+        assert sim.work_executed == 2
+
+    def test_binary_op(self):
+        sim = EREWSimulator(2)
+        sim.alloc("x", [5, 7])
+        sim.alloc("y", [1, 2])
+        sim.alloc("z", 2)
+        sim.step(Instruction("z", lambda p: p, "x", lambda p: p, "y", lambda p: p,
+                             op=operator.mul))
+        assert sim.memory("z").tolist() == [5, 14]
+
+    def test_out_of_range_index(self):
+        sim = EREWSimulator(2)
+        sim.alloc("x", 1)
+        with pytest.raises(IndexError):
+            sim.step(Instruction("x", lambda p: p, "x", lambda p: 0))
+
+
+class TestEREWEnforcement:
+    def test_concurrent_read_detected(self):
+        sim = EREWSimulator(2)
+        sim.alloc("x", [7])
+        sim.alloc("y", 2)
+        with pytest.raises(AccessViolation, match="read"):
+            sim.step(Instruction("y", lambda p: p, "x", lambda p: 0))
+
+    def test_concurrent_write_detected(self):
+        sim = EREWSimulator(2)
+        sim.alloc("x", [1, 2])
+        sim.alloc("y", 1)
+        with pytest.raises(AccessViolation, match="write"):
+            sim.step(Instruction("y", lambda p: 0, "x", lambda p: p))
+
+    def test_cross_processor_read_write_detected(self):
+        sim = EREWSimulator(2)
+        sim.alloc("x", [1, 2])
+        # p0 writes x[1]; p1 reads x[1]
+        with pytest.raises(AccessViolation, match="read/write"):
+            sim.step(
+                Instruction("x", lambda p: 1 - p, "x", lambda p: 1)
+                if False
+                else Instruction("x", lambda p: 1 if p == 0 else 0,
+                                 "x", lambda p: 0 if p == 0 else 1)
+            )
+
+    def test_same_processor_read_write_allowed(self):
+        sim = EREWSimulator(2)
+        sim.alloc("x", [1, 2])
+        sim.step(Instruction("x", lambda p: p, "x", lambda p: p,
+                             op=lambda a, b: a * 10))
+        assert sim.memory("x").tolist() == [10, 20]
+
+    def test_violation_carries_details(self):
+        sim = EREWSimulator(3)
+        sim.alloc("x", [7])
+        sim.alloc("y", 3)
+        try:
+            sim.step(Instruction("y", lambda p: p, "x", lambda p: 0))
+        except AccessViolation as exc:
+            assert exc.cell == ("x", 0)
+            assert len(exc.processors) == 3
+        else:  # pragma: no cover
+            pytest.fail("expected violation")
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 32])
+    def test_value_and_depth(self, n):
+        sim = EREWSimulator(max(n, 1))
+        sim.alloc("x", [42.0] + [0.0] * (n - 1))
+        steps = broadcast(sim, "x", n)
+        assert sim.memory("x").tolist() == [42.0] * n
+        assert steps == log2_ceil(n)
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 20])
+    def test_sum(self, n):
+        sim = EREWSimulator(max(n, 1))
+        vals = list(range(1, n + 1))
+        sim.alloc("x", vals)
+        steps = tree_reduce(sim, "x", n)
+        assert sim.memory("x")[0] == sum(vals)
+        assert steps == log2_ceil(n)
+
+    def test_max(self):
+        sim = EREWSimulator(8)
+        sim.alloc("x", [3, 9, 1, 7, 2, 8, 5, 4])
+        tree_reduce(sim, "x", 8, op=max)
+        assert sim.memory("x")[0] == 9
+
+
+class TestPrefixSum:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_matches_numpy(self, n):
+        sim = EREWSimulator(n)
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 9, size=n).astype(float)
+        sim.alloc("x", vals.tolist())
+        exclusive_prefix_sum(sim, "x", n)
+        expect = np.concatenate([[0.0], np.cumsum(vals)[:-1]])
+        assert sim.memory("x").tolist() == expect.tolist()
+
+    def test_rejects_non_power_of_two(self):
+        sim = EREWSimulator(3)
+        sim.alloc("x", 3)
+        with pytest.raises(ValueError):
+            exclusive_prefix_sum(sim, "x", 3)
+
+    def test_depth_is_order_log(self):
+        sim = EREWSimulator(16)
+        sim.alloc("x", [1.0] * 16)
+        steps = exclusive_prefix_sum(sim, "x", 16)
+        assert steps <= 4 * log2_ceil(16) + 1
+
+
+class TestCompact:
+    def test_stable_compaction(self):
+        n = 8
+        sim = EREWSimulator(n)
+        sim.alloc("x", [10, 11, 12, 13, 14, 15, 16, 17])
+        sim.alloc("flags", [1, 0, 1, 1, 0, 0, 1, 0])
+        sim.alloc("out", n)
+        compact(sim, "x", "flags", "out", n)
+        assert sim.memory("out")[:4].tolist() == [10, 12, 13, 16]
+
+    def test_all_kept(self):
+        n = 4
+        sim = EREWSimulator(n)
+        sim.alloc("x", [1, 2, 3, 4])
+        sim.alloc("flags", [1, 1, 1, 1])
+        sim.alloc("out", n)
+        compact(sim, "x", "flags", "out", n)
+        assert sim.memory("out").tolist() == [1, 2, 3, 4]
+
+    def test_none_kept(self):
+        n = 4
+        sim = EREWSimulator(n)
+        sim.alloc("x", [1, 2, 3, 4])
+        sim.alloc("flags", [0, 0, 0, 0])
+        sim.alloc("out", n)
+        compact(sim, "x", "flags", "out", n)
+        assert sim.memory("out").tolist() == [0, 0, 0, 0]
+
+
+class TestPropertyPrograms:
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_any_values(self, vals):
+        n = len(vals)
+        sim = EREWSimulator(n)
+        sim.alloc("x", vals)
+        tree_reduce(sim, "x", n)
+        assert sim.memory("x")[0] == sum(vals)
+
+    @given(st.integers(min_value=0, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_scan_powers_of_two(self, k):
+        n = 1 << k
+        sim = EREWSimulator(n)
+        vals = [float(i % 3) for i in range(n)]
+        sim.alloc("x", vals)
+        exclusive_prefix_sum(sim, "x", n)
+        expect = [sum(vals[:i]) for i in range(n)]
+        assert sim.memory("x").tolist() == expect

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the hypergraph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Hypergraph,
+    is_independent,
+    normalize,
+    remove_superset_edges,
+    trim_vertices,
+)
+from repro.hypergraph.degrees import degree_profile, neighborhood_count
+from repro.hypergraph.hio import dumps, from_json, loads, to_json
+
+
+@st.composite
+def hypergraphs(draw, max_universe: int = 14, max_edges: int = 12, max_size: int = 5):
+    """Random small hypergraphs with full active vertex sets."""
+    n = draw(st.integers(min_value=1, max_value=max_universe))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=min(max_size, n)))
+        edge = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        edges.append(tuple(edge))
+    return Hypergraph(n, edges)
+
+
+@st.composite
+def hypergraph_with_subset(draw):
+    H = draw(hypergraphs())
+    subset = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=H.universe - 1),
+            max_size=H.universe,
+            unique=True,
+        )
+    )
+    return H, subset
+
+
+class TestCanonicalisation:
+    @given(hypergraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_is_identity(self, H):
+        assert Hypergraph(H.universe, H.edges, vertices=H.vertices) == H
+
+    @given(hypergraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_sorted_and_unique(self, H):
+        assert list(H.edges) == sorted(set(H.edges))
+        for e in H.edges:
+            assert list(e) == sorted(set(e))
+
+    @given(hypergraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_serialisation_roundtrips(self, H):
+        assert loads(dumps(H)) == H
+        assert from_json(to_json(H)) == H
+
+
+class TestEdgesWithin:
+    @given(hypergraph_with_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, case):
+        H, subset = case
+        mask = np.zeros(H.universe, dtype=bool)
+        mask[subset] = True
+        got = {H.edges[i] for i in H.edges_within(mask).tolist()}
+        expect = {e for e in H.edges if set(e) <= set(subset)}
+        assert got == expect
+
+    @given(hypergraph_with_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_independence_definition(self, case):
+        H, subset = case
+        expect = not any(set(e) <= set(subset) for e in H.edges)
+        assert is_independent(H, subset) == expect
+
+
+class TestOpsInvariants:
+    @given(hypergraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_superset_removal_keeps_minimal_constraints(self, H):
+        H2 = remove_superset_edges(H)
+        # every surviving edge was an edge; every dropped edge has a
+        # surviving subset
+        survivors = set(H2.edges)
+        assert survivors <= set(H.edges)
+        for e in H.edges:
+            if e not in survivors:
+                assert any(set(s) < set(e) for s in survivors)
+
+    @given(hypergraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_superset_removal_preserves_independent_sets(self, H):
+        """A set is independent in H iff independent in the minimised H."""
+        H2 = remove_superset_edges(H)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            subset = np.flatnonzero(rng.random(H.universe) < 0.5)
+            assert is_independent(H, subset) == is_independent(H2, subset)
+
+    @given(hypergraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_no_singletons_no_supersets(self, H):
+        H2, red = normalize(H)
+        sizes = [len(e) for e in H2.edges]
+        assert all(s >= 2 for s in sizes)
+        sets = [set(e) for e in H2.edges]
+        for i, a in enumerate(sets):
+            for j, b in enumerate(sets):
+                if i != j:
+                    assert not (a < b)
+
+    @given(hypergraphs(), st.integers(min_value=0, max_value=13))
+    @settings(max_examples=60, deadline=None)
+    def test_trim_removes_vertex_everywhere(self, H, v):
+        if v >= H.universe:
+            return
+        if any(set(e) == {v} for e in H.edges):
+            return  # would empty an edge; covered by unit tests
+        H2 = trim_vertices(H, [v])
+        assert all(v not in e for e in H2.edges)
+        assert v not in H2.vertices.tolist()
+
+
+class TestDegreeConsistency:
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_profile_counts_match_neighborhood_count(self, H):
+        prof = degree_profile(H)
+        for (x, i), c in prof.counts.items():
+            assert neighborhood_count(H, x, i - len(x)) == c
+
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_delta_nonnegative_and_bounded(self, H):
+        prof = degree_profile(H)
+        assert prof.delta() >= 0
+        # d_j(x) ≤ m^(1/j) ≤ m
+        assert prof.delta() <= max(H.num_edges, 1)

@@ -1,0 +1,89 @@
+"""Property-based tests: every algorithm returns an MIS on every input."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    beame_luby,
+    greedy_mis,
+    karp_upfal_wigderson,
+    permutation_bl,
+    sbl,
+)
+from repro.hypergraph import Hypergraph, check_mis
+
+
+@st.composite
+def hypergraphs(draw, max_universe: int = 12, max_edges: int = 10, max_size: int = 4):
+    n = draw(st.integers(min_value=1, max_value=max_universe))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=min(max_size, n)))
+        edge = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        edges.append(tuple(edge))
+    return Hypergraph(n, edges)
+
+
+SEEDS = st.integers(min_value=0, max_value=2**31)
+
+
+class TestAlgorithmsReturnMIS:
+    """The central invariant: output is independent AND maximal, always."""
+
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_bl(self, H, seed):
+        check_mis(H, beame_luby(H, seed=seed).independent_set)
+
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_kuw(self, H, seed):
+        check_mis(H, karp_upfal_wigderson(H, seed=seed).independent_set)
+
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_greedy(self, H, seed):
+        check_mis(H, greedy_mis(H, seed=seed).independent_set)
+
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_permutation(self, H, seed):
+        check_mis(H, permutation_bl(H, seed=seed).independent_set)
+
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_sbl(self, H, seed):
+        res = sbl(H, seed=seed, p_override=0.4, d_cap_override=3, floor_override=4)
+        check_mis(H, res.independent_set)
+
+
+class TestCrossAlgorithmConsistency:
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_explicit_order_is_canonical(self, H, seed):
+        """Two greedy runs with the same explicit order agree exactly."""
+        order = H.vertices.tolist()
+        a = greedy_mis(H, order=order)
+        b = greedy_mis(H, order=order)
+        assert a.independent_set.tolist() == b.independent_set.tolist()
+
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_mis_sizes_plausible(self, H, seed):
+        """Any two MIS sizes differ by at most the trivial bounds."""
+        a = beame_luby(H, seed=seed).size
+        b = greedy_mis(H, seed=seed).size
+        n = H.num_vertices
+        assert 0 <= a <= n and 0 <= b <= n
+        if H.num_edges == 0:
+            assert a == b == n

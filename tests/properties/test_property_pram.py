@@ -1,0 +1,96 @@
+"""Property-based tests for the PRAM cost model and primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import (
+    CountingMachine,
+    NullMachine,
+    compact,
+    exclusive_scan,
+    inclusive_scan,
+    preduce,
+)
+from repro.util.itlog import log2_ceil
+
+ARRAYS = st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=64)
+
+
+class TestScanProperties:
+    @given(ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_inclusive_matches_cumsum(self, xs):
+        x = np.asarray(xs)
+        assert np.array_equal(inclusive_scan(NullMachine(), x), np.cumsum(x))
+
+    @given(ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_defining_relation(self, xs):
+        x = np.asarray(xs)
+        inc = inclusive_scan(NullMachine(), x)
+        exc = exclusive_scan(NullMachine(), x)
+        assert np.array_equal(inc, exc + x)
+
+    @given(ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_last_inclusive_is_total(self, xs):
+        x = np.asarray(xs)
+        assert inclusive_scan(NullMachine(), x)[-1] == x.sum()
+
+
+class TestReduceProperties:
+    @given(ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_sum_max_min(self, xs):
+        x = np.asarray(xs)
+        m = NullMachine()
+        assert preduce(m, x, "sum") == x.sum()
+        assert preduce(m, x, "max") == x.max()
+        assert preduce(m, x, "min") == x.min()
+
+
+class TestCompactProperties:
+    @given(ARRAYS, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_compact_preserves_order(self, xs, rnd):
+        x = np.asarray(xs)
+        keep = np.asarray([rnd.random() < 0.5 for _ in xs])
+        out = compact(NullMachine(), x, keep)
+        assert out.tolist() == [v for v, k in zip(xs, keep) if k]
+
+
+class TestCostInvariants:
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_reduce_depth_is_ceil_log(self, n):
+        m = CountingMachine()
+        m.reduce(n)
+        assert m.depth == max(log2_ceil(n), 1)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_work_at_least_depth_implied(self, n):
+        """Work ≥ depth·1 for any single primitive (no free depth)."""
+        for step in ("map", "reduce", "scan", "broadcast", "sort"):
+            m = CountingMachine()
+            getattr(m, step)(n)
+            assert m.work >= 1
+            assert m.depth >= 1
+
+    @given(st.integers(min_value=2, max_value=10**4), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_brent_monotone_in_processors(self, n, p):
+        m = CountingMachine()
+        m.scan(n)
+        m.reduce(n)
+        assert m.brent_time(p) >= m.brent_time(p + 1)
+
+    @given(st.integers(min_value=1, max_value=10**4))
+    @settings(max_examples=60, deadline=None)
+    def test_brent_lower_bounded_by_depth(self, n):
+        m = CountingMachine()
+        m.sort(n)
+        assert m.brent_time(10**9) >= m.depth

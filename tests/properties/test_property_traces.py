@@ -1,0 +1,93 @@
+"""Property-based tests on algorithm *traces* (not just outputs).
+
+The experiments read quantities off the round traces; these tests pin the
+trace semantics down on random inputs so the experiment code can trust
+them:
+
+* conservation: committed vertices across rounds = |I|; every vertex ends
+  blue, red, or still-active-at-zero-edges;
+* monotonicity: active vertices and edges never grow;
+* SBL rounds: colored-per-round equals the sampled count, and every
+  sampled sub-hypergraph respects the dimension cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import beame_luby, karp_upfal_wigderson, permutation_bl, sbl
+from repro.hypergraph import Hypergraph
+
+SEEDS = st.integers(min_value=0, max_value=2**31)
+
+
+@st.composite
+def hypergraphs(draw, max_universe: int = 12, max_edges: int = 10, max_size: int = 4):
+    n = draw(st.integers(min_value=2, max_value=max_universe))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=2, max_value=min(max_size, n)))
+        edge = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size, max_size=size, unique=True,
+            )
+        )
+        edges.append(tuple(edge))
+    return Hypergraph(n, edges)
+
+
+class TestBLTrace:
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_conservation(self, H, seed):
+        res = beame_luby(H, seed=seed)
+        assert sum(r.added for r in res.rounds) == res.size
+        # blue + red + prenormalized red = all active vertices
+        reds = sum(r.removed_red for r in res.rounds)
+        assert res.size + reds + res.meta["prenormalized_red"] == H.num_vertices
+
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone(self, H, seed):
+        res = beame_luby(H, seed=seed)
+        for r in res.rounds:
+            assert r.n_after <= r.n_before
+            assert r.m_after <= r.m_before
+        for a, b in zip(res.rounds, res.rounds[1:]):
+            assert b.n_before == a.n_after
+            assert b.m_before == a.m_after
+
+
+class TestPermutationTrace:
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_conservation(self, H, seed):
+        res = permutation_bl(H, seed=seed)
+        assert sum(r.added for r in res.rounds) == res.size
+        reds = sum(r.removed_red for r in res.rounds)
+        assert res.size + reds == H.num_vertices
+
+
+class TestKUWTrace:
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_prefixes_sum_to_set(self, H, seed):
+        res = karp_upfal_wigderson(H, seed=seed)
+        assert sum(r.extras["prefix"] for r in res.rounds) == res.size
+
+
+class TestSBLTrace:
+    @given(hypergraphs(), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_outer_round_invariants(self, H, seed):
+        res = sbl(H, seed=seed, p_override=0.4, d_cap_override=3, floor_override=4)
+        for r in res.rounds_in_phase("sbl"):
+            # every sampled vertex is decided this round
+            assert r.marked == r.added + r.removed_red
+            assert r.n_before - r.n_after == r.marked
+            # the sampled sub-hypergraph respected the cap
+            assert r.extras["sampled_dim"] <= 3

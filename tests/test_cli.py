@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.hypergraph.hio import load
+
+
+@pytest.fixture
+def instance(tmp_path):
+    path = tmp_path / "inst.txt"
+    rc = main(["generate", "uniform", "--n", "40", "--m", "60", "--d", "3",
+               "--seed", "1", "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_parsable_instance(self, instance):
+        H = load(instance)
+        assert H.num_vertices == 40
+        assert H.num_edges == 60
+
+    def test_stdout_output(self, capsys):
+        rc = main(["generate", "graph", "--n", "10", "--avg-degree", "2", "-o", "-"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("universe 10")
+
+    @pytest.mark.parametrize("family,extra", [
+        ("mixed", ["--m", "20", "--dims", "2,4"]),
+        ("linear", ["--m", "10", "--d", "3"]),
+        ("bounded", []),
+    ])
+    def test_families(self, tmp_path, family, extra):
+        path = tmp_path / "x.txt"
+        rc = main(["generate", family, "--n", "50", *extra, "--seed", "0",
+                   "-o", str(path)])
+        assert rc == 0
+        assert load(path).num_vertices >= 1
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        for p in (a, b):
+            main(["generate", "uniform", "--n", "20", "--m", "15", "--seed", "9",
+                  "-o", str(p)])
+        assert a.read_text() == b.read_text()
+
+
+class TestInfo:
+    def test_prints_stats(self, instance, capsys):
+        assert main(["info", str(instance)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "40" in out
+        assert "Δ" in out
+
+    def test_high_dimension_skips_delta(self, tmp_path, capsys):
+        # dimension 13 exceeds the enumerable-Δ display cutoff
+        path = tmp_path / "big.txt"
+        path.write_text("universe 20\n" + " ".join(str(v) for v in range(13)) + "\n")
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Δ" not in out
+        assert "13" in out  # dimension shown
+
+    def test_edgeless_instance(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("universe 5\n")
+        assert main(["info", str(path)]) == 0
+        assert "edges" in capsys.readouterr().out
+
+
+class TestSolve:
+    @pytest.mark.parametrize("algo", ["sbl", "bl", "kuw", "greedy", "permutation"])
+    def test_algorithms(self, instance, capsys, algo):
+        assert main(["solve", str(instance), "--algorithm", algo, "--seed", "3"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mis_size"] == len(doc["independent_set"])
+        assert doc["n"] == 40
+
+    def test_costs_flag(self, instance, capsys):
+        assert main(["solve", str(instance), "--algorithm", "bl", "--costs"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["pram"]["depth"] > 0
+
+    def test_pretty(self, instance, capsys):
+        assert main(["solve", str(instance), "--pretty"]) == 0
+        assert "\n  " in capsys.readouterr().out
+
+    def test_luby_on_graph(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        main(["generate", "graph", "--n", "30", "--avg-degree", "3", "-o", str(path)])
+        assert main(["solve", str(path), "--algorithm", "luby"]) == 0
+
+    def test_linear_on_linear(self, tmp_path, capsys):
+        path = tmp_path / "l.txt"
+        main(["generate", "linear", "--n", "40", "--m", "15", "--d", "3",
+              "-o", str(path)])
+        assert main(["solve", str(path), "--algorithm", "linear"]) == 0
+
+
+class TestCheck:
+    def test_valid_set(self, instance, capsys):
+        # get a valid MIS from solve, feed it to check
+        main(["solve", str(instance), "--algorithm", "greedy", "--seed", "0"])
+        doc = json.loads(capsys.readouterr().out)
+        ids = ",".join(str(v) for v in doc["independent_set"])
+        assert main(["check", str(instance), "--set", ids]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_not_maximal(self, instance, capsys):
+        assert main(["check", str(instance), "--set", ""]) == 2
+        assert "NOT maximal" in capsys.readouterr().out
+
+    def test_not_independent(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        path.write_text("universe 3\n0 1\n")
+        assert main(["check", str(path), "--set", "0,1"]) == 1
+        assert "NOT independent" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_summary_table(self, capsys):
+        rc = main(["campaign", "--sizes", "30", "--algorithms", "greedy,kuw",
+                   "--repeats", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign summary" in out and "greedy" in out and "kuw" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "runs.csv"
+        rc = main(["campaign", "--sizes", "30", "--algorithms", "greedy",
+                   "--repeats", "1", "--csv", str(path)])
+        assert rc == 0
+        assert path.read_text().startswith("instance,algorithm")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            main(["campaign", "--algorithms", "quantum"])
+
+
+class TestSaveTrace:
+    def test_trace_file_loadable(self, instance, tmp_path, capsys):
+        from repro.analysis.traces import load_result
+
+        path = tmp_path / "trace.json"
+        rc = main(["solve", str(instance), "--algorithm", "bl",
+                   "--save-trace", str(path)])
+        assert rc == 0
+        back = load_result(path)
+        assert back.algorithm == "bl"
+        assert back.num_rounds > 0
+
+
+class TestExperiment:
+    def test_theory_experiment(self, capsys):
+        assert main(["experiment", "E12"]) == 0
+        assert "necessity" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main(["experiment", "A5"]) == 0
+        assert "EREW" in capsys.readouterr().out
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ValueError):
+            main(["experiment", "E99"])

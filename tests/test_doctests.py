@@ -1,0 +1,29 @@
+"""Execute every docstring example in the library.
+
+Keeps the examples in the API docs honest: a drifting docstring fails the
+suite, not a reader.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    mods = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        mods.append(info.name)
+    return mods
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

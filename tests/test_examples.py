@@ -1,0 +1,57 @@
+"""Smoke-run every example script.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each runs as a subprocess with a generous timeout.  The process-pool
+scaling demo is excluded from CI-speed runs (it deliberately spins up
+worker pools); run it with ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "theory_tables.py",
+    "job_batching.py",
+    "hypergraph_coloring.py",
+    "potential_decay.py",
+    "erew_simulator.py",
+    "linear_hypergraphs.py",
+]
+
+
+def _run(name: str, timeout: int = 180) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    proc = _run(name)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_fully_covered():
+    """Every example is either in the fast list or explicitly slow."""
+    slow = {"parallel_scaling.py"}
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert present == set(FAST_EXAMPLES) | slow
+
+
+@pytest.mark.slow
+def test_parallel_scaling_example():
+    proc = _run("parallel_scaling.py", timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "Brent" in proc.stdout or "backend" in proc.stdout

@@ -1,0 +1,148 @@
+"""Tests for the concentration bounds of §3 (Theorem 3) and §4."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.theory.concentration import (
+    kelsen_corollary1_exponent,
+    kelsen_migration_log_terms,
+    kelsen_tail,
+    kim_vu_tail,
+    kim_vu_threshold_factor,
+    kimvu_migration_log_terms,
+    migration_bound,
+    schudy_sviridenko_threshold_factor,
+)
+
+
+class TestKelsenTail:
+    def test_log_k_formula(self):
+        log2k, _ = kelsen_tail(n=2**16, m=100, d=3, delta=4.0)
+        # k = ((log n + 2)·δ)^{2^{d−1}} = (18·4)^4
+        assert log2k == pytest.approx(4 * math.log2(18 * 4))
+
+    def test_probability_decreases_with_delta(self):
+        _, p1 = kelsen_tail(2**16, 100, 3, delta=16.0)
+        _, p2 = kelsen_tail(2**16, 100, 3, delta=256.0)
+        assert p2 < p1
+
+    def test_corollary1_regime(self):
+        """δ = log²n makes the tail n^{−Θ(log n log log n)}-small."""
+        n = 2**32
+        delta = math.log2(n) ** 2
+        log2k, log2p = kelsen_tail(n, 1000, 4, delta)
+        # threshold below the Corollary 1 exponent
+        assert log2k <= kelsen_corollary1_exponent(4) * math.log2(math.log2(n))
+        # tail genuinely tiny
+        assert log2p < -100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            kelsen_tail(2, 1, 1, 2.0)
+        with pytest.raises(ValueError):
+            kelsen_tail(100, 1, 0, 2.0)
+        with pytest.raises(ValueError):
+            kelsen_tail(100, 1, 1, 1.0)
+
+
+class TestKimVu:
+    def test_threshold_factor_formula(self):
+        # degree 1: 1 + 8·λ
+        assert kim_vu_threshold_factor(1, 3.0) == pytest.approx(1 + 8 * 3)
+
+    def test_threshold_factor_degree2(self):
+        # a_2 = 64·√2
+        assert kim_vu_threshold_factor(2, 2.0) == pytest.approx(
+            1 + 64 * math.sqrt(2) * 4
+        )
+
+    def test_tail_decreases_in_lambda(self):
+        assert kim_vu_tail(100, 2, 50.0) < kim_vu_tail(100, 2, 10.0)
+
+    def test_tail_clipped_to_one(self):
+        assert kim_vu_tail(10**6, 3, 1.0) == 1.0
+
+    def test_log2n_squared_lambda_kills_polynomial_factor(self):
+        """λ = log²n beats the n^{k−1} factor (Corollary 4's choice)."""
+        n = 2**20
+        lam = math.log(n) ** 2
+        assert kim_vu_tail(n, 3, lam) < 1e-20
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            kim_vu_threshold_factor(0, 1.0)
+        with pytest.raises(ValueError):
+            kim_vu_threshold_factor(1, 0.0)
+        with pytest.raises(ValueError):
+            kim_vu_tail(10, 0, 1.0)
+
+
+class TestSchudySviridenko:
+    def test_smaller_constant_than_kim_vu_at_low_degree(self):
+        # (√2·1)^1 = 1.41 < 8 = a_1(KV)
+        assert schudy_sviridenko_threshold_factor(1, 2.0) < kim_vu_threshold_factor(
+            1, 2.0
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            schudy_sviridenko_threshold_factor(0, 1.0)
+
+
+class TestMigrationBounds:
+    def setup_method(self):
+        self.deltas = {3: 4.0, 4: 2.0, 5: 1.5}
+
+    def test_kimvu_below_kelsen(self):
+        n = 2**16
+        for j in (2, 3):
+            kv = migration_bound(n, j, self.deltas, variant="kimvu")
+            kel = migration_bound(n, j, self.deltas, variant="kelsen")
+            assert kv < kel
+
+    def test_only_higher_k_contribute(self):
+        n = 2**10
+        # j = 4: only Δ_5 contributes
+        expected = math.log2(n) ** 2 * 1.5
+        assert migration_bound(n, 4, self.deltas, variant="kimvu") == pytest.approx(
+            expected
+        )
+
+    def test_sequence_input_indexes_from_two(self):
+        # sequence [Δ2, Δ3] ↦ {2: ·, 3: ·}
+        n = 2**10
+        bound = migration_bound(n, 2, [9.0, 4.0], variant="kimvu")
+        assert bound == pytest.approx(math.log2(n) ** 2 * 4.0)
+
+    def test_kelsen_exponents(self):
+        n = 2**16
+        terms = kelsen_migration_log_terms(n, 2, self.deltas)
+        # k=3: exponent 2^{2} = 4 → 4·log2(log2 n) + log2 Δ_3 = 4·4 + 2
+        assert terms[3] == pytest.approx(4 * 4 + 2.0)
+
+    def test_kimvu_exponents(self):
+        n = 2**16
+        terms = kimvu_migration_log_terms(n, 2, self.deltas)
+        # k=3: exponent 2(k−j)=2 → 2·log2(log2 n) + log2 Δ_3 = 2·4 + 2
+        assert terms[3] == pytest.approx(2 * 4 + 2.0)
+
+    def test_zero_delta_gives_neg_inf_term(self):
+        terms = kimvu_migration_log_terms(2**10, 2, {3: 0.0})
+        assert terms[3] == -math.inf
+
+    def test_trivial_variant(self):
+        n = 64
+        assert migration_bound(n, 2, {3: 2.0}, variant="trivial") == pytest.approx(
+            2.0 * n
+        )
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            migration_bound(64, 2, {3: 1.0}, variant="magic")
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            migration_bound(64, 2, {3: -1.0})

@@ -1,0 +1,108 @@
+"""Tests for the §2.2 parameter formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.theory.parameters import (
+    chernoff_round_failure,
+    oversize_edge_bound,
+    round_bound,
+    runtime_bound_log2,
+    sbl_parameters,
+)
+
+
+class TestSBLParameters:
+    def test_formula_consistency(self):
+        prm = sbl_parameters(2**16)
+        # log3(2^16) = log2(log2(16)) = 2 → α = 1/2
+        assert prm.alpha == pytest.approx(0.5)
+        assert prm.p == pytest.approx((2**16) ** -0.5)
+        # β = log2(16) / (8·4) = 4/32
+        assert prm.beta == pytest.approx(4 / 32)
+        # d = 4/(4·2)
+        assert prm.d == pytest.approx(0.5)
+
+    def test_m_max(self):
+        prm = sbl_parameters(2**16)
+        assert prm.m_max == pytest.approx((2**16) ** prm.beta)
+
+    def test_round_bound_relation(self):
+        prm = sbl_parameters(4096)
+        assert prm.r == pytest.approx(2 * math.log2(4096) / prm.p)
+
+    def test_effective_clamps(self):
+        prm = sbl_parameters(64)
+        assert prm.effective_d >= 2
+        assert 0 < prm.effective_p <= 0.5
+        assert prm.effective_vertex_floor >= 4
+        # floor derived from effective p
+        assert prm.effective_vertex_floor == max(
+            4, math.ceil(prm.effective_p**-2)
+        )
+
+    def test_custom_clamps(self):
+        prm = sbl_parameters(64, p_cap=0.25, d_min=3, floor_min=10)
+        assert prm.effective_p <= 0.25
+        assert prm.effective_d >= 3
+        assert prm.effective_vertex_floor >= 10
+
+    def test_too_small_n(self):
+        with pytest.raises(ValueError):
+            sbl_parameters(1)
+
+    def test_raw_p_in_range(self):
+        for n in (16, 256, 2**20):
+            prm = sbl_parameters(n)
+            assert 0 < prm.p < 1
+
+    def test_runtime_bound_method(self):
+        prm = sbl_parameters(2**16)
+        assert prm.runtime_bound_log2() == pytest.approx(runtime_bound_log2(2**16))
+
+
+class TestBounds:
+    def test_round_bound(self):
+        assert round_bound(1024, 0.5) == pytest.approx(2 * 10 / 0.5)
+
+    def test_round_bound_invalid_p(self):
+        with pytest.raises(ValueError):
+            round_bound(100, 0.0)
+
+    def test_chernoff_decreasing_in_n(self):
+        assert chernoff_round_failure(0.1, 1000) < chernoff_round_failure(0.1, 100)
+
+    def test_chernoff_formula(self):
+        assert chernoff_round_failure(0.2, 100) == pytest.approx(math.exp(-0.2 * 100 / 8))
+
+    def test_chernoff_invalid(self):
+        with pytest.raises(ValueError):
+            chernoff_round_failure(0.0, 10)
+        with pytest.raises(ValueError):
+            chernoff_round_failure(0.5, -1)
+
+    def test_oversize_bound_formula(self):
+        assert oversize_edge_bound(10.0, 100, 0.5, 3) == pytest.approx(
+            10 * 100 * 0.5**4
+        )
+
+    def test_oversize_bound_decreasing_in_d(self):
+        assert oversize_edge_bound(1, 100, 0.3, 5) < oversize_edge_bound(1, 100, 0.3, 2)
+
+    def test_runtime_bound_log2_formula(self):
+        # n = 2^256: log3 = 3 → (2/3)·256
+        assert runtime_bound_log2(2**256) == pytest.approx(2 / 3 * 256)
+
+    def test_runtime_bound_beats_sqrt_asymptotically(self):
+        """n^{2/log³n} < √n once log³n > 4 — the o(√n) claim's boundary."""
+        # below the boundary: bound exceeds √n
+        assert runtime_bound_log2(2**1024) > 1024 / 2
+        # far above (log³ n > 4 needs log²n > 16, log n > 2^16):
+        n_log2 = 2.0**20
+        from repro.analysis.experiments import params_from_log2n
+
+        prm = params_from_log2n(n_log2)
+        assert prm["log2_runtime_bound"] < prm["log2_sqrt_n"]

@@ -1,0 +1,153 @@
+"""Tests for the migration polynomial S(H′, w′, p) / D(H′, w′, p)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators import sunflower, uniform_hypergraph
+from repro.hypergraph import Delta_i, Hypergraph
+from repro.hypergraph.degrees import degree_profile
+from repro.theory.polynomial import (
+    D_value,
+    WeightedHypergraph,
+    migration_polynomial,
+    partial_expectation,
+    sample_S,
+)
+
+
+class TestConstruction:
+    def test_sunflower_weights(self):
+        # sunflower core {0,1}, 4 petals of size 2: edges {0,1,a,b}.
+        H = sunflower(2, 4, 2)
+        # X = core, j=1, k=2: Y are 1-subsets of each petal; each Y is in
+        # exactly one Z (petals disjoint) → weight 1 each, 8 edges.
+        W = migration_polynomial(H, [0, 1], 1, 2)
+        assert W.num_edges == 8
+        assert all(w == 1.0 for w in W.weights.values())
+        assert W.dimension == 1
+
+    def test_overlapping_Z_weights_add(self):
+        # two edges around X={0} sharing vertex 3: Z's {1,3} and {2,3}
+        H = Hypergraph(5, [(0, 1, 3), (0, 2, 3)])
+        W = migration_polynomial(H, [0], 1, 2)
+        assert W.weights[(3,)] == 2.0
+        assert W.weights[(1,)] == 1.0
+
+    def test_k_minus_j_subset_sizes(self):
+        H = uniform_hypergraph(12, 20, 4, seed=0)
+        W = migration_polynomial(H, [H.edges[0][0]], 1, 3)
+        assert all(len(Y) == 2 for Y in W.weights)
+
+    def test_only_matching_edge_size_counted(self):
+        H = Hypergraph(6, [(0, 1, 2), (0, 1, 2, 3)])
+        # k=2 from X={0}: only the size-3 edge contributes
+        W = migration_polynomial(H, [0], 1, 2)
+        assert set(W.weights) == {(1,), (2,)}
+
+    def test_empty_when_no_edges_around_X(self):
+        H = Hypergraph(6, [(1, 2, 3)])
+        W = migration_polynomial(H, [0], 1, 2)
+        assert W.num_edges == 0
+        assert W.total_weight() == 0.0
+
+    def test_invalid_args(self):
+        H = Hypergraph(4, [(0, 1, 2)])
+        with pytest.raises(ValueError):
+            migration_polynomial(H, [], 1, 2)
+        with pytest.raises(ValueError):
+            migration_polynomial(H, [0], 2, 2)
+
+
+class TestPartialExpectation:
+    def test_empty_x_is_expectation(self):
+        W = WeightedHypergraph(5, {(1,): 2.0, (2, 3): 3.0})
+        # E[S] = 2p + 3p²
+        assert partial_expectation(W, 0.5) == pytest.approx(2 * 0.5 + 3 * 0.25)
+
+    def test_conditioning_reduces_exponent(self):
+        W = WeightedHypergraph(5, {(2, 3): 3.0})
+        assert partial_expectation(W, 0.5, [2]) == pytest.approx(3 * 0.5)
+        assert partial_expectation(W, 0.5, [2, 3]) == pytest.approx(3.0)
+
+    def test_x_not_contained_contributes_zero(self):
+        W = WeightedHypergraph(5, {(2, 3): 3.0})
+        assert partial_expectation(W, 0.5, [4]) == 0.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            partial_expectation(WeightedHypergraph(3, {}), 1.5)
+
+
+class TestDValue:
+    def test_at_least_expectation(self):
+        H = uniform_hypergraph(14, 25, 4, seed=1)
+        x0 = H.edges[0][0]
+        W = migration_polynomial(H, [x0], 1, 3)
+        p = 0.3
+        assert D_value(W, p) >= partial_expectation(W, p) - 1e-12
+
+    def test_bruteforce_small(self):
+        W = WeightedHypergraph(4, {(0, 1): 1.0, (1, 2): 2.0, (2,): 1.0})
+        p = 0.4
+        candidates = [()]
+        for Y in W.weights:
+            for s in range(1, len(Y) + 1):
+                candidates.extend(itertools.combinations(Y, s))
+        expect = max(partial_expectation(W, p, x) for x in candidates)
+        assert D_value(W, p) == pytest.approx(expect)
+
+    def test_lemma4_bound(self):
+        """Lemma 4: D(H′, w′, p) ≤ (Δ_{|X|+k}(H))^j at the BL probability."""
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            H = uniform_hypergraph(16, 30, 4, seed=rng)
+            prof = degree_profile(H)
+            delta = prof.delta()
+            d = H.dimension
+            p = 1.0 / (2 ** (d + 1) * delta)
+            for e in H.edges[:3]:
+                X = [e[0]]
+                for j, k in ((1, 2), (1, 3), (2, 3)):
+                    W = migration_polynomial(H, X, j, k)
+                    if W.num_edges == 0:
+                        continue
+                    bound = Delta_i(H, 1 + k, prof) ** j
+                    assert D_value(W, p) <= bound + 1e-9
+
+
+class TestSampling:
+    def test_mean_matches_expectation(self):
+        H = sunflower(2, 6, 2)
+        W = migration_polynomial(H, [0, 1], 1, 2)
+        p = 0.4
+        draws = sample_S(W, p, trials=4000, seed=0)
+        assert draws.mean() == pytest.approx(partial_expectation(W, p), rel=0.1)
+
+    def test_extremes(self):
+        H = sunflower(2, 3, 2)
+        W = migration_polynomial(H, [0, 1], 1, 2)
+        assert sample_S(W, 0.0, 10, seed=0).max() == 0.0
+        assert sample_S(W, 1.0, 2, seed=0).min() == W.total_weight()
+
+    def test_empty_polynomial(self):
+        W = WeightedHypergraph(4, {})
+        assert sample_S(W, 0.5, 5, seed=0).tolist() == [0.0] * 5
+
+    def test_deterministic(self):
+        H = sunflower(2, 5, 2)
+        W = migration_polynomial(H, [0, 1], 1, 2)
+        a = sample_S(W, 0.3, 50, seed=7)
+        b = sample_S(W, 0.3, 50, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_invalid(self):
+        W = WeightedHypergraph(3, {})
+        with pytest.raises(ValueError):
+            sample_S(W, 0.5, 0)
+        with pytest.raises(ValueError):
+            sample_S(W, 2.0, 5)

@@ -1,0 +1,136 @@
+"""Tests for repro.util.bitset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.bitset import Bitset
+
+
+class TestConstruction:
+    def test_empty(self):
+        b = Bitset(10)
+        assert len(b) == 0
+        assert b.universe == 10
+
+    def test_with_members(self):
+        b = Bitset(8, [1, 3, 5])
+        assert sorted(b) == [1, 3, 5]
+
+    def test_duplicate_members_collapse(self):
+        b = Bitset(8, [2, 2, 2])
+        assert len(b) == 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Bitset(4, [4])
+        with pytest.raises(IndexError):
+            Bitset(4, [-1])
+
+    def test_negative_universe_raises(self):
+        with pytest.raises(ValueError):
+            Bitset(-1)
+
+    def test_full(self):
+        b = Bitset.full(5)
+        assert len(b) == 5
+
+    def test_from_mask_copies(self):
+        mask = np.array([True, False, True])
+        b = Bitset.from_mask(mask)
+        mask[1] = True
+        assert 1 not in b
+
+
+class TestMembership:
+    def test_contains(self):
+        b = Bitset(6, [0, 5])
+        assert 0 in b and 5 in b and 3 not in b
+
+    def test_out_of_universe_not_contained(self):
+        b = Bitset(6, [0])
+        assert 99 not in b and -1 not in b
+
+    def test_iteration_sorted(self):
+        b = Bitset(10, [7, 2, 9])
+        assert list(b) == [2, 7, 9]
+
+
+class TestMutation:
+    def test_add_discard(self):
+        b = Bitset(5)
+        b.add(3)
+        assert 3 in b
+        b.discard(3)
+        assert 3 not in b
+
+    def test_discard_missing_noop(self):
+        b = Bitset(5)
+        b.discard(2)  # no error
+        assert len(b) == 0
+
+    def test_update_bulk(self):
+        b = Bitset(10)
+        b.update(np.array([1, 2, 3]))
+        assert len(b) == 3
+
+    def test_difference_update(self):
+        b = Bitset(10, range(10))
+        b.difference_update([0, 9])
+        assert sorted(b) == list(range(1, 9))
+
+
+class TestAlgebra:
+    def test_union(self):
+        a, b = Bitset(6, [0, 1]), Bitset(6, [1, 2])
+        assert sorted(a.union(b)) == [0, 1, 2]
+
+    def test_intersection(self):
+        a, b = Bitset(6, [0, 1]), Bitset(6, [1, 2])
+        assert sorted(a.intersection(b)) == [1]
+
+    def test_difference(self):
+        a, b = Bitset(6, [0, 1]), Bitset(6, [1, 2])
+        assert sorted(a.difference(b)) == [0]
+
+    def test_issubset(self):
+        assert Bitset(6, [1]).issubset(Bitset(6, [0, 1]))
+        assert not Bitset(6, [2]).issubset(Bitset(6, [0, 1]))
+
+    def test_isdisjoint(self):
+        assert Bitset(6, [0]).isdisjoint(Bitset(6, [1]))
+        assert not Bitset(6, [0, 1]).isdisjoint(Bitset(6, [1]))
+
+    def test_universe_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Bitset(4).union(Bitset(5))
+
+    def test_equality(self):
+        assert Bitset(4, [1]) == Bitset(4, [1])
+        assert Bitset(4, [1]) != Bitset(4, [2])
+        assert Bitset(4, [1]) != Bitset(5, [1])
+
+
+class TestConversions:
+    def test_indices_dtype_and_order(self):
+        idx = Bitset(9, [8, 0, 4]).indices()
+        assert idx.tolist() == [0, 4, 8]
+
+    def test_to_set(self):
+        assert Bitset(5, [1, 2]).to_set() == {1, 2}
+
+    def test_copy_is_independent(self):
+        a = Bitset(5, [1])
+        b = a.copy()
+        b.add(2)
+        assert 2 not in a
+
+    def test_mask_readonly(self):
+        b = Bitset(4, [1])
+        with pytest.raises(ValueError):
+            b.mask[0] = True
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitset(3))

@@ -1,0 +1,89 @@
+"""Tests for repro.util.itlog — iterated logarithms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.util.itlog import ilog, log2_ceil, log_base, loglog, logloglog
+
+
+class TestLogBase:
+    def test_base2(self):
+        assert log_base(8) == pytest.approx(3.0)
+
+    def test_custom_base(self):
+        assert log_base(100, 10) == pytest.approx(2.0)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            log_base(0)
+        with pytest.raises(ValueError):
+            log_base(-3)
+
+
+class TestLogLog:
+    def test_tower(self):
+        # log2(log2(2^16)) = log2(16) = 4
+        assert loglog(2**16) == pytest.approx(4.0)
+
+    def test_floor_clamp(self):
+        # log2(log2(2)) = log2(1) = 0 → clamped to 1
+        assert loglog(2.0) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            loglog(1.0)
+
+    def test_no_clamp_when_disabled(self):
+        assert loglog(2.0, floor=-math.inf) == pytest.approx(0.0)
+
+
+class TestLogLogLog:
+    def test_tower(self):
+        # log2^3(2^(2^16)) would need huge n; use 2^256: log2=256, loglog=8, logloglog=3
+        assert logloglog(2.0**256) == pytest.approx(3.0)
+
+    def test_floor(self):
+        assert logloglog(4.0) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            logloglog(1.0)
+
+
+class TestIlog:
+    def test_matches_specialisations(self):
+        n = 2.0**64
+        assert ilog(n, 1) == pytest.approx(64.0)
+        assert ilog(n, 2) == pytest.approx(loglog(n))
+        assert ilog(n, 3) == pytest.approx(logloglog(n))
+
+    def test_floor_engages(self):
+        assert ilog(4.0, 3) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ilog(16.0, 0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ilog(1.0, 1)
+
+
+class TestLog2Ceil:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10), (1025, 11)],
+    )
+    def test_values(self, n, expected):
+        assert log2_ceil(n) == expected
+
+    def test_matches_math(self):
+        for n in range(1, 300):
+            assert log2_ceil(n) == math.ceil(math.log2(n))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            log2_ceil(0)
