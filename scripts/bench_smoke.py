@@ -1,0 +1,70 @@
+"""Bench smoke: run the M1 kernel micro-benchmarks and record medians.
+
+Runs ``benchmarks/bench_m01_solver_kernels.py`` through pytest-benchmark
+and writes ``BENCH_m01.json`` at the repo root: one entry per kernel with
+the median in nanoseconds.  This is the opt-in perf gate wired into the
+tier-1 targets (see ROADMAP.md) — run it before and after touching the
+hot paths and diff the medians:
+
+    PYTHONPATH=src python scripts/bench_smoke.py
+
+Exit status is non-zero if the benchmark run itself fails; the script
+does not enforce thresholds (the JSON is the record, review the diff).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH = REPO / "benchmarks" / "bench_m01_solver_kernels.py"
+OUT = REPO / "BENCH_m01.json"
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(BENCH),
+                "-q",
+                "--benchmark-only",
+                f"--benchmark-json={raw}",
+            ],
+            cwd=REPO,
+            env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        if proc.returncode != 0:
+            return proc.returncode
+        report = json.loads(raw.read_text())
+
+    medians = {
+        bench["name"].removeprefix("test_kernel_"): int(
+            bench["stats"]["median"] * 1e9
+        )
+        for bench in report["benchmarks"]
+    }
+    payload = {
+        "benchmark": BENCH.name,
+        "unit": "ns",
+        "stat": "median",
+        "machine": report.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "medians_ns": dict(sorted(medians.items())),
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    width = max(len(k) for k in medians)
+    for name, ns in sorted(medians.items()):
+        print(f"{name:<{width}}  {ns / 1e6:10.3f} ms")
+    print(f"\nwrote {OUT.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.result import MISResult, RoundRecord
-from repro.hypergraph.degrees import degree_profile
+from repro.hypergraph.degrees import DeltaTracker, degree_profile
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.ops import normalize, normalize_after_trim, trim_vertices
 from repro.pram.backend import ExecutionBackend, SerialBackend
@@ -68,7 +68,8 @@ def apply_bl_round(
     backend: ExecutionBackend | None = None,
     *,
     assume_normal: bool = False,
-) -> tuple[Hypergraph, np.ndarray, np.ndarray, np.ndarray]:
+    collect_diff: bool = False,
+) -> tuple:
     """Apply one BL round body (steps 3–5) for a given marking.
 
     Deterministic given the marking, so it is the unit that the pure-Python
@@ -89,13 +90,19 @@ def apply_bl_round(
         hypergraph a previous round produced); enables the fused
         incremental cleanup (:func:`~repro.hypergraph.ops.normalize_after_trim`),
         which restricts the containment scan to the edges the trim changed.
+    collect_diff:
+        Also return the exact edge diff of the round as a fifth element
+        ``(removed_edges, added_edges)`` (tuples), consumed by the
+        cross-round Δ tracker in :func:`beame_luby`.
 
     Returns
     -------
     (W_after, added, red, unmark_mask):
         The cleaned-up hypergraph, the vertex ids committed to the
         independent set, the vertices removed red by singleton cleanup, and
-        the mask of vertices retracted by the unmarking step.
+        the mask of vertices retracted by the unmarking step.  With
+        ``collect_diff=True`` a fifth element ``(removed_edges, added_edges)``
+        is appended.
     """
     be = backend if backend is not None else SerialBackend()
     if marked_mask.shape != (W.universe,):
@@ -104,30 +111,54 @@ def apply_bl_round(
     unmark_mask = np.zeros(W.universe, dtype=bool)
     if W.num_edges:
         counts = be.edge_mark_counts(W.incidence(), marked)
-        fully = np.flatnonzero(counts == W.edge_sizes())
-        edges = W.edges
-        for i in fully.tolist():
-            for v in edges[i]:
-                unmark_mask[v] = True
+        fully = counts == W.edge_sizes()
+        if fully.any():
+            # One scatter over the concatenated indices of fully-marked edges.
+            store = W.store
+            unmark_mask[store.indices[store.position_mask(fully)]] = True
     added = np.flatnonzero(marked & ~unmark_mask)
     if added.size == 0:
         # No survivors: on a normal hypergraph nothing can change; return
         # the same object so callers cache derived structures (profiles).
         if assume_normal:
-            return W, added, np.empty(0, dtype=np.intp), unmark_mask
+            out = (W, added, np.empty(0, dtype=np.intp), unmark_mask)
+            return out + (([], []),) if collect_diff else out
         W_after, red = normalize(W)
         if (
             red.size == 0
             and W_after.num_edges == W.num_edges
             and W_after.num_vertices == W.num_vertices
         ):
-            return W, added, red, unmark_mask
-        return W_after, added, red, unmark_mask
+            W_after = W
+        out = (W_after, added, red, unmark_mask)
+        if collect_diff:
+            removed_idx, added_idx = W.store.diff(W_after.store)
+            out = out + (
+                (
+                    [W.store.edge(int(i)) for i in removed_idx],
+                    [W_after.store.edge(int(i)) for i in added_idx],
+                ),
+            )
+        return out
+    if assume_normal and collect_diff:
+        W_after, red, removed_edges, added_edges = normalize_after_trim(
+            W, added, collect_diff=True
+        )
+        return W_after, added, red, unmark_mask, (removed_edges, added_edges)
     if assume_normal:
         W_after, red = normalize_after_trim(W, added)
     else:
         W_after, red = normalize(trim_vertices(W, added))
-    return W_after, added, red, unmark_mask
+    out = (W_after, added, red, unmark_mask)
+    if collect_diff:
+        removed_idx, added_idx = W.store.diff(W_after.store)
+        out = out + (
+            (
+                [W.store.edge(int(i)) for i in removed_idx],
+                [W_after.store.edge(int(i)) for i in added_idx],
+            ),
+        )
+    return out
 
 
 def _charge_round(machine: Machine, n: int, m: int, total: int, d: int) -> None:
@@ -208,8 +239,12 @@ def beame_luby(
     records: list[RoundRecord] = []
     p_fixed: float | None = marking_probability
     p_initial: float | None = None
-    cached_profile = None
-    cached_for: Hypergraph | None = None
+    # The Δ maxima are carried across rounds by *restriction*: a round's
+    # successor differs from W only in the edges the trim touched, so the
+    # tracker updates from the store diff instead of recomputing the full
+    # profile (the identity-only cache this replaces only ever helped on
+    # no-progress rounds).
+    tracker: DeltaTracker | None = None
 
     for round_index in range(max_rounds):
         if W.num_vertices == 0:
@@ -235,11 +270,9 @@ def beame_luby(
             W = W.replace(edges=(), vertices=np.empty(0, dtype=np.intp))
             break
 
-        if cached_for is W and cached_profile is not None:
-            profile = cached_profile
-        else:
-            profile = degree_profile(W)
-            cached_profile, cached_for = profile, W
+        if tracker is None:
+            tracker = DeltaTracker.from_hypergraph(W)
+        profile = tracker  # same .delta()/.delta_i() surface as DegreeProfile
         if p_fixed is not None:
             p = p_fixed
         else:
@@ -260,8 +293,8 @@ def beame_luby(
         marked_mask[active[coin]] = True
 
         # (3)–(5) unmark fully marked edges, commit survivors, cleanup.
-        W_after, added, red, unmark_mask = apply_bl_round(
-            W, marked_mask, be, assume_normal=True
+        W_after, added, red, unmark_mask, edge_diff = apply_bl_round(
+            W, marked_mask, be, assume_normal=True, collect_diff=True
         )
         if added.size:
             independent.extend(added.tolist())
@@ -286,6 +319,12 @@ def beame_luby(
             records.append(record)
         if on_round is not None:
             on_round(record, W, W_after, marked_mask, added)
+        if W_after is not W:
+            removed_edges, added_edges = edge_diff
+            if removed_edges:
+                tracker.remove_edges(removed_edges)
+            if added_edges:
+                tracker.add_edges(added_edges)
         W = W_after
     else:
         raise RuntimeError(

@@ -77,41 +77,44 @@ def karp_upfal_wigderson(
     rng_stream = stream(seed)
 
     universe = H.universe
-    edges = H.edges
-    m = len(edges)
+    m = H.num_edges
     in_I = np.zeros(universe, dtype=bool)
     blocked = np.zeros(universe, dtype=bool)
     candidates = H.vertices.copy()
     records: list[RoundRecord] = []
     round_index = 0
 
-    # Pre-extract edge vertex arrays once.
-    edge_arrays = [np.asarray(e, dtype=np.intp) for e in edges]
+    # The edge set never changes in KUW; the CSR arrays are the loop state.
+    store = H.store
+    indptr, indices = store.indptr, store.indices
+    sizes = store.sizes()
+    total = store.total_size
 
     while candidates.size:
         rng = next(rng_stream)
         c = candidates
         c_size_prefilter = int(c.size)
 
-        # (1) Mass filter: drop every candidate already blocked by I.
+        # (1) Mass filter: drop every candidate already blocked by I — an
+        # edge with all but one vertex in I blocks its missing vertex.  The
+        # per-edge I-counts are one reduceat; the missing vertices are the
+        # non-I positions of the nearly-complete edges (one per edge).
         blocked_now = 0
         if m:
-            in_C = np.zeros(universe, dtype=bool)
-            in_C[c] = True
-            for ev in edge_arrays:
-                inI = in_I[ev]
-                if int(inI.sum()) == ev.size - 1:
-                    missing = int(ev[~inI][0])
-                    if in_C[missing] and not blocked[missing]:
-                        blocked[missing] = True
-                        blocked_now += 1
-            if blocked_now:
-                c = c[~blocked[c]]
-            mach.charge(
-                log2_ceil(max(H.dimension, 2)),
-                sum(a.size for a in edge_arrays),
-                sum(a.size for a in edge_arrays),
-            )
+            inI_pos = in_I[indices]
+            counts_I = np.add.reduceat(inI_pos.astype(np.intp), indptr[:-1])
+            nearly = counts_I == sizes - 1
+            if nearly.any():
+                pos = store.position_mask(nearly) & ~inI_pos
+                missing = indices[pos]
+                in_C = np.zeros(universe, dtype=bool)
+                in_C[c] = True
+                newly = np.unique(missing[in_C[missing] & ~blocked[missing]])
+                if newly.size:
+                    blocked[newly] = True
+                    blocked_now = int(newly.size)
+                    c = c[~blocked[c]]
+            mach.charge(log2_ceil(max(H.dimension, 2)), total, total)
         if c.size == 0:
             if trace:
                 records.append(
@@ -137,25 +140,32 @@ def karp_upfal_wigderson(
 
         # For each edge: t(e) = max position over e ∩ C, valid iff every
         # vertex of e is in I or C (otherwise e can never be completed).
-        L = c.size  # safe prefix if unconstrained
+        # Vertices in I have position 0, so the per-edge max-reduceat over
+        # positions is exactly the max over e ∩ C.
+        L = int(c.size)  # safe prefix if unconstrained
         tightest_vertex = -1
-        for ev in edge_arrays:
-            pos = position[ev]
-            outside = ~(in_I[ev] | (pos > 0))
-            if outside.any():
-                continue  # a discarded vertex keeps this edge open forever
-            inC = pos > 0
-            if not inC.any():
+        if m:
+            pos_all = position[indices]
+            open_edge = (
+                np.add.reduceat(
+                    (~(in_I[indices] | (pos_all > 0))).astype(np.intp), indptr[:-1]
+                )
+                > 0
+            )  # a discarded vertex keeps the edge open forever
+            t_edge = np.maximum.reduceat(pos_all, indptr[:-1])
+            valid = ~open_edge
+            if (valid & (t_edge == 0)).any():
                 # e ⊆ I would violate independence; guarded by construction.
                 raise AssertionError("edge fully inside I — independence broken")
-            t = int(pos[inC].max())
-            if t - 1 < L:
-                L = t - 1
-                tightest_vertex = int(ev[pos == t][0])
+            if valid.any():
+                t_min = int(t_edge[valid].min())
+                L = t_min - 1
+                # The permutation ranks are globally unique, so the vertex
+                # at the tightest position is edge-independent.
+                tightest_vertex = int(perm[t_min - 1])
 
         # PRAM charges: permutation (sort), per-edge max, global min.
         mach.sort(int(c.size))
-        total = sum(a.size for a in edge_arrays)
         if total:
             mach.charge(log2_ceil(max(H.dimension, 2)), total, total)
         mach.reduce(max(m, 1))

@@ -96,11 +96,14 @@ def permutation_bl(
         rank = np.zeros(W.universe, dtype=np.int64)
         rank[perm] = np.arange(1, active.size + 1)
 
-        # A vertex is excluded iff it is the π-max of some edge.
+        # A vertex is excluded iff it is the π-max of some edge.  Ranks are
+        # globally unique, so within an edge exactly one position attains
+        # the edge's max-reduceat value.
         excluded = np.zeros(W.universe, dtype=bool)
-        for e in W.edges:
-            ev = np.asarray(e, dtype=np.intp)
-            excluded[int(ev[np.argmax(rank[ev])])] = True
+        store = W.store
+        rank_pos = rank[store.indices]
+        edge_max = np.maximum.reduceat(rank_pos, store.indptr[:-1])
+        excluded[store.indices[rank_pos == np.repeat(edge_max, W.edge_sizes())]] = True
         add_mask = np.zeros(W.universe, dtype=bool)
         add_mask[active] = True
         add_mask &= ~excluded

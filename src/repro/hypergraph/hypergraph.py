@@ -6,14 +6,23 @@ Design notes
   universe never changes across algorithm rounds even as vertices are
   removed, so vertex ids in the final independent set always refer to the
   input hypergraph.  The *active* vertex set is an explicit sorted array.
-* **Canonical edges.**  Each edge is stored as a sorted tuple of distinct
-  ints; the edge list is lexicographically sorted and deduplicated.  Two
-  hypergraphs compare equal iff they have the same universe, vertex set and
-  edge multiset — which, being canonical, is a cheap tuple comparison.
+* **CSR-native canonical edges.**  Edges live in an
+  :class:`~repro.hypergraph.edgestore.EdgeStore` — a ``(indptr, indices)``
+  ragged-array pair holding each edge as a strictly increasing run, the
+  edge list lexicographically sorted and deduplicated.  The tuple-of-tuples
+  view (:attr:`edges`) is materialised lazily for cold paths and tests; the
+  hot paths (algorithm rounds, incidence, validation) never touch it.
+* **Trusted construction.**  ``Hypergraph._from_arrays`` adopts
+  already-canonical arrays without re-canonicalising or re-validating —
+  every algorithm-produced successor hypergraph (masked edge selections,
+  trims of canonical stores) qualifies, which removes the per-round
+  canonicalisation cost entirely.  Public construction still canonicalises
+  and validates.
 * **Vectorised hot path.**  The fully-marked-edge test at the heart of the
   Beame–Luby algorithm is a sparse matrix–vector product against the CSR
-  incidence matrix (built lazily and cached); per-edge Python loops are kept
-  only in reference implementations used for differential testing.
+  incidence matrix, whose index arrays *are* the edge store's arrays
+  (building it allocates only the data vector); per-edge Python loops are
+  kept only in reference implementations used for differential testing.
 * **Value semantics.**  Instances are immutable; the update operations in
   :mod:`repro.hypergraph.ops` return new instances.  This costs an array
   rebuild per algorithm round — rounds are polylogarithmic, each round is
@@ -27,24 +36,11 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.hypergraph.edgestore import EdgeStore
+
 __all__ = ["Hypergraph"]
 
 EdgeLike = Iterable[int]
-
-
-def _canonical_edges(edges: Iterable[EdgeLike]) -> tuple[tuple[int, ...], ...]:
-    """Sort each edge, dedupe vertices within an edge, dedupe + sort edges."""
-    seen: set[tuple[int, ...]] = set()
-    out: list[tuple[int, ...]] = []
-    for e in edges:
-        t = tuple(sorted(set(int(v) for v in e)))
-        if not t:
-            raise ValueError("empty edge is not allowed (it would make every set dependent)")
-        if t not in seen:
-            seen.add(t)
-            out.append(t)
-    out.sort()
-    return tuple(out)
 
 
 class Hypergraph:
@@ -73,9 +69,11 @@ class Hypergraph:
     __slots__ = (
         "_universe",
         "_vertices",
+        "_store",
         "_edges",
         "_incidence",
         "_edge_sizes",
+        "_dimension",
         "_vertex_to_edges",
     )
 
@@ -95,17 +93,53 @@ class Hypergraph:
             if v.size and (v[0] < 0 or v[-1] >= universe):
                 raise IndexError("vertex outside universe")
             self._vertices = v
-        self._edges = _canonical_edges(edges)
-        if self._edges:
-            vset = set(self._vertices.tolist())
-            for e in self._edges:
-                for x in e:
-                    if x not in vset:
-                        raise ValueError(f"edge {e} contains inactive vertex {x}")
-        # Lazy caches.
+        self._store = edges if isinstance(edges, EdgeStore) else EdgeStore.from_iterable(edges)
+        self._validate_edges_active()
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        self._edges: tuple[tuple[int, ...], ...] | None = None
         self._incidence: sp.csr_matrix | None = None
         self._edge_sizes: np.ndarray | None = None
+        self._dimension: int | None = None
         self._vertex_to_edges: dict[int, list[int]] | None = None
+
+    def _validate_edges_active(self) -> None:
+        """Every edge vertex must be an *active* vertex — one vectorised mask
+        check over the flat index array (no per-vertex Python loop)."""
+        idx = self._store.indices
+        if idx.size == 0:
+            return
+        active_mask = np.zeros(self._universe + 1, dtype=bool)
+        active_mask[self._vertices] = True
+        in_range = (idx >= 0) & (idx < self._universe)
+        ok = in_range & active_mask[np.where(in_range, idx, self._universe)]
+        if ok.all():
+            return
+        pos = int(np.flatnonzero(~ok)[0])
+        j = int(np.searchsorted(self._store.indptr, pos, side="right")) - 1
+        raise ValueError(
+            f"edge {self._store.edge(j)} contains inactive vertex {int(idx[pos])}"
+        )
+
+    @classmethod
+    def _from_arrays(
+        cls, universe: int, store: EdgeStore, vertices: np.ndarray
+    ) -> "Hypergraph":
+        """Trusted-construction fast path.
+
+        Adopts *store* (which must already satisfy the canonical invariant)
+        and *vertices* (sorted, unique, in range, containing every edge
+        vertex) without canonicalisation or validation.  Callers are the
+        algorithm kernels whose outputs provably preserve those invariants
+        — masked selections and trims of an already-canonical hypergraph.
+        """
+        obj = object.__new__(cls)
+        obj._universe = int(universe)
+        obj._vertices = vertices
+        obj._store = store
+        obj._init_caches()
+        return obj
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -123,8 +157,18 @@ class Hypergraph:
         return view
 
     @property
+    def store(self) -> EdgeStore:
+        """The CSR edge store (canonical ``(indptr, indices)`` arrays)."""
+        return self._store
+
+    @property
     def edges(self) -> tuple[tuple[int, ...], ...]:
-        """Canonical edge tuple (each edge a sorted tuple of vertex ids)."""
+        """Canonical edge tuple (each edge a sorted tuple of vertex ids).
+
+        Materialised lazily from the edge store; hot paths use the arrays.
+        """
+        if self._edges is None:
+            self._edges = self._store.edge_tuples()
         return self._edges
 
     @property
@@ -135,27 +179,31 @@ class Hypergraph:
     @property
     def num_edges(self) -> int:
         """|E|."""
-        return len(self._edges)
+        return self._store.num_edges
 
     @property
     def dimension(self) -> int:
         """Maximum edge size (0 for an edgeless hypergraph)."""
-        return max((len(e) for e in self._edges), default=0)
+        if self._dimension is None:
+            sizes = self.edge_sizes()
+            self._dimension = int(sizes.max()) if sizes.size else 0
+        return self._dimension
 
     @property
     def min_edge_size(self) -> int:
         """Minimum edge size (0 for an edgeless hypergraph)."""
-        return min((len(e) for e in self._edges), default=0)
+        sizes = self.edge_sizes()
+        return int(sizes.min()) if sizes.size else 0
 
     @property
     def total_edge_size(self) -> int:
         """Σ_e |e| — the natural input-size measure."""
-        return sum(len(e) for e in self._edges)
+        return self._store.total_size
 
     def edge_sizes(self) -> np.ndarray:
         """Edge sizes as an int array aligned with :attr:`edges`."""
         if self._edge_sizes is None:
-            self._edge_sizes = np.array([len(e) for e in self._edges], dtype=np.intp)
+            self._edge_sizes = self._store.sizes()
         return self._edge_sizes
 
     # ------------------------------------------------------------------
@@ -166,21 +214,14 @@ class Hypergraph:
 
         Row ``i`` is the indicator vector of edge ``i``.  The hot path of
         every marking algorithm is ``incidence() @ marked`` which yields,
-        per edge, the number of marked vertices.
+        per edge, the number of marked vertices.  The index arrays are the
+        edge store's own — only the data vector is allocated.
         """
         if self._incidence is None:
-            m = len(self._edges)
-            indptr = np.zeros(m + 1, dtype=np.intp)
-            sizes = self.edge_sizes()
-            np.cumsum(sizes, out=indptr[1:])
-            indices = np.fromiter(
-                (v for e in self._edges for v in e),
-                dtype=np.intp,
-                count=int(indptr[-1]),
-            )
-            data = np.ones(indices.size, dtype=np.int64)
+            data = np.ones(self._store.indices.size, dtype=np.int64)
             self._incidence = sp.csr_matrix(
-                (data, indices, indptr), shape=(m, self._universe)
+                (data, self._store.indices, self._store.indptr),
+                shape=(self._store.num_edges, self._universe),
             )
         return self._incidence
 
@@ -188,7 +229,7 @@ class Hypergraph:
         """Map each vertex to the (sorted) list of indices of edges containing it."""
         if self._vertex_to_edges is None:
             adj: dict[int, list[int]] = {}
-            for i, e in enumerate(self._edges):
+            for i, e in enumerate(self.edges):
                 for v in e:
                     adj.setdefault(v, []).append(i)
             self._vertex_to_edges = adj
@@ -196,12 +237,17 @@ class Hypergraph:
 
     def degree(self, v: int) -> int:
         """Number of edges containing vertex *v*."""
-        return len(self.vertex_to_edges().get(v, ()))
+        return int(np.count_nonzero(self._store.indices == v))
+
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees over the whole universe (one bincount)."""
+        return np.bincount(self._store.indices, minlength=self._universe)
 
     def max_degree(self) -> int:
         """Maximum vertex degree (0 if edgeless)."""
-        adj = self.vertex_to_edges()
-        return max((len(es) for es in adj.values()), default=0)
+        if self._store.indices.size == 0:
+            return 0
+        return int(self.degrees().max())
 
     # ------------------------------------------------------------------
     # queries
@@ -209,14 +255,15 @@ class Hypergraph:
     def has_edge(self, e: EdgeLike) -> bool:
         """Is the canonicalised *e* an edge of H? (binary search)"""
         t = tuple(sorted(set(int(v) for v in e)))
-        lo, hi = 0, len(self._edges)
+        edges = self.edges
+        lo, hi = 0, len(edges)
         while lo < hi:
             mid = (lo + hi) // 2
-            if self._edges[mid] < t:
+            if edges[mid] < t:
                 lo = mid + 1
             else:
                 hi = mid
-        return lo < len(self._edges) and self._edges[lo] == t
+        return lo < len(edges) and edges[lo] == t
 
     def edges_within(self, member_mask: np.ndarray) -> np.ndarray:
         """Indices of edges fully contained in the vertex set given by *member_mask*.
@@ -226,7 +273,7 @@ class Hypergraph:
         """
         if member_mask.shape != (self._universe,):
             raise ValueError("mask must cover the universe")
-        if not self._edges:
+        if self.num_edges == 0:
             return np.empty(0, dtype=np.intp)
         counts = self.incidence() @ member_mask.astype(np.int64)
         return np.flatnonzero(counts == self.edge_sizes())
@@ -235,7 +282,7 @@ class Hypergraph:
         """Indices of edges with at least one vertex in the masked set."""
         if member_mask.shape != (self._universe,):
             raise ValueError("mask must cover the universe")
-        if not self._edges:
+        if self.num_edges == 0:
             return np.empty(0, dtype=np.intp)
         counts = self.incidence() @ member_mask.astype(np.int64)
         return np.flatnonzero(counts > 0)
@@ -253,41 +300,46 @@ class Hypergraph:
     # ------------------------------------------------------------------
     # sub-hypergraphs
     # ------------------------------------------------------------------
+    def _subset_mask(self, vertex_subset: Iterable[int] | np.ndarray) -> np.ndarray:
+        idx = np.asarray(
+            list(vertex_subset) if not isinstance(vertex_subset, np.ndarray) else vertex_subset,
+            dtype=np.intp,
+        )
+        mask = np.zeros(self._universe, dtype=bool)
+        if idx.size:
+            if int(idx.min()) < 0 or int(idx.max()) >= self._universe:
+                raise IndexError("vertex outside universe")
+            mask[idx] = True
+        return mask
+
     def induced(self, vertex_subset: Iterable[int] | np.ndarray) -> "Hypergraph":
         """The sub-hypergraph induced by *vertex_subset*.
 
         Vertices are restricted to the subset; the edges kept are exactly
         those **fully contained** in the subset (the paper's
-        ``E' = {e ∈ E : e ⊆ V'}`` in SBL line 7).
+        ``E' = {e ∈ E : e ⊆ V'}`` in SBL line 7).  A masked selection of a
+        canonical store stays canonical, so the result uses the trusted
+        fast path.
         """
-        idx = np.asarray(
-            list(vertex_subset) if not isinstance(vertex_subset, np.ndarray) else vertex_subset,
-            dtype=np.intp,
-        )
-        mask = np.zeros(self._universe, dtype=bool)
-        if idx.size:
-            mask[idx] = True
-        keep = self.edges_within(mask)
-        active = np.intersect1d(self._vertices, np.unique(idx), assume_unique=False)
-        return Hypergraph(
-            self._universe,
-            [self._edges[i] for i in keep.tolist()],
-            vertices=active,
-        )
+        mask = self._subset_mask(vertex_subset)
+        active = self._vertices[mask[self._vertices]]
+        if self.num_edges == 0:
+            return Hypergraph._from_arrays(self._universe, self._store, active)
+        counts = self.incidence() @ mask.astype(np.int64)
+        keep = counts == self.edge_sizes()
+        return Hypergraph._from_arrays(self._universe, self._store.select(keep), active)
 
     def without_vertices(self, vertex_subset: Iterable[int] | np.ndarray) -> "Hypergraph":
         """Drop the given vertices from the active set and drop edges touching them."""
-        idx = np.asarray(
-            list(vertex_subset) if not isinstance(vertex_subset, np.ndarray) else vertex_subset,
-            dtype=np.intp,
+        mask = self._subset_mask(vertex_subset)
+        remaining = self._vertices[~mask[self._vertices]]
+        if self.num_edges == 0:
+            return Hypergraph._from_arrays(self._universe, self._store, remaining)
+        counts = self.incidence() @ mask.astype(np.int64)
+        keep = counts == 0
+        return Hypergraph._from_arrays(
+            self._universe, self._store.select(keep), remaining
         )
-        mask = np.zeros(self._universe, dtype=bool)
-        if idx.size:
-            mask[idx] = True
-        touched = set(self.edges_touching(mask).tolist())
-        keep_edges = [e for i, e in enumerate(self._edges) if i not in touched]
-        remaining = np.setdiff1d(self._vertices, idx, assume_unique=False)
-        return Hypergraph(self._universe, keep_edges, vertices=remaining)
 
     def replace(
         self,
@@ -298,7 +350,7 @@ class Hypergraph:
         """Functional update returning a new hypergraph over the same universe."""
         return Hypergraph(
             self._universe,
-            self._edges if edges is None else edges,
+            self._store if edges is None else edges,
             vertices=self._vertices if vertices is None else vertices,
         )
 
@@ -312,17 +364,17 @@ class Hypergraph:
             self._universe == other._universe
             and self._vertices.size == other._vertices.size
             and bool((self._vertices == other._vertices).all())
-            and self._edges == other._edges
+            and self._store == other._store
         )
 
     def __hash__(self) -> int:
-        return hash((self._universe, self._vertices.tobytes(), self._edges))
+        return hash((self._universe, self._vertices.tobytes(), self._store))
 
     def __iter__(self) -> Iterator[tuple[int, ...]]:
-        return iter(self._edges)
+        return iter(self.edges)
 
     def __len__(self) -> int:
-        return len(self._edges)
+        return self.num_edges
 
     def __repr__(self) -> str:
         return (

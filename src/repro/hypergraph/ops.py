@@ -5,6 +5,13 @@ These are the primitive transformations of the BL cleanup phase
 12–20).  All operations are pure: they take a :class:`Hypergraph` and
 return a new one over the same universe.
 
+All of them are masked array operations over the CSR edge store: edge
+selections reuse the canonical arrays through the trusted construction
+path (:meth:`Hypergraph._from_arrays`), containment testing is a sparse
+incidence Gram product, and the trim is a single boolean gather — there
+are no per-edge Python loops left on these paths (the pure-Python
+versions survive in :mod:`repro.core.reference` for differential tests).
+
 A note on the superset rule: Algorithm 2's pseudocode reads
 ``if e ⊆ e′ then E′ ← E′ \\ e`` which removes the *smaller* edge — a typo
 in the paper.  Removing the smaller edge would weaken the independence
@@ -20,7 +27,9 @@ from __future__ import annotations
 from typing import Iterable
 
 import numpy as np
+import scipy.sparse as sp
 
+from repro.hypergraph.edgestore import EdgeStore
 from repro.hypergraph.hypergraph import Hypergraph
 
 __all__ = [
@@ -31,6 +40,10 @@ __all__ = [
     "normalize",
     "normalize_after_trim",
 ]
+
+#: Above this estimated Gram-product size the vectorised superset scan
+#: would allocate too much; fall back to the min-degree-pivot loop.
+_GRAM_NNZ_LIMIT = 200_000_000
 
 
 def _as_mask(universe: int, vertices: Iterable[int] | np.ndarray) -> np.ndarray:
@@ -56,16 +69,9 @@ def trim_vertices(H: Hypergraph, vertices: Iterable[int] | np.ndarray) -> Hyperg
     ``ValueError`` rather than silently producing an empty edge.
     """
     mask = _as_mask(H.universe, vertices)
-    new_edges = []
-    for e in H.edges:
-        t = tuple(v for v in e if not mask[v])
-        if not t:
-            raise ValueError(
-                f"edge {e} became empty: the removed set contains a full edge"
-            )
-        new_edges.append(t)
+    store = H.store.trim(mask)[0]
     remaining = H.vertices[~mask[H.vertices]]
-    return Hypergraph(H.universe, new_edges, vertices=remaining)
+    return Hypergraph._from_arrays(H.universe, store, remaining)
 
 
 def remove_edges_touching(H: Hypergraph, vertices: Iterable[int] | np.ndarray) -> Hypergraph:
@@ -76,42 +82,79 @@ def remove_edges_touching(H: Hypergraph, vertices: Iterable[int] | np.ndarray) -
     constraint is vacuous.  The active vertex set is unchanged.
     """
     mask = _as_mask(H.universe, vertices)
-    touched = set(H.edges_touching(mask).tolist())
-    if not touched:
+    if H.num_edges == 0:
         return H
-    keep = [e for i, e in enumerate(H.edges) if i not in touched]
-    return H.replace(edges=keep)
+    touched = mask[H.store.indices]
+    if not touched.any():
+        return H
+    keep = np.add.reduceat(touched.astype(np.intp), H.store.indptr[:-1]) == 0
+    return Hypergraph._from_arrays(H.universe, H.store.select(keep), H._vertices)
+
+
+def _superset_drop_mask(store: EdgeStore, universe: int) -> np.ndarray:
+    """Boolean mask of edges that properly contain another edge.
+
+    One sparse Gram product ``A @ Aᵀ`` of the incidence matrix gives all
+    pairwise intersection sizes; edge *j* is contained in edge *i* exactly
+    when ``|e_j ∩ e_i| = |e_j|`` (and, the store being duplicate-free,
+    ``|e_i| > |e_j|``).  Containment is transitive, so dropping every such
+    *i* — regardless of whether its witness *j* also gets dropped — leaves
+    precisely the inclusion-minimal edges.
+    """
+    sizes = store.sizes()
+    A = sp.csr_matrix(
+        (np.ones(store.indices.size, dtype=np.int64), store.indices, store.indptr),
+        shape=(store.num_edges, universe),
+    )
+    inter = (A @ A.T).tocoo()
+    contained = (inter.data == sizes[inter.row]) & (sizes[inter.col] > sizes[inter.row])
+    drop = np.zeros(store.num_edges, dtype=bool)
+    drop[inter.col[contained]] = True
+    return drop
+
+
+def _superset_drop_mask_pivot(H: Hypergraph) -> np.ndarray:
+    """Fallback superset scan via the min-degree pivot (bounded memory).
+
+    An edge ``e′`` can only be a superset of edges incident to its
+    least-loaded vertex, so containment is checked only against those —
+    O(Σ_e deg_min(e)·|e|) instead of O(m²·d).
+    """
+    edges = H.edges
+    m = len(edges)
+    edge_sets = [frozenset(e) for e in edges]
+    adj = H.vertex_to_edges()
+    drop = np.zeros(m, dtype=bool)
+    for j, e in enumerate(edges):
+        pivot = min(e, key=lambda v: len(adj[v]))
+        for i in adj[pivot]:
+            if i != j and len(edges[i]) > len(e) and edge_sets[j] < edge_sets[i]:
+                drop[i] = True
+    return drop
+
+
+def _gram_nnz_estimate(store: EdgeStore, universe: int) -> int:
+    """Upper bound on the Gram product's nnz: Σ_v deg(v)²."""
+    deg = np.bincount(store.indices, minlength=universe)
+    return int((deg.astype(np.int64) ** 2).sum())
 
 
 def remove_superset_edges(H: Hypergraph) -> Hypergraph:
     """Drop every edge that (properly) contains another edge.
 
     Keeps the inclusion-minimal edges; their constraints imply all the
-    dropped ones.  Uses the min-degree-pivot trick: an edge ``e′`` can only
-    be a superset of edges incident to its least-loaded vertex, so we check
-    containment only against those — O(Σ_e deg_min(e)·|e|) instead of
-    O(m²·d).
+    dropped ones.  Vectorised as one sparse incidence Gram product (with a
+    min-degree-pivot fallback when the product would be too dense).
     """
-    edges = H.edges
-    m = len(edges)
-    if m <= 1:
+    if H.num_edges <= 1:
         return H
-    edge_sets = [frozenset(e) for e in edges]
-    adj = H.vertex_to_edges()
-    keep = np.ones(m, dtype=bool)
-    for j, e in enumerate(edges):
-        # Any superset of e must contain every vertex of e — in particular
-        # e's least-loaded vertex, so scanning that vertex's edge list finds
-        # all candidate supersets.
-        pivot = min(e, key=lambda v: len(adj[v]))
-        for i in adj[pivot]:
-            if i == j or not keep[i]:
-                continue
-            if len(edges[i]) > len(e) and edge_sets[j] < edge_sets[i]:
-                keep[i] = False
-    if keep.all():
+    if _gram_nnz_estimate(H.store, H.universe) <= _GRAM_NNZ_LIMIT:
+        drop = _superset_drop_mask(H.store, H.universe)
+    else:
+        drop = _superset_drop_mask_pivot(H)
+    if not drop.any():
         return H  # nothing dropped: avoid a rebuild on the common path
-    return H.replace(edges=[edges[i] for i in np.flatnonzero(keep).tolist()])
+    return Hypergraph._from_arrays(H.universe, H.store.select(~drop), H._vertices)
 
 
 def remove_singleton_edges(H: Hypergraph) -> tuple[Hypergraph, np.ndarray]:
@@ -122,41 +165,98 @@ def remove_singleton_edges(H: Hypergraph) -> tuple[Hypergraph, np.ndarray]:
     the new hypergraph and the array of vertices removed this way (they are
     implicitly colored red).
     """
-    singles = sorted({e[0] for e in H.edges if len(e) == 1})
-    if not singles:
+    store = H.store
+    sizes = H.edge_sizes()
+    single = sizes == 1
+    if not single.any():
         return H, np.empty(0, dtype=np.intp)
-    removed = np.asarray(singles, dtype=np.intp)
-    mask = _as_mask(H.universe, removed)
+    removed = np.unique(store.indices[store.position_mask(single)])
+    mask = np.zeros(H.universe, dtype=bool)
+    mask[removed] = True
     # Edges containing a removed vertex: singleton ones disappear; larger
     # ones keep constraining the surviving vertices only if all their
     # vertices survive — but a red vertex in an edge makes the constraint
     # vacuous, so we drop every touching edge (same reasoning as
     # remove_edges_touching).
-    touched = set(H.edges_touching(mask).tolist())
-    keep = [e for i, e in enumerate(H.edges) if i not in touched]
+    touched = np.add.reduceat(mask[store.indices].astype(np.intp), store.indptr[:-1]) > 0
     remaining = H.vertices[~mask[H.vertices]]
-    return Hypergraph(H.universe, keep, vertices=remaining), removed
+    return (
+        Hypergraph._from_arrays(H.universe, store.select(~touched), remaining),
+        removed,
+    )
+
+
+def _restricted_intersections(
+    store: EdgeStore, universe: int, changed: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Intersection sizes between the changed edges and all edges.
+
+    Returns COO-style triplets ``(jrow, col, inter)``: for every pair of a
+    changed edge *jrow* and an edge *col* sharing at least one vertex,
+    ``inter = |e_jrow ∩ e_col|``.  This is the restricted Gram product
+    ``A[changed] @ Aᵀ`` computed with gathers and one ``np.unique`` — no
+    sparse-matrix objects are built on the per-round path (their
+    constructor overhead dominated the round at typical sizes).
+    """
+    sizes = store.sizes()
+    m = store.num_edges
+    indices = store.indices
+    # CSC transpose of the incidence: edges grouped by vertex.
+    row_of = np.repeat(np.arange(m, dtype=np.intp), sizes)
+    csc_rows = row_of[np.argsort(indices, kind="stable")]
+    deg = np.bincount(indices, minlength=universe)
+    csc_indptr = np.zeros(universe + 1, dtype=np.intp)
+    np.cumsum(deg, out=csc_indptr[1:])
+
+    changed_idx = np.flatnonzero(changed)
+    pos = store.position_mask(changed)
+    verts = indices[pos]  # vertices of changed edges, with edge multiplicity
+    owner = row_of[pos]  # owning changed edge per slot
+    cnt = deg[verts]
+    out_ptr = np.zeros(cnt.size + 1, dtype=np.intp)
+    np.cumsum(cnt, out=out_ptr[1:])
+    within = np.arange(int(out_ptr[-1]), dtype=np.intp) - np.repeat(out_ptr[:-1], cnt)
+    neighbors = csc_rows[np.repeat(csc_indptr[verts], cnt) + within]
+    owners = np.repeat(np.searchsorted(changed_idx, owner), cnt)
+    # One key per (changed edge, neighbor edge) incidence; the multiplicity
+    # of a key is exactly the intersection size.
+    key = owners * m + neighbors
+    uk, inter = np.unique(key, return_counts=True)
+    jloc, col = np.divmod(uk, m)
+    return changed_idx[jloc], col, inter
 
 
 def normalize_after_trim(
-    H: Hypergraph, vertices: Iterable[int] | np.ndarray
-) -> tuple[Hypergraph, np.ndarray]:
+    H: Hypergraph,
+    vertices: Iterable[int] | np.ndarray,
+    *,
+    collect_diff: bool = False,
+) -> tuple[Hypergraph, np.ndarray] | tuple[
+    Hypergraph, np.ndarray, list[tuple[int, ...]], list[tuple[int, ...]]
+]:
     """Fused ``trim_vertices`` + ``normalize`` for an already-normal input.
 
     Precondition: *H* is superset-free with no singleton edges (the state
     every BL/permutation round leaves behind).  After removing *vertices*
     from all edges, any new ``e ⊆ e′`` pair must involve an edge that
     shrank — an untouched pair would have violated normality before the
-    trim — so the containment scan is restricted to the changed edges, in
-    both roles (shrunken edge as the new subset, or as a superset another
-    edge shrank onto… i.e. became equal to, which canonical dedup already
-    handles; the remaining case is a changed edge swallowing an untouched
-    one).  Singleton cleanup needs a single pass: dropping edges never
-    creates new singletons or supersets.
+    trim — so the containment scan is restricted to the changed edges: the
+    Gram product runs between the changed rows and the full incidence
+    matrix rather than all-pairs.  (A dedup collision counts the surviving
+    edge as changed — an edge shrinking *onto* another.)  Singleton cleanup
+    needs a single pass: dropping edges never creates new singletons or
+    supersets.
 
     Produces exactly the same hypergraph as
     ``normalize(trim_vertices(H, vertices))`` (differentially tested);
     returns ``(H_clean, red_vertices)`` with the same meaning.
+
+    With ``collect_diff=True`` the return gains the exact edge diff,
+    ``(H_clean, red, removed_edges, added_edges)``: the edge tuples of *H*
+    that are not in the result and vice versa.  The masks the trim already
+    tracks (which input edges shrank; which output tuples pre-existed)
+    determine this without any set comparison, which is what keeps the
+    cross-round Δ-tracker update O(changed) in :func:`repro.core.bl.beame_luby`.
 
     Raises
     ------
@@ -165,68 +265,57 @@ def normalize_after_trim(
         edge — a correctness violation upstream).
     """
     mask = _as_mask(H.universe, vertices)
-    changed_idx = set(H.edges_touching(mask).tolist())
-    old_edges = H.edges
+    store, changed, any_change, changed_in, present = H.store.trim(mask)
+    removed_active = mask
+    sizes = store.sizes()
+    alive = np.ones(store.num_edges, dtype=bool)
 
-    # Trim, dedupe canonically, remember which surviving edges changed.
-    seen: dict[tuple[int, ...], bool] = {}  # edge -> changed?
-    for i, e in enumerate(old_edges):
-        if i in changed_idx:
-            t = tuple(v for v in e if not mask[v])
-            if not t:
-                raise ValueError(
-                    f"edge {e} became empty: the removed set contains a full edge"
-                )
-            # A dedup collision means an edge shrank onto another: the
-            # surviving copy counts as changed.
-            seen[t] = True
-        else:
-            if e not in seen:
-                seen[e] = False
-
-    edges = list(seen.keys())
-    changed = [seen[e] for e in edges]
-    alive = [True] * len(edges)
-    edge_sets = [frozenset(e) for e in edges]
-    adj: dict[int, list[int]] = {}
-    for i, e in enumerate(edges):
-        for v in e:
-            adj.setdefault(v, []).append(i)
-
-    for j, is_changed in enumerate(changed):
-        if not is_changed or not alive[j]:
-            continue
-        ej = edge_sets[j]
-        # (a) j as subset: supersets of j must contain j's pivot vertex.
-        pivot = min(edges[j], key=lambda v: len(adj[v]))
-        for i in adj[pivot]:
-            if i != j and alive[i] and len(edges[i]) > len(edges[j]) and ej < edge_sets[i]:
-                alive[i] = False
-        # (b) j as superset of an untouched (or changed) smaller edge:
-        # candidates live in the adjacency of j's vertices.
-        if alive[j]:
-            cand: set[int] = set()
-            for v in edges[j]:
-                cand.update(adj[v])
-            for k in cand:
-                if k != j and alive[k] and len(edges[k]) < len(edges[j]) and edge_sets[k] < ej:
-                    alive[j] = False
-                    break
+    if any_change and changed.any() and store.num_edges > 1:
+        jrow, col, inter = _restricted_intersections(store, H.universe, changed)
+        # Pair (j, i): j a changed edge, i any edge, inter = |e_j ∩ e_i|.
+        # Either side of a containment pair may be the superset; the store
+        # being duplicate-free, sizes break the tie.
+        sub = (inter == sizes[jrow]) & (sizes[col] > sizes[jrow])
+        alive[col[sub]] = False  # column edge swallows a changed edge
+        sup = (inter == sizes[col]) & (sizes[jrow] > sizes[col])
+        alive[jrow[sup]] = False  # changed edge swallows a column edge
 
     # Single singleton pass (dropping edges creates no new singletons).
-    red_set = {edges[i][0] for i in range(len(edges)) if alive[i] and len(edges[i]) == 1}
-    if red_set:
-        for i in range(len(edges)):
-            if alive[i] and (set(edges[i]) & red_set):
-                alive[i] = False
+    single_alive = alive & (sizes == 1)
+    if single_alive.any():
+        red = np.unique(store.indices[store.position_mask(single_alive)])
+        red_mask = np.zeros(H.universe, dtype=bool)
+        red_mask[red] = True
+        if store.num_edges:
+            touch = (
+                np.add.reduceat(
+                    red_mask[store.indices].astype(np.intp), store.indptr[:-1]
+                )
+                > 0
+            )
+            alive &= ~touch
+        removed_active = mask | red_mask
+    else:
+        red = np.empty(0, dtype=np.intp)
 
-    final_edges = [edges[i] for i in range(len(edges)) if alive[i]]
-    removed = mask.copy()
-    for v in red_set:
-        removed[v] = True
-    remaining = H.vertices[~removed[H.vertices]]
-    H_new = Hypergraph(H.universe, final_edges, vertices=remaining)
-    return H_new, np.asarray(sorted(red_set), dtype=np.intp)
+    all_alive = alive.all()
+    final = store if all_alive else store.select(alive)
+    remaining = H.vertices[~removed_active[H.vertices]]
+    H_clean = Hypergraph._from_arrays(H.universe, final, remaining)
+    if not collect_diff:
+        return H_clean, red
+    # Exact edge diff from the trim's bookkeeping:
+    #   removed = input edges that shrank, plus surviving pre-existing
+    #             tuples that the cleanup dropped;
+    #   added   = kept output edges whose tuple did not exist in the input.
+    removed_edges = list(H.store.select(changed_in).edge_tuples()) if any_change else []
+    if not all_alive:
+        dropped_present = present & ~alive
+        if dropped_present.any():
+            removed_edges.extend(store.select(dropped_present).edge_tuples())
+    new_kept = alive & ~present if any_change else np.zeros(0, dtype=bool)
+    added_edges = list(store.select(new_kept).edge_tuples()) if new_kept.any() else []
+    return H_clean, red, removed_edges, added_edges
 
 
 def normalize(H: Hypergraph) -> tuple[Hypergraph, np.ndarray]:

@@ -103,13 +103,14 @@ def find_maximality_witness(
     if H.num_edges:
         counts = H.incidence() @ mask.astype(np.int64)
         sizes = H.edge_sizes()
-        near = np.flatnonzero(counts == sizes - 1)
-        edges = H.edges
-        for i in near.tolist():
-            for v in edges[i]:
-                if not mask[v]:
-                    blocked[v] = True
-                    break
+        near = counts == sizes - 1
+        if near.any():
+            # A near-complete edge has exactly one non-member vertex — the
+            # vertex it blocks.  One gather over the near edges' positions.
+            store = H.store
+            blocked[
+                store.indices[store.position_mask(near) & ~mask[store.indices]]
+            ] = True
         # An edge of size 1 ({v}) blocks v whenever v ∉ I (counts==0==size-1).
     free = candidates[~blocked[candidates]]
     return int(free[0]) if free.size else None

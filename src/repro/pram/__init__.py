@@ -29,7 +29,12 @@ from repro.pram.primitives import (
     pmap,
     preduce,
 )
-from repro.pram.backend import ExecutionBackend, ProcessBackend, SerialBackend
+from repro.pram.backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    deterministic_equivalence,
+)
 from repro.pram.bl_program import BLRoundProgram, run_bl_round_program
 from repro.pram.simulator import AccessViolation, EREWSimulator, Instruction
 
@@ -53,4 +58,5 @@ __all__ = [
     "run_bl_round_program",
     "SerialBackend",
     "ProcessBackend",
+    "deterministic_equivalence",
 ]

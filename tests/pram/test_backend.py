@@ -7,7 +7,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.hypergraph import Hypergraph
-from repro.pram import ProcessBackend, SerialBackend
+from repro.pram import ProcessBackend, SerialBackend, deterministic_equivalence
 
 
 class TestSerialBackend:
@@ -94,3 +94,62 @@ class TestProcessBackend:
             ProcessBackend(workers=0)
         with pytest.raises(ValueError):
             ProcessBackend(chunk_size=0)
+
+    def test_presplit_cache_reused(self):
+        """The same incidence object is sliced once, not once per call."""
+        H = Hypergraph(40, [(i, i + 1) for i in range(39)])
+        inc = H.incidence()
+        marked = np.zeros(40, dtype=bool)
+        marked[::3] = True
+        with ProcessBackend(workers=1, chunk_size=8) as pb:
+            pb.edge_mark_counts(inc, marked)
+            first = pb._split_chunks
+            assert pb._split_for is inc
+            pb.edge_mark_counts(inc, marked)
+            assert pb._split_chunks is first
+            # A different matrix evicts the one-entry cache.
+            other = H.incidence().copy()
+            pb.edge_mark_counts(other, marked)
+            assert pb._split_for is other
+            assert pb._split_chunks is not first
+
+
+class TestDeterministicEquivalence:
+    """The chunking contract: results depend on (seed, chunk_size) only."""
+
+    def test_single_chunk_rejected(self):
+        """n inside one chunk certifies nothing — must raise, not pass."""
+        backends = [SerialBackend(chunk_size=256), SerialBackend(chunk_size=64)]
+        with pytest.raises(ValueError, match="one chunk"):
+            deterministic_equivalence(backends, seed=3, n=200, p=0.5)
+
+    def test_serial_backends_agree_across_chunks(self):
+        backends = [SerialBackend(chunk_size=64), SerialBackend(chunk_size=64)]
+        assert deterministic_equivalence(backends, seed=3, n=1000, p=0.5)
+
+    def test_incidence_shape_checked(self):
+        H = Hypergraph(50, [(i, i + 1) for i in range(49)])
+        backends = [SerialBackend(chunk_size=16), SerialBackend(chunk_size=16)]
+        with pytest.raises(ValueError, match="columns"):
+            deterministic_equivalence(
+                backends, seed=0, n=60, p=0.5, incidence=H.incidence()
+            )
+
+    def test_different_chunk_sizes_detected(self):
+        """Different chunk sizes place chunk boundaries differently, so the
+        streams genuinely diverge — the check must see that, which is what
+        the multi-chunk requirement guarantees."""
+        backends = [SerialBackend(chunk_size=64), SerialBackend(chunk_size=128)]
+        assert not deterministic_equivalence(backends, seed=3, n=1000, p=0.5)
+
+    @pytest.mark.slow
+    def test_process_matches_serial_across_chunks(self):
+        """Same seed, n spanning multiple chunks: the pool and the serial
+        path must agree bit-for-bit on draws AND on the matvec fan-out."""
+        n = 300
+        H = Hypergraph(n, [(i, i + 1, i + 2) for i in range(n - 2)])
+        with ProcessBackend(workers=2, chunk_size=64) as pb:
+            backends = [SerialBackend(chunk_size=64), pb]
+            assert deterministic_equivalence(
+                backends, seed=11, n=n, p=0.4, incidence=H.incidence()
+            )
