@@ -14,7 +14,9 @@ does not enforce thresholds (the JSON is the record, review the diff).
 
 from __future__ import annotations
 
+import datetime
 import json
+import platform
 import subprocess
 import sys
 import tempfile
@@ -23,6 +25,30 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 BENCH = REPO / "benchmarks" / "bench_m01_solver_kernels.py"
 OUT = REPO / "BENCH_m01.json"
+
+
+def _provenance() -> dict:
+    """Record where the numbers came from: commit, toolchain, time."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, OSError):
+        commit = None
+    import numpy
+
+    return {
+        "git_commit": commit,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds")
+        .replace("+00:00", "Z"),
+    }
 
 
 def main() -> int:
@@ -56,6 +82,7 @@ def main() -> int:
         "unit": "ns",
         "stat": "median",
         "machine": report.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "provenance": _provenance(),
         "medians_ns": dict(sorted(medians.items())),
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")

@@ -6,10 +6,12 @@ snapshot, metadata — lets analyses re-read measurements instead of
 re-running algorithms.  Format: a single JSON document, versioned so
 readers can reject incompatible files rather than mis-parse them.
 
-Non-JSON-native metadata values (e.g. the :class:`SBLParameters`
-dataclass SBL stores in ``meta``) are rendered through ``repr`` on save
-and therefore come back as strings; everything quantitative lives in
-typed fields and round-trips exactly.
+Dataclass metadata values (e.g. the :class:`SBLParameters` dataclass SBL
+stores in ``meta``) are serialised field-by-field under a
+``{"__dataclass__": <name>, "fields": {...}}`` tag (format version 2) and
+reconstructed on load when the name is in :data:`DATACLASS_REGISTRY`;
+unknown dataclass names come back as the plain ``fields`` dict.  Version-1
+files (which rendered dataclasses through ``repr``) are still readable.
 """
 
 from __future__ import annotations
@@ -22,10 +24,23 @@ from typing import Any, TextIO, Union
 import numpy as np
 
 from repro.core.result import MISResult, RoundRecord
+from repro.theory.parameters import SBLParameters
 
-__all__ = ["result_to_json", "result_from_json", "save_result", "load_result"]
+__all__ = [
+    "result_to_json",
+    "result_from_json",
+    "save_result",
+    "load_result",
+    "DATACLASS_REGISTRY",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Dataclass types reconstructed by name on load.  Extend when new
+#: dataclasses start appearing in ``MISResult.meta``.
+DATACLASS_REGISTRY: dict[str, type] = {
+    "SBLParameters": SBLParameters,
+}
 
 
 def _jsonable(value: Any) -> Any:
@@ -42,8 +57,31 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return repr(value)
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": _jsonable(dataclasses.asdict(value)),
+        }
     return repr(value)
+
+
+def _reconstruct(value: Any) -> Any:
+    """Inverse of :func:`_jsonable` for the tagged-dataclass encoding."""
+    if isinstance(value, dict):
+        if "__dataclass__" in value and "fields" in value:
+            fields = {str(k): _reconstruct(v) for k, v in value["fields"].items()}
+            cls = DATACLASS_REGISTRY.get(value["__dataclass__"])
+            if cls is not None:
+                try:
+                    return cls(**fields)
+                except TypeError:
+                    # Field set drifted since the file was written; degrade
+                    # to the plain dict rather than failing the whole load.
+                    return fields
+            return fields
+        return {k: _reconstruct(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_reconstruct(v) for v in value]
+    return value
 
 
 def result_to_json(result: MISResult) -> str:
@@ -81,10 +119,10 @@ def result_from_json(text: str) -> MISResult:
     """Parse a document produced by :func:`result_to_json`."""
     doc = json.loads(text)
     version = doc.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in (1, FORMAT_VERSION):
         raise ValueError(
             f"unsupported trace format version {version!r} "
-            f"(this reader supports {FORMAT_VERSION})"
+            f"(this reader supports 1..{FORMAT_VERSION})"
         )
     rounds = [
         RoundRecord(
@@ -99,7 +137,7 @@ def result_from_json(text: str) -> MISResult:
             added=r["added"],
             removed_red=r["removed_red"],
             dimension=r["dimension"],
-            extras=r["extras"],
+            extras=_reconstruct(r["extras"]),
         )
         for r in doc["rounds"]
     ]
@@ -110,7 +148,7 @@ def result_from_json(text: str) -> MISResult:
         m=doc["m"],
         rounds=rounds,
         machine=doc["machine"],
-        meta=doc["meta"],
+        meta=_reconstruct(doc["meta"]),
     )
 
 

@@ -1,23 +1,28 @@
 """Command-line interface.
 
-Five subcommands mirror the library's workflow::
+The subcommands mirror the library's workflow::
 
     python -m repro generate uniform --n 200 --m 400 --d 3 -o inst.txt
     python -m repro info inst.txt
     python -m repro solve inst.txt --algorithm sbl --seed 7 --costs
     python -m repro check inst.txt --set 1,4,9,12
     python -m repro experiment E3 --scale quick
+    python -m repro trace summary run.jsonl
 
 ``solve`` prints a JSON document (set, rounds, optional PRAM costs) so it
 composes with shell pipelines; everything else prints human-readable text.
+``solve`` and ``experiment`` accept ``--telemetry PATH`` to stream a
+versioned JSONL span/metric event log (see docs/observability.md), which
+``trace summary`` / ``trace compare`` render.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.analysis import run_experiment
 from repro.analysis.ablations import run_ablation
@@ -99,14 +104,52 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _telemetry(path: str, **run_attrs) -> Iterator[None]:
+    """Activate a file tracer as the ambient tracer for the enclosed run.
+
+    Opens a :class:`~repro.obs.events.JsonlSink` on *path*, emits a ``run``
+    preamble event carrying *run_attrs*, installs the tracer ambiently
+    (so library code picks it up via ``current_tracer()``) inside an
+    isolated metrics registry, and on exit flushes the metrics snapshot
+    and closes the sink.  With an empty *path* this is a no-op.
+    """
+    if not path:
+        yield
+        return
+    from repro.obs import JsonlSink, Tracer, isolated_registry, use_tracer
+
+    with isolated_registry():
+        tracer = Tracer(JsonlSink(path))
+        try:
+            tracer.emit("run", **run_attrs)
+            with use_tracer(tracer):
+                yield
+            tracer.flush_metrics()
+        finally:
+            tracer.close()
+    print(f"telemetry written to {path}", file=sys.stderr)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     H = load(args.instance)
     fn = ALGORITHMS[args.algorithm]
-    machine = CountingMachine() if args.costs else None
+    # Telemetry implies a cost accountant: spans record depth/work deltas.
+    machine = CountingMachine() if (args.costs or args.telemetry) else None
     kwargs = {}
     if machine is not None:
         kwargs["machine"] = machine
-    res = fn(H, seed=args.seed, **kwargs)
+    with _telemetry(
+        args.telemetry,
+        command="solve",
+        instance=str(args.instance),
+        algorithm=args.algorithm,
+        seed=args.seed,
+        n=H.num_vertices,
+        m=H.num_edges,
+        dim=H.dimension,
+    ):
+        res = fn(H, seed=args.seed, **kwargs)
     check_mis(H, res.independent_set)
     doc = {
         "algorithm": res.algorithm,
@@ -116,7 +159,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "rounds": res.num_rounds,
         "independent_set": res.independent_set.tolist(),
     }
-    if machine is not None:
+    if args.costs and machine is not None:
         doc["pram"] = machine.snapshot()
     if args.save_trace:
         from repro.analysis.traces import save_result
@@ -191,11 +234,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     eid = args.experiment_id.upper()
-    if eid.startswith("A"):
-        res = run_ablation(eid, scale=args.scale, seed=args.seed)
-    else:
-        res = run_experiment(eid, scale=args.scale, seed=args.seed)
+    with _telemetry(
+        args.telemetry,
+        command="experiment",
+        experiment=eid,
+        scale=args.scale,
+        seed=args.seed,
+    ):
+        if eid.startswith("A"):
+            res = run_ablation(eid, scale=args.scale, seed=args.seed)
+        else:
+            res = run_experiment(eid, scale=args.scale, seed=args.seed)
     print(res.to_markdown())
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.obs.inspector import render_summary
+
+    print(render_summary(args.path, width=args.width))
+    return 0
+
+
+def _cmd_trace_compare(args: argparse.Namespace) -> int:
+    from repro.obs.inspector import render_compare
+
+    print(render_compare(args.path_a, args.path_b))
     return 0
 
 
@@ -230,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--costs", action="store_true", help="account EREW-PRAM depth/work")
     s.add_argument("--pretty", action="store_true", help="indent the JSON output")
     s.add_argument("--save-trace", default="", help="write the full round trace to this path")
+    s.add_argument(
+        "--telemetry",
+        default="",
+        metavar="PATH",
+        help="stream span/metric events to this JSONL file (see 'repro trace')",
+    )
     s.set_defaults(func=_cmd_solve)
 
     k = sub.add_parser("campaign", help="sweep a uniform-hypergraph grid over algorithms")
@@ -251,7 +321,24 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("experiment_id")
     e.add_argument("--scale", choices=["quick", "full"], default="quick")
     e.add_argument("--seed", type=int, default=0)
+    e.add_argument(
+        "--telemetry",
+        default="",
+        metavar="PATH",
+        help="stream span/metric events to this JSONL file (see 'repro trace')",
+    )
     e.set_defaults(func=_cmd_experiment)
+
+    t = sub.add_parser("trace", help="inspect telemetry JSONL streams")
+    tsub = t.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser("summary", help="span tree, per-phase rollups, metrics")
+    ts.add_argument("path")
+    ts.add_argument("--width", type=int, default=60, help="sparkline width")
+    ts.set_defaults(func=_cmd_trace_summary)
+    tc = tsub.add_parser("compare", help="side-by-side wall-time deltas of two runs")
+    tc.add_argument("path_a")
+    tc.add_argument("path_b")
+    tc.set_defaults(func=_cmd_trace_compare)
 
     return parser
 

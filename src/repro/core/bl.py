@@ -32,6 +32,8 @@ from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.degrees import DeltaTracker, degree_profile
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.ops import normalize, normalize_after_trim, trim_vertices
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.backend import ExecutionBackend, SerialBackend
 from repro.pram.machine import Machine, NullMachine
 from repro.util.itlog import log2_ceil
@@ -193,6 +195,7 @@ def beame_luby(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     trace: bool = True,
     on_round: RoundCallback | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MISResult:
     """Run BL to completion and return the MIS with a per-round trace.
 
@@ -218,6 +221,12 @@ def beame_luby(
         Record per-round statistics (cheap; disable for micro-benchmarks).
     on_round:
         Optional instrumentation hook called after every round.
+    tracer:
+        Telemetry tracer; defaults to the ambient
+        :func:`~repro.obs.tracer.current_tracer` (a no-op unless a run
+        installed one).  When enabled, the run emits ``bl/solve`` and
+        ``bl/round`` spans and stamps ``extras["wall_ns"]`` on every
+        round record.
 
     Returns
     -------
@@ -226,6 +235,31 @@ def beame_luby(
         round's marking probability.
     """
     mach = machine if machine is not None else NullMachine()
+    trc = tracer if tracer is not None else current_tracer()
+    with trc.span(
+        "bl/solve", machine=mach, n=H.num_vertices, m=H.num_edges, dim=H.dimension
+    ) as span:
+        result = _beame_luby(
+            H, seed, mach, backend, recompute_probability, marking_probability,
+            max_rounds, trace, on_round, trc,
+        )
+        if trc.enabled:
+            span.set(rounds=result.num_rounds, mis_size=result.size)
+    return result
+
+
+def _beame_luby(
+    H: Hypergraph,
+    seed: SeedLike,
+    mach: Machine,
+    backend: ExecutionBackend | None,
+    recompute_probability: bool,
+    marking_probability: float | None,
+    max_rounds: int,
+    trace: bool,
+    on_round: RoundCallback | None,
+    trc: Tracer | NullTracer,
+) -> MISResult:
     be = backend if backend is not None else SerialBackend()
     rng_stream = stream(seed)
 
@@ -251,22 +285,30 @@ def beame_luby(
             break
         if W.num_edges == 0:
             # No constraints remain: everything left is independent.
-            independent.extend(W.vertices.tolist())
-            mach.map(W.num_vertices)
+            n_left = W.num_vertices
+            with trc.span(
+                "bl/round", machine=mach, round=round_index, n=n_left, m=0
+            ) as rspan:
+                independent.extend(W.vertices.tolist())
+                mach.map(n_left)
+                if trc.enabled:
+                    rspan.set(n_after=0, m_after=0, added=n_left)
+            obs_metrics.inc("solver/vertices_committed", n_left)
             if trace:
-                records.append(
-                    RoundRecord(
-                        index=round_index,
-                        phase="bl",
-                        n_before=W.num_vertices,
-                        m_before=0,
-                        n_after=0,
-                        m_after=0,
-                        marked=W.num_vertices,
-                        added=W.num_vertices,
-                        dimension=0,
-                    )
+                record = RoundRecord(
+                    index=round_index,
+                    phase="bl",
+                    n_before=n_left,
+                    m_before=0,
+                    n_after=0,
+                    m_after=0,
+                    marked=n_left,
+                    added=n_left,
+                    dimension=0,
                 )
+                if trc.enabled:
+                    record.extras["wall_ns"] = rspan.wall_ns
+                records.append(record)
             W = W.replace(edges=(), vertices=np.empty(0, dtype=np.intp))
             break
 
@@ -286,20 +328,39 @@ def beame_luby(
         d_before = W.dimension
         total = W.total_edge_size
 
-        # (2) mark active vertices.
-        active = W.vertices
-        coin = be.bernoulli(next(rng_stream), int(active.size), p)
-        marked_mask = np.zeros(W.universe, dtype=bool)
-        marked_mask[active[coin]] = True
+        with trc.span(
+            "bl/round",
+            machine=mach,
+            round=round_index,
+            n=n_before,
+            m=m_before,
+            dim=d_before,
+        ) as rspan:
+            # (2) mark active vertices.
+            active = W.vertices
+            coin = be.bernoulli(next(rng_stream), int(active.size), p)
+            marked_mask = np.zeros(W.universe, dtype=bool)
+            marked_mask[active[coin]] = True
 
-        # (3)–(5) unmark fully marked edges, commit survivors, cleanup.
-        W_after, added, red, unmark_mask, edge_diff = apply_bl_round(
-            W, marked_mask, be, assume_normal=True, collect_diff=True
-        )
-        if added.size:
-            independent.extend(added.tolist())
+            # (3)–(5) unmark fully marked edges, commit survivors, cleanup.
+            W_after, added, red, unmark_mask, edge_diff = apply_bl_round(
+                W, marked_mask, be, assume_normal=True, collect_diff=True
+            )
+            if added.size:
+                independent.extend(added.tolist())
 
-        _charge_round(mach, n_before, m_before, total, max(d_before, 1))
+            _charge_round(mach, n_before, m_before, total, max(d_before, 1))
+            unmarked_count = int((marked_mask & unmark_mask).sum())
+            if trc.enabled:
+                rspan.set(
+                    n_after=W_after.num_vertices,
+                    m_after=W_after.num_edges,
+                    added=int(added.size),
+                    unmarked=unmarked_count,
+                    p=p,
+                )
+        obs_metrics.inc("solver/vertices_committed", int(added.size))
+        obs_metrics.inc("solver/unmark_retractions", unmarked_count)
 
         record = RoundRecord(
             index=round_index,
@@ -309,12 +370,14 @@ def beame_luby(
             n_after=W_after.num_vertices,
             m_after=W_after.num_edges,
             marked=int(marked_mask.sum()),
-            unmarked=int((marked_mask & unmark_mask).sum()),
+            unmarked=unmarked_count,
             added=int(added.size),
             removed_red=int(red.size),
             dimension=d_before,
             extras={"p": p, "delta": profile.delta()},
         )
+        if trc.enabled:
+            record.extras["wall_ns"] = rspan.wall_ns
         if trace:
             records.append(record)
         if on_round is not None:

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.machine import Machine
 from repro.util.rng import SeedLike, as_generator
 
@@ -31,6 +33,7 @@ def greedy_mis(
     order: Sequence[int] | np.ndarray | None = None,
     machine: Machine | None = None,
     trace: bool = False,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MISResult:
     """Greedy MIS along a vertex order.
 
@@ -49,6 +52,10 @@ def greedy_mis(
         depth = work.
     trace:
         Record one :class:`RoundRecord` summarising the scan.
+    tracer:
+        Telemetry tracer (defaults to the ambient
+        :func:`~repro.obs.tracer.current_tracer`); emits a single
+        ``greedy/solve`` span covering the whole scan.
 
     Notes
     -----
@@ -70,42 +77,54 @@ def greedy_mis(
         if not np.array_equal(np.sort(scan), active):
             raise ValueError("order must enumerate exactly the active vertices")
 
-    edges = H.edges
-    sizes = [len(e) for e in edges]
-    accepted_count = [0] * len(edges)
-    adj = H.vertex_to_edges()
-    in_I = np.zeros(H.universe, dtype=bool)
-    added = 0
+    trc = tracer if tracer is not None else current_tracer()
+    with trc.span(
+        "greedy/solve",
+        machine=machine,
+        n=H.num_vertices,
+        m=H.num_edges,
+        dim=H.dimension,
+    ) as span:
+        edges = H.edges
+        sizes = [len(e) for e in edges]
+        accepted_count = [0] * len(edges)
+        adj = H.vertex_to_edges()
+        in_I = np.zeros(H.universe, dtype=bool)
+        added = 0
 
-    for v in scan.tolist():
-        incident = adj.get(v, ())
-        completes = any(accepted_count[i] == sizes[i] - 1 for i in incident)
-        if completes:
-            continue
-        in_I[v] = True
-        added += 1
-        for i in incident:
-            accepted_count[i] += 1
+        for v in scan.tolist():
+            incident = adj.get(v, ())
+            completes = any(accepted_count[i] == sizes[i] - 1 for i in incident)
+            if completes:
+                continue
+            in_I[v] = True
+            added += 1
+            for i in incident:
+                accepted_count[i] += 1
 
-    if machine is not None:
-        cost = H.num_vertices + H.total_edge_size
-        machine.charge(cost, cost, 1)
+        if machine is not None:
+            cost = H.num_vertices + H.total_edge_size
+            machine.charge(cost, cost, 1)
+        if trc.enabled:
+            span.set(mis_size=added, rejected=int(active.size) - added)
+    obs_metrics.inc("solver/vertices_committed", added)
 
     records: list[RoundRecord] = []
     if trace:
-        records.append(
-            RoundRecord(
-                index=0,
-                phase="greedy",
-                n_before=int(active.size),
-                m_before=H.num_edges,
-                n_after=0,
-                m_after=0,
-                added=added,
-                removed_red=int(active.size) - added,
-                dimension=H.dimension,
-            )
+        record = RoundRecord(
+            index=0,
+            phase="greedy",
+            n_before=int(active.size),
+            m_before=H.num_edges,
+            n_after=0,
+            m_after=0,
+            added=added,
+            removed_red=int(active.size) - added,
+            dimension=H.dimension,
         )
+        if trc.enabled:
+            record.extras["wall_ns"] = span.wall_ns
+        records.append(record)
     return MISResult(
         independent_set=np.flatnonzero(in_I),
         algorithm="greedy",

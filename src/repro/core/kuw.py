@@ -39,6 +39,8 @@ import numpy as np
 
 from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.backend import ExecutionBackend, SerialBackend
 from repro.pram.machine import Machine, NullMachine
 from repro.util.itlog import log2_ceil
@@ -54,6 +56,7 @@ def karp_upfal_wigderson(
     machine: Machine | None = None,
     backend: ExecutionBackend | None = None,
     trace: bool = True,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MISResult:
     """Run the KUW random-permutation MIS algorithm.
 
@@ -71,9 +74,30 @@ def karp_upfal_wigderson(
         backend everywhere.
     trace:
         Record per-round statistics.
+    tracer:
+        Telemetry tracer (defaults to the ambient
+        :func:`~repro.obs.tracer.current_tracer`); emits ``kuw/solve``
+        and ``kuw/round`` spans and stamps ``extras["wall_ns"]``.
     """
     mach = machine if machine is not None else NullMachine()
     _ = backend if backend is not None else SerialBackend()
+    trc = tracer if tracer is not None else current_tracer()
+    with trc.span(
+        "kuw/solve", machine=mach, n=H.num_vertices, m=H.num_edges, dim=H.dimension
+    ) as span:
+        result = _kuw(H, seed, mach, trace, trc)
+        if trc.enabled:
+            span.set(rounds=result.num_rounds, mis_size=result.size)
+    return result
+
+
+def _kuw(
+    H: Hypergraph,
+    seed: SeedLike,
+    mach: Machine,
+    trace: bool,
+    trc: Tracer | NullTracer,
+) -> MISResult:
     rng_stream = stream(seed)
 
     universe = H.universe
@@ -94,31 +118,35 @@ def karp_upfal_wigderson(
         rng = next(rng_stream)
         c = candidates
         c_size_prefilter = int(c.size)
+        record: RoundRecord | None = None
+        exhausted = False
 
-        # (1) Mass filter: drop every candidate already blocked by I — an
-        # edge with all but one vertex in I blocks its missing vertex.  The
-        # per-edge I-counts are one reduceat; the missing vertices are the
-        # non-I positions of the nearly-complete edges (one per edge).
-        blocked_now = 0
-        if m:
-            inI_pos = in_I[indices]
-            counts_I = np.add.reduceat(inI_pos.astype(np.intp), indptr[:-1])
-            nearly = counts_I == sizes - 1
-            if nearly.any():
-                pos = store.position_mask(nearly) & ~inI_pos
-                missing = indices[pos]
-                in_C = np.zeros(universe, dtype=bool)
-                in_C[c] = True
-                newly = np.unique(missing[in_C[missing] & ~blocked[missing]])
-                if newly.size:
-                    blocked[newly] = True
-                    blocked_now = int(newly.size)
-                    c = c[~blocked[c]]
-            mach.charge(log2_ceil(max(H.dimension, 2)), total, total)
-        if c.size == 0:
-            if trace:
-                records.append(
-                    RoundRecord(
+        with trc.span(
+            "kuw/round", machine=mach, round=round_index, n=c_size_prefilter, m=m
+        ) as rspan:
+            # (1) Mass filter: drop every candidate already blocked by I — an
+            # edge with all but one vertex in I blocks its missing vertex.  The
+            # per-edge I-counts are one reduceat; the missing vertices are the
+            # non-I positions of the nearly-complete edges (one per edge).
+            blocked_now = 0
+            if m:
+                inI_pos = in_I[indices]
+                counts_I = np.add.reduceat(inI_pos.astype(np.intp), indptr[:-1])
+                nearly = counts_I == sizes - 1
+                if nearly.any():
+                    pos = store.position_mask(nearly) & ~inI_pos
+                    missing = indices[pos]
+                    in_C = np.zeros(universe, dtype=bool)
+                    in_C[c] = True
+                    newly = np.unique(missing[in_C[missing] & ~blocked[missing]])
+                    if newly.size:
+                        blocked[newly] = True
+                        blocked_now = int(newly.size)
+                        c = c[~blocked[c]]
+                mach.charge(log2_ceil(max(H.dimension, 2)), total, total)
+            if c.size == 0:
+                if trace:
+                    record = RoundRecord(
                         index=round_index,
                         phase="kuw",
                         n_before=c_size_prefilter,
@@ -129,74 +157,94 @@ def karp_upfal_wigderson(
                         dimension=H.dimension,
                         extras={"prefix": 0},
                     )
-                )
-            candidates = c
+                if trc.enabled:
+                    rspan.set(n_after=0, added=0, removed_red=blocked_now)
+                candidates = c
+                exhausted = True
+            else:
+                perm = rng.permutation(c)
+                # position[v] = 1-based rank of v in the permutation
+                # (0 = not in C).
+                position = np.zeros(universe, dtype=np.int64)
+                position[perm] = np.arange(1, c.size + 1)
+
+                # For each edge: t(e) = max position over e ∩ C, valid iff
+                # every vertex of e is in I or C (otherwise e can never be
+                # completed).  Vertices in I have position 0, so the per-edge
+                # max-reduceat over positions is exactly the max over e ∩ C.
+                L = int(c.size)  # safe prefix if unconstrained
+                tightest_vertex = -1
+                if m:
+                    pos_all = position[indices]
+                    open_edge = (
+                        np.add.reduceat(
+                            (~(in_I[indices] | (pos_all > 0))).astype(np.intp),
+                            indptr[:-1],
+                        )
+                        > 0
+                    )  # a discarded vertex keeps the edge open forever
+                    t_edge = np.maximum.reduceat(pos_all, indptr[:-1])
+                    valid = ~open_edge
+                    if (valid & (t_edge == 0)).any():
+                        # e ⊆ I would violate independence; guarded by
+                        # construction.
+                        raise AssertionError(
+                            "edge fully inside I — independence broken"
+                        )
+                    if valid.any():
+                        t_min = int(t_edge[valid].min())
+                        L = t_min - 1
+                        # The permutation ranks are globally unique, so the
+                        # vertex at the tightest position is edge-independent.
+                        tightest_vertex = int(perm[t_min - 1])
+
+                # PRAM charges: permutation (sort), per-edge max, global min.
+                mach.sort(int(c.size))
+                if total:
+                    mach.charge(log2_ceil(max(H.dimension, 2)), total, total)
+                mach.reduce(max(m, 1))
+                mach.sync()
+
+                committed = perm[:L]
+                in_I[committed] = True
+                discarded = 0
+                if L < c.size:
+                    if tightest_vertex < 0:
+                        raise AssertionError(
+                            "constrained prefix without a blocking vertex"
+                        )
+                    blocked[tightest_vertex] = True
+                    discarded = 1
+                new_candidates = c[~(in_I[c] | blocked[c])]
+                obs_metrics.inc("solver/vertices_committed", int(L))
+
+                if trace:
+                    record = RoundRecord(
+                        index=round_index,
+                        phase="kuw",
+                        n_before=c_size_prefilter,
+                        m_before=m,
+                        n_after=int(new_candidates.size),
+                        m_after=m,
+                        added=int(L),
+                        removed_red=blocked_now + discarded,
+                        dimension=H.dimension,
+                        extras={"prefix": int(L)},
+                    )
+                if trc.enabled:
+                    rspan.set(
+                        n_after=int(new_candidates.size),
+                        added=int(L),
+                        removed_red=blocked_now + discarded,
+                    )
+                candidates = new_candidates
+
+        if record is not None:
+            if trc.enabled:
+                record.extras["wall_ns"] = rspan.wall_ns
+            records.append(record)
+        if exhausted:
             break
-
-        perm = rng.permutation(c)
-        # position[v] = 1-based rank of v in the permutation (0 = not in C).
-        position = np.zeros(universe, dtype=np.int64)
-        position[perm] = np.arange(1, c.size + 1)
-
-        # For each edge: t(e) = max position over e ∩ C, valid iff every
-        # vertex of e is in I or C (otherwise e can never be completed).
-        # Vertices in I have position 0, so the per-edge max-reduceat over
-        # positions is exactly the max over e ∩ C.
-        L = int(c.size)  # safe prefix if unconstrained
-        tightest_vertex = -1
-        if m:
-            pos_all = position[indices]
-            open_edge = (
-                np.add.reduceat(
-                    (~(in_I[indices] | (pos_all > 0))).astype(np.intp), indptr[:-1]
-                )
-                > 0
-            )  # a discarded vertex keeps the edge open forever
-            t_edge = np.maximum.reduceat(pos_all, indptr[:-1])
-            valid = ~open_edge
-            if (valid & (t_edge == 0)).any():
-                # e ⊆ I would violate independence; guarded by construction.
-                raise AssertionError("edge fully inside I — independence broken")
-            if valid.any():
-                t_min = int(t_edge[valid].min())
-                L = t_min - 1
-                # The permutation ranks are globally unique, so the vertex
-                # at the tightest position is edge-independent.
-                tightest_vertex = int(perm[t_min - 1])
-
-        # PRAM charges: permutation (sort), per-edge max, global min.
-        mach.sort(int(c.size))
-        if total:
-            mach.charge(log2_ceil(max(H.dimension, 2)), total, total)
-        mach.reduce(max(m, 1))
-        mach.sync()
-
-        committed = perm[:L]
-        in_I[committed] = True
-        discarded = 0
-        if L < c.size:
-            if tightest_vertex < 0:
-                raise AssertionError("constrained prefix without a blocking vertex")
-            blocked[tightest_vertex] = True
-            discarded = 1
-        new_candidates = c[~(in_I[c] | blocked[c])]
-
-        if trace:
-            records.append(
-                RoundRecord(
-                    index=round_index,
-                    phase="kuw",
-                    n_before=c_size_prefilter,
-                    m_before=m,
-                    n_after=int(new_candidates.size),
-                    m_after=m,
-                    added=int(L),
-                    removed_red=blocked_now + discarded,
-                    dimension=H.dimension,
-                    extras={"prefix": int(L)},
-                )
-            )
-        candidates = new_candidates
         round_index += 1
 
     return MISResult(

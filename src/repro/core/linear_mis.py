@@ -26,6 +26,7 @@ from repro.core.bl import beame_luby
 from repro.core.result import MISResult
 from repro.hypergraph.degrees import degree_profile
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.backend import ExecutionBackend
 from repro.pram.machine import Machine
 from repro.util.rng import SeedLike
@@ -56,6 +57,7 @@ def linear_hypergraph_mis(
     machine: Machine | None = None,
     backend: ExecutionBackend | None = None,
     trace: bool = True,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MISResult:
     """MIS of a linear hypergraph via the specialised BL engine.
 
@@ -66,17 +68,25 @@ def linear_hypergraph_mis(
     """
     if not is_linear(H):
         raise ValueError("input is not a linear hypergraph (some |e ∩ e'| ≥ 2)")
-    profile = degree_profile(H)
-    delta = profile.delta()
-    p = min(1.0, 1.0 / (2.0 * delta)) if delta > 0 else 1.0
-    inner = beame_luby(
-        H,
-        seed,
-        machine=machine,
-        backend=backend,
-        marking_probability=p,
-        trace=trace,
-    )
+    trc = tracer if tracer is not None else current_tracer()
+    with trc.span(
+        "linear/solve", machine=machine, n=H.num_vertices, m=H.num_edges,
+        dim=H.dimension,
+    ) as span:
+        profile = degree_profile(H)
+        delta = profile.delta()
+        p = min(1.0, 1.0 / (2.0 * delta)) if delta > 0 else 1.0
+        inner = beame_luby(
+            H,
+            seed,
+            machine=machine,
+            backend=backend,
+            marking_probability=p,
+            trace=trace,
+            tracer=trc,
+        )
+        if trc.enabled:
+            span.set(p=p, rounds=inner.num_rounds, mis_size=inner.size)
     return MISResult(
         independent_set=inner.independent_set,
         algorithm="linear",

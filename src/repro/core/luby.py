@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.machine import Machine, NullMachine
 from repro.util.rng import SeedLike, stream
 
@@ -37,6 +39,7 @@ def luby_mis(
     machine: Machine | None = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     trace: bool = True,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MISResult:
     """Run Luby's algorithm; requires a 2-uniform hypergraph (a graph).
 
@@ -48,6 +51,24 @@ def luby_mis(
     if any(len(e) != 2 for e in H.edges):
         raise ValueError("luby_mis requires a 2-uniform hypergraph (a graph)")
     mach = machine if machine is not None else NullMachine()
+    trc = tracer if tracer is not None else current_tracer()
+    with trc.span(
+        "luby/solve", machine=mach, n=H.num_vertices, m=H.num_edges, dim=2
+    ) as span:
+        result = _luby_mis(H, seed, mach, max_rounds, trace, trc)
+        if trc.enabled:
+            span.set(rounds=result.num_rounds, mis_size=result.size)
+    return result
+
+
+def _luby_mis(
+    H: Hypergraph,
+    seed: SeedLike,
+    mach: Machine,
+    max_rounds: int,
+    trace: bool,
+    trc: Tracer | NullTracer,
+) -> MISResult:
     rng_stream = stream(seed)
 
     universe = H.universe
@@ -67,55 +88,68 @@ def luby_mis(
         n_before = int(active.size)
         m_before = int(eu.size)
 
-        deg = np.zeros(universe, dtype=np.int64)
-        np.add.at(deg, eu, 1)
-        np.add.at(deg, ev, 1)
+        with trc.span(
+            "luby/round", machine=mach, round=round_index, n=n_before, m=m_before
+        ) as rspan:
+            deg = np.zeros(universe, dtype=np.int64)
+            np.add.at(deg, eu, 1)
+            np.add.at(deg, ev, 1)
 
-        rng = next(rng_stream)
-        prob = np.zeros(universe)
-        prob[active] = np.where(deg[active] > 0, 1.0 / (2.0 * np.maximum(deg[active], 1)), 1.0)
-        marked = np.zeros(universe, dtype=bool)
-        marked[active] = rng.random(active.size) < prob[active]
+            rng = next(rng_stream)
+            prob = np.zeros(universe)
+            prob[active] = np.where(
+                deg[active] > 0, 1.0 / (2.0 * np.maximum(deg[active], 1)), 1.0
+            )
+            marked = np.zeros(universe, dtype=bool)
+            marked[active] = rng.random(active.size) < prob[active]
 
-        # Conflict resolution: on doubly marked edges the lower-priority
-        # endpoint (smaller degree, then smaller id) unmarks.
-        both = marked[eu] & marked[ev]
-        if both.any():
-            bu, bv = eu[both], ev[both]
-            u_loses = (deg[bu] < deg[bv]) | ((deg[bu] == deg[bv]) & (bu < bv))
-            losers = np.where(u_loses, bu, bv)
-            marked[losers] = False
+            # Conflict resolution: on doubly marked edges the lower-priority
+            # endpoint (smaller degree, then smaller id) unmarks.
+            both = marked[eu] & marked[ev]
+            if both.any():
+                bu, bv = eu[both], ev[both]
+                u_loses = (deg[bu] < deg[bv]) | ((deg[bu] == deg[bv]) & (bu < bv))
+                losers = np.where(u_loses, bu, bv)
+                marked[losers] = False
 
-        winners = np.flatnonzero(marked)
-        in_I[winners] = True
-        # Remove winners and their neighbours.
-        dead = marked.copy()
-        touching = marked[eu] | marked[ev]
-        dead[eu[touching]] = True
-        dead[ev[touching]] = True
-        alive_v &= ~dead
-        alive_e &= alive_v[edge_u] & alive_v[edge_v]
+            winners = np.flatnonzero(marked)
+            in_I[winners] = True
+            # Remove winners and their neighbours.
+            dead = marked.copy()
+            touching = marked[eu] | marked[ev]
+            dead[eu[touching]] = True
+            dead[ev[touching]] = True
+            alive_v &= ~dead
+            alive_e &= alive_v[edge_u] & alive_v[edge_v]
 
-        mach.map(n_before)
-        mach.map(m_before)
-        mach.reduce(max(m_before, 1))
-        mach.sync()
-
-        if trace:
-            records.append(
-                RoundRecord(
-                    index=round_index,
-                    phase="luby",
-                    n_before=n_before,
-                    m_before=m_before,
+            mach.map(n_before)
+            mach.map(m_before)
+            mach.reduce(max(m_before, 1))
+            mach.sync()
+            if trc.enabled:
+                rspan.set(
                     n_after=int(alive_v.sum()),
                     m_after=int(alive_e.sum()),
-                    marked=int(marked.sum() + (both.sum() if both.any() else 0)),
                     added=int(winners.size),
-                    removed_red=int(dead.sum() - winners.size),
-                    dimension=2,
                 )
+        obs_metrics.inc("solver/vertices_committed", int(winners.size))
+
+        if trace:
+            record = RoundRecord(
+                index=round_index,
+                phase="luby",
+                n_before=n_before,
+                m_before=m_before,
+                n_after=int(alive_v.sum()),
+                m_after=int(alive_e.sum()),
+                marked=int(marked.sum() + (both.sum() if both.any() else 0)),
+                added=int(winners.size),
+                removed_red=int(dead.sum() - winners.size),
+                dimension=2,
             )
+            if trc.enabled:
+                record.extras["wall_ns"] = rspan.wall_ns
+            records.append(record)
     else:
         raise RuntimeError(f"Luby failed to terminate within {max_rounds} rounds")
 

@@ -28,6 +28,8 @@ import numpy as np
 from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.ops import normalize, trim_vertices
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.machine import Machine, NullMachine
 from repro.util.itlog import log2_ceil
 from repro.util.rng import SeedLike, stream
@@ -44,6 +46,7 @@ def permutation_bl(
     machine: Machine | None = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     trace: bool = True,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MISResult:
     """Run the permutation algorithm to completion.
 
@@ -60,8 +63,35 @@ def permutation_bl(
         Abort guard.
     trace:
         Record per-round statistics.
+    tracer:
+        Telemetry tracer (defaults to the ambient
+        :func:`~repro.obs.tracer.current_tracer`); emits
+        ``permutation/solve`` and ``permutation/round`` spans and stamps
+        ``extras["wall_ns"]``.
     """
     mach = machine if machine is not None else NullMachine()
+    trc = tracer if tracer is not None else current_tracer()
+    with trc.span(
+        "permutation/solve",
+        machine=mach,
+        n=H.num_vertices,
+        m=H.num_edges,
+        dim=H.dimension,
+    ) as span:
+        result = _permutation_bl(H, seed, mach, max_rounds, trace, trc)
+        if trc.enabled:
+            span.set(rounds=result.num_rounds, mis_size=result.size)
+    return result
+
+
+def _permutation_bl(
+    H: Hypergraph,
+    seed: SeedLike,
+    mach: Machine,
+    max_rounds: int,
+    trace: bool,
+    trc: Tracer | NullTracer,
+) -> MISResult:
     rng_stream = stream(seed)
     W = H
     independent: list[int] = []
@@ -71,71 +101,97 @@ def permutation_bl(
         if W.num_vertices == 0:
             break
         if W.num_edges == 0:
-            independent.extend(W.vertices.tolist())
-            mach.map(W.num_vertices)
+            n_left = W.num_vertices
+            with trc.span(
+                "permutation/round", machine=mach, round=round_index, n=n_left, m=0
+            ) as rspan:
+                independent.extend(W.vertices.tolist())
+                mach.map(n_left)
+                if trc.enabled:
+                    rspan.set(n_after=0, m_after=0, added=n_left)
+            obs_metrics.inc("solver/vertices_committed", n_left)
             if trace:
-                records.append(
-                    RoundRecord(
-                        index=round_index,
-                        phase="permutation",
-                        n_before=W.num_vertices,
-                        m_before=0,
-                        n_after=0,
-                        m_after=0,
-                        added=W.num_vertices,
-                        dimension=0,
-                    )
+                record = RoundRecord(
+                    index=round_index,
+                    phase="permutation",
+                    n_before=n_left,
+                    m_before=0,
+                    n_after=0,
+                    m_after=0,
+                    added=n_left,
+                    dimension=0,
                 )
+                if trc.enabled:
+                    record.extras["wall_ns"] = rspan.wall_ns
+                records.append(record)
             break
 
         n_before, m_before = W.num_vertices, W.num_edges
         d_before = W.dimension
-        rng = next(rng_stream)
-        active = W.vertices
-        perm = rng.permutation(active)
-        rank = np.zeros(W.universe, dtype=np.int64)
-        rank[perm] = np.arange(1, active.size + 1)
+        with trc.span(
+            "permutation/round",
+            machine=mach,
+            round=round_index,
+            n=n_before,
+            m=m_before,
+            dim=d_before,
+        ) as rspan:
+            rng = next(rng_stream)
+            active = W.vertices
+            perm = rng.permutation(active)
+            rank = np.zeros(W.universe, dtype=np.int64)
+            rank[perm] = np.arange(1, active.size + 1)
 
-        # A vertex is excluded iff it is the π-max of some edge.  Ranks are
-        # globally unique, so within an edge exactly one position attains
-        # the edge's max-reduceat value.
-        excluded = np.zeros(W.universe, dtype=bool)
-        store = W.store
-        rank_pos = rank[store.indices]
-        edge_max = np.maximum.reduceat(rank_pos, store.indptr[:-1])
-        excluded[store.indices[rank_pos == np.repeat(edge_max, W.edge_sizes())]] = True
-        add_mask = np.zeros(W.universe, dtype=bool)
-        add_mask[active] = True
-        add_mask &= ~excluded
-        added = np.flatnonzero(add_mask)
+            # A vertex is excluded iff it is the π-max of some edge.  Ranks
+            # are globally unique, so within an edge exactly one position
+            # attains the edge's max-reduceat value.
+            excluded = np.zeros(W.universe, dtype=bool)
+            store = W.store
+            rank_pos = rank[store.indices]
+            edge_max = np.maximum.reduceat(rank_pos, store.indptr[:-1])
+            excluded[
+                store.indices[rank_pos == np.repeat(edge_max, W.edge_sizes())]
+            ] = True
+            add_mask = np.zeros(W.universe, dtype=bool)
+            add_mask[active] = True
+            add_mask &= ~excluded
+            added = np.flatnonzero(add_mask)
 
-        total = W.total_edge_size
-        mach.sort(int(active.size))
-        if total:
-            mach.charge(log2_ceil(max(d_before, 2)), total, total)
-        mach.map(n_before)
-        mach.sync()
+            total = W.total_edge_size
+            mach.sort(int(active.size))
+            if total:
+                mach.charge(log2_ceil(max(d_before, 2)), total, total)
+            mach.map(n_before)
+            mach.sync()
 
-        W_after = W
-        if added.size:
-            independent.extend(added.tolist())
-            W_after = trim_vertices(W_after, added)
-        W_after, red = normalize(W_after)
-
-        if trace:
-            records.append(
-                RoundRecord(
-                    index=round_index,
-                    phase="permutation",
-                    n_before=n_before,
-                    m_before=m_before,
+            W_after = W
+            if added.size:
+                independent.extend(added.tolist())
+                W_after = trim_vertices(W_after, added)
+            W_after, red = normalize(W_after)
+            if trc.enabled:
+                rspan.set(
                     n_after=W_after.num_vertices,
                     m_after=W_after.num_edges,
                     added=int(added.size),
-                    removed_red=int(red.size),
-                    dimension=d_before,
                 )
+        obs_metrics.inc("solver/vertices_committed", int(added.size))
+
+        if trace:
+            record = RoundRecord(
+                index=round_index,
+                phase="permutation",
+                n_before=n_before,
+                m_before=m_before,
+                n_after=W_after.num_vertices,
+                m_after=W_after.num_edges,
+                added=int(added.size),
+                removed_red=int(red.size),
+                dimension=d_before,
             )
+            if trc.enabled:
+                record.extras["wall_ns"] = rspan.wall_ns
+            records.append(record)
         W = W_after
     else:
         raise RuntimeError(

@@ -34,6 +34,8 @@ from repro.core.kuw import karp_upfal_wigderson
 from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.ops import remove_edges_touching, trim_vertices
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.backend import ExecutionBackend, SerialBackend
 from repro.pram.machine import Machine, NullMachine
 from repro.theory.parameters import SBLParameters, sbl_parameters
@@ -65,6 +67,7 @@ def sbl(
     finisher: str = "kuw",
     paranoid: bool = False,
     trace: bool = True,
+    tracer: Tracer | NullTracer | None = None,
 ) -> MISResult:
     """Run SBL to completion.
 
@@ -104,6 +107,13 @@ def sbl(
         solvers.
     trace:
         Record the per-round trace.
+    tracer:
+        Telemetry tracer (defaults to the ambient
+        :func:`~repro.obs.tracer.current_tracer`).  An enabled tracer
+        emits nested ``sbl/solve → sbl/outer_round →
+        {sbl/sample, bl/solve, sbl/commit}`` spans plus the finisher's
+        spans, and stamps ``extras["wall_ns"]`` on every outer-round
+        record.
 
     Returns
     -------
@@ -123,6 +133,38 @@ def sbl(
     floor = floor_override if floor_override is not None else prm.effective_vertex_floor
     if d_cap < 1:
         raise ValueError(f"dimension cap must be >= 1: {d_cap}")
+    trc = tracer if tracer is not None else current_tracer()
+    with trc.span(
+        "sbl/solve", machine=mach, n=H.num_vertices, m=H.num_edges, dim=H.dimension
+    ) as span:
+        result = _sbl(
+            H, seed, mach, be, prm, p, d_cap, floor,
+            max_failures_per_round, finisher, paranoid, trace, trc,
+        )
+        if trc.enabled:
+            span.set(
+                rounds=result.num_rounds,
+                outer_rounds=result.meta.get("outer_rounds", 0),
+                mis_size=result.size,
+            )
+    return result
+
+
+def _sbl(
+    H: Hypergraph,
+    seed: SeedLike,
+    mach: Machine,
+    be: ExecutionBackend,
+    prm: SBLParameters,
+    p: float,
+    d_cap: int,
+    floor: float,
+    max_failures_per_round: int,
+    finisher: str,
+    paranoid: bool,
+    trace: bool,
+    trc: Tracer | NullTracer,
+) -> MISResult:
     rng_stream = stream(seed)
 
     records: list[RoundRecord] = []
@@ -133,7 +175,9 @@ def sbl(
     # Algorithm 1 line 3: if the input dimension is already within the BL
     # cap, a single BL run suffices (lines 25–27).
     if W.dimension <= d_cap:
-        inner = beame_luby(W, next(rng_stream), machine=mach, backend=be, trace=trace)
+        inner = beame_luby(
+            W, next(rng_stream), machine=mach, backend=be, trace=trace, tracer=trc
+        )
         meta = {
             "params": prm,
             "direct_bl": True,
@@ -155,97 +199,131 @@ def sbl(
         n_before, m_before = W.num_vertices, W.num_edges
         d_before = W.dimension
 
-        # (1)+(2): sample until the induced sub-hypergraph fits the cap.
-        failures_this_round = 0
-        while True:
-            active = W.vertices
-            coin = be.bernoulli(next(rng_stream), int(active.size), p)
-            mach.map(n_before)  # one coin per active vertex
-            sampled = active[coin]
-            if sampled.size == 0:
-                # Vacuous sample; cheap retry (counts as a failure for the
-                # budget — an empty V' makes no progress).
-                failures_this_round += 1
-            else:
-                Hp = W.induced(sampled)
-                mach.charge(1, W.total_edge_size, W.total_edge_size)
-                if Hp.dimension <= d_cap:
-                    break
-                failures_this_round += 1
-            if failures_this_round > max_failures_per_round:
-                raise SBLFailure(
-                    f"round {outer_index}: exceeded {max_failures_per_round} "
-                    f"sampling failures (p={p:.4g}, d_cap={d_cap})"
-                )
-        failures_total += failures_this_round
+        with trc.span(
+            "sbl/outer_round",
+            machine=mach,
+            round=outer_index,
+            n=n_before,
+            m=m_before,
+            dim=d_before,
+        ) as ospan:
+            # (1)+(2): sample until the induced sub-hypergraph fits the cap.
+            with trc.span("sbl/sample", machine=mach, round=outer_index) as sspan:
+                failures_this_round = 0
+                while True:
+                    active = W.vertices
+                    coin = be.bernoulli(next(rng_stream), int(active.size), p)
+                    mach.map(n_before)  # one coin per active vertex
+                    sampled = active[coin]
+                    if sampled.size == 0:
+                        # Vacuous sample; cheap retry (counts as a failure for
+                        # the budget — an empty V' makes no progress).
+                        failures_this_round += 1
+                    else:
+                        Hp = W.induced(sampled)
+                        mach.charge(1, W.total_edge_size, W.total_edge_size)
+                        if Hp.dimension <= d_cap:
+                            break
+                        failures_this_round += 1
+                    if failures_this_round > max_failures_per_round:
+                        raise SBLFailure(
+                            f"round {outer_index}: exceeded {max_failures_per_round} "
+                            f"sampling failures (p={p:.4g}, d_cap={d_cap})"
+                        )
+                if trc.enabled:
+                    sspan.set(
+                        sampled=int(sampled.size),
+                        sampled_dim=Hp.dimension,
+                        failures=failures_this_round,
+                    )
+            failures_total += failures_this_round
+            obs_metrics.inc("solver/sampling_failures", failures_this_round)
 
-        # (3): BL on the sampled sub-hypergraph.
-        inner = beame_luby(Hp, next(rng_stream), machine=mach, backend=be, trace=trace)
-        if paranoid:
-            inner.verify(Hp)
-        blue = inner.independent_set
-        blue_mask = np.zeros(W.universe, dtype=bool)
-        blue_mask[blue] = True
-        red = sampled[~blue_mask[sampled]]
+            # (3): BL on the sampled sub-hypergraph.
+            inner = beame_luby(
+                Hp, next(rng_stream), machine=mach, backend=be, trace=trace, tracer=trc
+            )
+            if paranoid:
+                inner.verify(Hp)
+            blue = inner.independent_set
+            blue_mask = np.zeros(W.universe, dtype=bool)
+            blue_mask[blue] = True
+            red = sampled[~blue_mask[sampled]]
 
-        # (4): commit the colouring.
-        independent.extend(blue.tolist())
-        W2 = remove_edges_touching(W, red)
-        # Trim blue vertices out of surviving edges, then drop all of V'.
-        # trim_vertices also removes the trimmed vertices from the active
-        # set; red vertices must go too.
-        W2 = trim_vertices(W2, blue)
-        remaining = np.setdiff1d(W2.vertices, red, assume_unique=False)
-        W2 = W2.replace(vertices=remaining)
-        mach.map(W.total_edge_size)
-        mach.sync()
+            # (4): commit the colouring.
+            with trc.span("sbl/commit", machine=mach, round=outer_index) as cspan:
+                independent.extend(blue.tolist())
+                W2 = remove_edges_touching(W, red)
+                # Trim blue vertices out of surviving edges, then drop all of
+                # V'.  trim_vertices also removes the trimmed vertices from
+                # the active set; red vertices must go too.
+                W2 = trim_vertices(W2, blue)
+                remaining = np.setdiff1d(W2.vertices, red, assume_unique=False)
+                W2 = W2.replace(vertices=remaining)
+                mach.map(W.total_edge_size)
+                mach.sync()
+                if trc.enabled:
+                    cspan.set(added=int(blue.size), red=int(red.size))
+            obs_metrics.inc("solver/vertices_committed", int(blue.size))
+            if trc.enabled:
+                ospan.set(n_after=W2.num_vertices, m_after=W2.num_edges)
 
         if trace:
-            records.append(
-                RoundRecord(
-                    index=outer_index,
-                    phase="sbl",
-                    n_before=n_before,
-                    m_before=m_before,
-                    n_after=W2.num_vertices,
-                    m_after=W2.num_edges,
-                    marked=int(sampled.size),
-                    added=int(blue.size),
-                    removed_red=int(red.size),
-                    dimension=d_before,
-                    extras={
-                        "p": p,
-                        "failures": failures_this_round,
-                        "sampled_dim": Hp.dimension,
-                        "bl_rounds": inner.num_rounds,
-                    },
-                )
+            record = RoundRecord(
+                index=outer_index,
+                phase="sbl",
+                n_before=n_before,
+                m_before=m_before,
+                n_after=W2.num_vertices,
+                m_after=W2.num_edges,
+                marked=int(sampled.size),
+                added=int(blue.size),
+                removed_red=int(red.size),
+                dimension=d_before,
+                extras={
+                    "p": p,
+                    "failures": failures_this_round,
+                    "sampled_dim": Hp.dimension,
+                    "bl_rounds": inner.num_rounds,
+                },
             )
+            if trc.enabled:
+                record.extras["wall_ns"] = ospan.wall_ns
+            records.append(record)
             records.extend(inner.rounds)
         W = W2
         outer_index += 1
 
     # (5): end-game on the small remainder.
     if W.num_vertices > 0:
-        if W.num_edges == 0:
-            independent.extend(W.vertices.tolist())
-            mach.map(W.num_vertices)
-        elif finisher == "kuw":
-            tail = karp_upfal_wigderson(
-                W, next(rng_stream), machine=mach, backend=be, trace=trace
-            )
-            if paranoid:
-                tail.verify(W)
-            independent.extend(tail.independent_set.tolist())
-            if trace:
-                records.extend(tail.rounds)
-        else:
-            tail = greedy_mis(W, next(rng_stream))
-            independent.extend(tail.independent_set.tolist())
-            # Sequential fallback: worst case linear in the vertex count.
-            mach.charge(W.num_vertices, W.total_edge_size + W.num_vertices, 1)
-            if trace:
-                records.extend(tail.rounds)
+        with trc.span(
+            "sbl/finisher",
+            machine=mach,
+            finisher=finisher if W.num_edges else "edgeless",
+            n=W.num_vertices,
+            m=W.num_edges,
+        ):
+            if W.num_edges == 0:
+                independent.extend(W.vertices.tolist())
+                mach.map(W.num_vertices)
+                obs_metrics.inc("solver/vertices_committed", W.num_vertices)
+            elif finisher == "kuw":
+                tail = karp_upfal_wigderson(
+                    W, next(rng_stream), machine=mach, backend=be, trace=trace,
+                    tracer=trc,
+                )
+                if paranoid:
+                    tail.verify(W)
+                independent.extend(tail.independent_set.tolist())
+                if trace:
+                    records.extend(tail.rounds)
+            else:
+                tail = greedy_mis(W, next(rng_stream), tracer=trc)
+                independent.extend(tail.independent_set.tolist())
+                # Sequential fallback: worst case linear in the vertex count.
+                mach.charge(W.num_vertices, W.total_edge_size + W.num_vertices, 1)
+                if trace:
+                    records.extend(tail.rounds)
 
     return MISResult(
         independent_set=np.asarray(independent, dtype=np.intp),

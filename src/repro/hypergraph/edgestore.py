@@ -34,6 +34,8 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = ["EdgeStore"]
 
 #: Beyond this edge size the padded lex-sort matrix gets wasteful; fall
@@ -195,6 +197,7 @@ class EdgeStore:
         indices = np.asarray(indices, dtype=np.intp)
         if canonical:
             return cls(indptr, indices)
+        obs_metrics.inc("edgestore/canonicalisations")
         sizes = np.diff(indptr)
         if (sizes == 0).any():
             raise ValueError(_EMPTY_EDGE_MSG)
@@ -349,6 +352,7 @@ class EdgeStore:
             If an edge would become empty (the removed set contains a full
             edge — a correctness violation upstream).
         """
+        obs_metrics.inc("edgestore/trim_calls")
         if self.num_edges == 0:
             z = np.zeros(0, dtype=bool)
             return self, z, False, z, np.ones(0, dtype=bool)
@@ -368,6 +372,7 @@ class EdgeStore:
         new_indptr = np.zeros(new_sizes.size + 1, dtype=np.intp)
         np.cumsum(new_sizes, out=new_indptr[1:])
         changed = removed_per_edge > 0
+        obs_metrics.inc("edgestore/edges_trimmed", int(np.count_nonzero(changed)))
         out_indptr, out_indices, changed_out, present_out = _lexsort_rows(
             new_indptr, new_indices, changed
         )

@@ -1,0 +1,49 @@
+"""repro.obs — runtime telemetry: spans, metrics, JSONL event streams.
+
+The observability layer the experiment and service surfaces share:
+
+* :mod:`repro.obs.tracer` — nested **spans** (`solver → phase → round`)
+  capturing wall-time (``perf_counter_ns``), PRAM depth/work deltas from a
+  :class:`~repro.pram.machine.CountingMachine`, and n/m shrinkage.  A
+  disabled tracer is a shared no-op object, so instrumented hot paths cost
+  nothing when telemetry is off.
+* :mod:`repro.obs.metrics` — a named counter/gauge/histogram **registry**
+  with a process-global default and per-run isolation.
+* :mod:`repro.obs.events` — the versioned **JSONL sink**: every span close
+  and metric flush appends one JSON line, so long campaigns stream
+  telemetry instead of buffering it.
+* :mod:`repro.obs.inspector` — offline span-tree reconstruction and the
+  ``repro trace summary|compare`` renderers.
+
+Everything here depends only on the standard library and NumPy — the
+solvers import :mod:`repro.obs` but never the other way around.
+"""
+
+from repro.obs.events import EVENT_VERSION, JsonlSink, read_events
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    isolated_registry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, current_tracer, use_tracer
+
+__all__ = [
+    "EVENT_VERSION",
+    "JsonlSink",
+    "read_events",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "isolated_registry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+]

@@ -1,0 +1,136 @@
+"""Versioned JSONL event stream.
+
+One event per line, every line carrying ``"v": EVENT_VERSION``, so a
+long-running campaign streams its telemetry to disk as it happens — a
+crash loses at most the current line, and a reader can tail the file
+while the run is still going.
+
+Payload values are encoded losslessly for the types the solvers actually
+emit: Python scalars pass through, NumPy scalars collapse to their Python
+equivalents, and NumPy arrays are tagged with their dtype so
+:func:`read_events` reconstructs them bit-for-bit::
+
+    {"__ndarray__": {"dtype": "int64", "data": [1, 2, 3]}}
+
+Anything else falls back to ``repr`` (events are diagnostics, not a
+round-trip store for arbitrary objects — :mod:`repro.analysis.traces`
+owns the full-fidelity result format).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, TextIO, Union
+
+import numpy as np
+
+__all__ = ["EVENT_VERSION", "JsonlSink", "read_events", "iter_events", "to_jsonable", "from_jsonable"]
+
+#: Bump on any backwards-incompatible change to the event schema.
+EVENT_VERSION = 1
+
+
+def to_jsonable(value: Any) -> Any:
+    """Encode *value* into JSON-native types (NumPy-aware, lossless arrays)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": {"dtype": str(value.dtype), "data": value.tolist()}}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return repr(value)
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable` (reconstructs tagged ndarrays with dtype)."""
+    if isinstance(value, dict):
+        if set(value) == {"__ndarray__"}:
+            spec = value["__ndarray__"]
+            return np.asarray(spec["data"], dtype=np.dtype(spec["dtype"]))
+        return {k: from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(v) for v in value]
+    return value
+
+
+class JsonlSink:
+    """Append-per-event JSONL writer.
+
+    Parameters
+    ----------
+    target:
+        A path (the file is created/truncated and owned by the sink) or an
+        open text file object (borrowed; :meth:`close` leaves it open).
+
+    Every :meth:`emit` writes one line and flushes, so the stream on disk
+    is always a valid prefix of the run's telemetry.
+    """
+
+    def __init__(self, target: Union[str, Path, TextIO]):
+        if isinstance(target, (str, Path)):
+            self._fp: TextIO | None = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fp = target
+            self._owns = False
+        self.events_emitted = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Append one versioned event line (raises if the sink is closed)."""
+        if self._fp is None:
+            raise RuntimeError("sink already closed")
+        doc = {"v": EVENT_VERSION, **to_jsonable(event)}
+        self._fp.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        self._fp.flush()
+        self.events_emitted += 1
+
+    def close(self) -> None:
+        """Close the underlying file if owned (idempotent)."""
+        if self._fp is not None and self._owns:
+            self._fp.close()
+        self._fp = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def iter_events(fp_or_path: Union[str, Path, TextIO]) -> Iterator[dict[str, Any]]:
+    """Yield decoded events from a JSONL stream, rejecting unknown versions."""
+    if isinstance(fp_or_path, (str, Path)):
+        fp: TextIO = open(fp_or_path, "r", encoding="utf-8")
+        owns = True
+    else:
+        fp = fp_or_path
+        owns = False
+    try:
+        for lineno, line in enumerate(fp, start=1):
+            if not line.strip():
+                continue
+            doc = json.loads(line)
+            version = doc.get("v")
+            if version != EVENT_VERSION:
+                raise ValueError(
+                    f"line {lineno}: unsupported event version {version!r} "
+                    f"(this reader supports {EVENT_VERSION})"
+                )
+            yield from_jsonable(doc)
+    finally:
+        if owns:
+            fp.close()
+
+
+def read_events(fp_or_path: Union[str, Path, TextIO]) -> list[dict[str, Any]]:
+    """All events of a JSONL stream as a list (see :func:`iter_events`)."""
+    return list(iter_events(fp_or_path))

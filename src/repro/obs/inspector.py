@@ -1,0 +1,232 @@
+"""Offline inspection of telemetry streams — ``repro trace summary|compare``.
+
+Rebuilds the span tree from a JSONL telemetry file (spans are emitted on
+*close*, children before parents, each carrying its parent id) and renders
+
+* a **span tree** with sibling spans of the same name collapsed into one
+  row (``bl/round ×41``) carrying count / total wall-time / PRAM rollups,
+* a flat **per-phase rollup table**, and
+* **sparklines** of per-round wall-times (via
+  :mod:`repro.analysis.sparkline`) so hot rounds are visible at a glance.
+
+``compare`` renders two streams side by side with wall-time deltas —
+the before/after view for perf work on the solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Union
+
+from repro.analysis.sparkline import trajectory
+from repro.analysis.tables import render_table
+from repro.obs.events import read_events
+
+__all__ = ["SpanNode", "TraceDoc", "load_trace", "render_summary", "render_compare"]
+
+
+@dataclass
+class SpanNode:
+    """One span event, linked into the reconstructed tree."""
+
+    span_id: int
+    name: str
+    wall_ns: int
+    parent_id: int | None = None
+    pram: dict[str, int] | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["SpanNode"] = field(default_factory=list)
+
+
+@dataclass
+class TraceDoc:
+    """A parsed telemetry stream: run preamble, span forest, metric flushes."""
+
+    run: dict[str, Any] | None
+    spans: list[SpanNode]
+    roots: list[SpanNode]
+    metrics: dict[str, Any] | None
+
+
+def load_trace(path: Union[str, Path]) -> TraceDoc:
+    """Parse a telemetry JSONL file and rebuild the span tree."""
+    run: dict[str, Any] | None = None
+    metrics: dict[str, Any] | None = None
+    spans: list[SpanNode] = []
+    for event in read_events(path):
+        kind = event.get("type")
+        if kind == "span":
+            spans.append(
+                SpanNode(
+                    span_id=event["id"],
+                    name=event["name"],
+                    wall_ns=event["wall_ns"],
+                    parent_id=event.get("parent"),
+                    pram=event.get("pram"),
+                    attrs=event.get("attrs", {}),
+                )
+            )
+        elif kind == "run" and run is None:
+            run = event
+        elif kind == "metrics":
+            metrics = event.get("metrics")  # last flush wins
+    by_id = {s.span_id: s for s in spans}
+    roots: list[SpanNode] = []
+    for s in spans:
+        parent = by_id.get(s.parent_id) if s.parent_id is not None else None
+        if parent is None:
+            roots.append(s)
+        else:
+            parent.children.append(s)
+    # Children accumulated in close order (deepest first); restore open order.
+    for s in spans:
+        s.children.sort(key=lambda c: c.span_id)
+    roots.sort(key=lambda s: s.span_id)
+    return TraceDoc(run=run, spans=spans, roots=roots, metrics=metrics)
+
+
+def _fmt_ms(ns: float) -> str:
+    return f"{ns / 1e6:.3f}"
+
+
+@dataclass
+class _Group:
+    """Same-named sibling spans merged into one tree row."""
+
+    name: str
+    spans: list[SpanNode]
+
+    @property
+    def count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def wall_ns(self) -> int:
+        return sum(s.wall_ns for s in self.spans)
+
+    def pram_totals(self) -> tuple[int, int] | None:
+        prams = [s.pram for s in self.spans if s.pram is not None]
+        if not prams:
+            return None
+        return sum(p["depth"] for p in prams), sum(p["work"] for p in prams)
+
+
+def _group_by_name(spans: list[SpanNode]) -> list[_Group]:
+    order: dict[str, _Group] = {}
+    for s in spans:
+        g = order.get(s.name)
+        if g is None:
+            order[s.name] = _Group(s.name, [s])
+        else:
+            g.spans.append(s)
+    return list(order.values())
+
+
+def _render_tree(groups: list[_Group], lines: list[str], indent: int) -> None:
+    for g in groups:
+        pram = g.pram_totals()
+        pram_txt = f"  depth {pram[0]}  work {pram[1]}" if pram else ""
+        label = f"{'  ' * indent}{g.name}"
+        lines.append(f"{label:<34} ×{g.count:<5} {_fmt_ms(g.wall_ns):>10} ms{pram_txt}")
+        _render_tree(
+            _group_by_name([c for s in g.spans for c in s.children]), lines, indent + 1
+        )
+
+
+def _flat_rollup(spans: list[SpanNode]) -> list[_Group]:
+    return _group_by_name(spans)
+
+
+def render_summary(path: Union[str, Path], *, width: int = 60) -> str:
+    """Human-readable summary of one telemetry stream."""
+    doc = load_trace(path)
+    lines: list[str] = []
+    if doc.run is not None:
+        bits = [
+            f"{k}={doc.run[k]}"
+            for k in ("command", "algorithm", "instance", "seed", "n", "m")
+            if k in doc.run
+        ]
+        lines.append(f"run: {'  '.join(bits)}")
+    if not doc.spans:
+        lines.append("no spans recorded")
+        return "\n".join(lines)
+
+    lines.append("")
+    lines.append("span tree (siblings collapsed by name):")
+    _render_tree(_group_by_name(doc.roots), lines, 1)
+
+    rollup = _flat_rollup(doc.spans)
+    rows = []
+    for g in sorted(rollup, key=lambda g: -g.wall_ns):
+        pram = g.pram_totals()
+        rows.append(
+            [
+                g.name,
+                g.count,
+                _fmt_ms(g.wall_ns),
+                _fmt_ms(g.wall_ns / g.count),
+                pram[0] if pram else "—",
+                pram[1] if pram else "—",
+            ]
+        )
+    lines.append("")
+    lines.append(
+        render_table(
+            ["span", "count", "total ms", "mean ms", "pram depth", "pram work"],
+            rows,
+            title="per-phase rollup",
+        )
+    )
+
+    spark_rows = [
+        trajectory(g.name, [s.wall_ns / 1e6 for s in g.spans], width=width)
+        for g in rollup
+        if g.count >= 2
+    ]
+    if spark_rows:
+        lines.append("")
+        lines.append("per-span wall-time trajectories (ms):")
+        lines.extend(spark_rows)
+
+    if doc.metrics:
+        counters = doc.metrics.get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append(
+                render_table(
+                    ["counter", "value"],
+                    [[k, v] for k, v in counters.items()],
+                    title="counters",
+                )
+            )
+    return "\n".join(lines)
+
+
+def render_compare(path_a: Union[str, Path], path_b: Union[str, Path]) -> str:
+    """Side-by-side per-phase wall-time comparison of two telemetry streams."""
+    a = {g.name: g for g in _flat_rollup(load_trace(path_a).spans)}
+    b = {g.name: g for g in _flat_rollup(load_trace(path_b).spans)}
+    names = sorted(set(a) | set(b), key=lambda n: -(a[n].wall_ns if n in a else 0))
+    rows = []
+    for name in names:
+        ga, gb = a.get(name), b.get(name)
+        wa = ga.wall_ns if ga else 0
+        wb = gb.wall_ns if gb else 0
+        delta = f"{(wb - wa) / wa * 100:+.1f}%" if wa else "—"
+        rows.append(
+            [
+                name,
+                ga.count if ga else 0,
+                gb.count if gb else 0,
+                _fmt_ms(wa),
+                _fmt_ms(wb),
+                delta,
+            ]
+        )
+    return render_table(
+        ["span", "count A", "count B", "ms A", "ms B", "Δ wall"],
+        rows,
+        title=f"trace compare: A={path_a}  B={path_b}",
+    )

@@ -1,0 +1,197 @@
+"""Named metrics: counters, gauges, histograms, and their registry.
+
+Call sites name a metric and bump it; the registry owns the namespace::
+
+    from repro.obs import metrics
+    metrics.inc("edgestore/trim_calls")
+    metrics.observe("solver/round_wall_ns", 12_345)
+
+A **process-global default registry** makes instrumentation free to
+sprinkle anywhere (no plumbing through ten layers), and
+:func:`isolated_registry` gives a run its own registry so concurrent or
+consecutive runs don't bleed into each other's numbers::
+
+    with metrics.isolated_registry() as reg:
+        run_solver(...)
+        snapshot = reg.snapshot()
+
+Metric updates are a dict lookup plus an integer add — cheap enough for
+per-round call sites, which is the granularity everything here targets
+(never per-vertex or per-edge-position).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "isolated_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number | None = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values: count / sum / min / max.
+
+    Deliberately bucket-free — the full per-round series already lives in
+    the span stream; the histogram is the cheap aggregate for rollups.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Number | None = None
+        self.max: Number | None = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """One namespace of metrics; a name is bound to one kind forever."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view, grouped by kind, names sorted (for JSONL flushes)."""
+        counters = {}
+        gauges = {}
+        histograms = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+#: Stack of active registries; the top is what unqualified call sites hit.
+_registry_stack: list[MetricsRegistry] = [MetricsRegistry()]
+
+
+def default_registry() -> MetricsRegistry:
+    """The registry unqualified call sites (``inc``/``observe``) write to."""
+    return _registry_stack[-1]
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the bottom-of-stack process-global registry; returns the old one."""
+    old = _registry_stack[0]
+    _registry_stack[0] = registry
+    return old
+
+
+@contextmanager
+def isolated_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Route all default-registry writes to a fresh registry for the block.
+
+    Nestable; the previous default is restored on exit no matter how the
+    block ends.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    _registry_stack.append(reg)
+    try:
+        yield reg
+    finally:
+        _registry_stack.pop()
+
+
+def inc(name: str, amount: Number = 1) -> None:
+    """Bump a counter in the current default registry."""
+    default_registry().counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Set a gauge in the current default registry."""
+    default_registry().gauge(name).set(value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record one histogram observation in the current default registry."""
+    default_registry().histogram(name).observe(value)

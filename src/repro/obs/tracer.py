@@ -1,0 +1,255 @@
+"""Span tracing for solver runs.
+
+A span is one timed region of a run — ``sbl/solve``, ``sbl/outer_round``,
+``bl/round`` — opened as a context manager::
+
+    with tracer.span("sbl/outer_round", machine=mach, round=i, n=n0, m=m0) as sp:
+        ...
+        sp.set(n_after=n1, m_after=m1)
+
+On close the span captures
+
+* **wall-time** via ``time.perf_counter_ns``,
+* **PRAM depth/work deltas** read off the *machine*'s ``depth``/``work``
+  attributes (a :class:`~repro.pram.machine.CountingMachine`; a
+  :class:`~repro.pram.machine.NullMachine` contributes nothing), and
+* the free-form attributes (n/m shrinkage, round index, probabilities),
+
+and emits exactly one JSONL event through the tracer's sink.  Spans nest:
+the tracer keeps an open-span stack, so parent links reproduce the
+solver → phase → round structure without the call sites threading ids.
+
+**The disabled path costs nothing.**  :data:`NULL_TRACER` returns one
+shared no-op span whose ``__enter__``/``__exit__``/``set`` do nothing —
+no allocation, no clock read — which is what preserves the vectorised
+kernel wins when telemetry is off (guard with ``tracer.enabled`` before
+computing anything expensive purely for telemetry).
+
+Solvers resolve their tracer as ``tracer if tracer is not None else
+current_tracer()``: an *ambient* tracer installed with
+:func:`use_tracer` reaches every solver call in the block — this is how
+``--telemetry`` instruments experiment runners without changing their
+signatures.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.events import JsonlSink
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+]
+
+
+class Span:
+    """One open telemetry region (created by :meth:`Tracer.span`).
+
+    After ``__exit__`` the measured ``wall_ns`` and, when a counting
+    machine was attached, ``pram`` (``{"depth": …, "work": …}``) are
+    available on the object.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "wall_ns",
+        "pram",
+        "_tracer",
+        "_machine",
+        "_t0",
+        "_depth0",
+        "_work0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, machine: Any, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self._tracer = tracer
+        self._machine = machine
+        self.span_id: int = -1
+        self.parent_id: int | None = None
+        self.wall_ns: int = 0
+        self.pram: dict[str, int] | None = None
+        self._t0 = 0
+        self._depth0: int | None = None
+        self._work0: int | None = None
+
+    def set(self, **attrs: Any) -> None:
+        """Attach/overwrite attributes before the span closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        machine = self._machine
+        depth = getattr(machine, "depth", None)
+        if depth is not None:
+            self._depth0 = depth
+            self._work0 = machine.work
+        self._t0 = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.wall_ns = self._tracer._clock() - self._t0
+        if self._depth0 is not None:
+            machine = self._machine
+            self.pram = {
+                "depth": machine.depth - self._depth0,
+                "work": machine.work - self._work0,
+            }
+        self._tracer._close(self)
+
+
+class _NullSpan:
+    """The shared do-nothing span (see :data:`NULL_TRACER`)."""
+
+    __slots__ = ()
+
+    name = "null"
+    attrs: dict[str, Any] = {}
+    span_id = -1
+    parent_id = None
+    wall_ns = 0
+    pram = None
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every span is the shared no-op span.
+
+    ``enabled`` is ``False`` so call sites can skip telemetry-only
+    computation entirely.
+    """
+
+    enabled = False
+
+    def span(self, name: str, *, machine: Any = None, **attrs: Any) -> _NullSpan:  # noqa: D102
+        return _NULL_SPAN
+
+    def flush_metrics(self, registry: MetricsRegistry | None = None) -> None:  # noqa: D102
+        pass
+
+    def close(self) -> None:  # noqa: D102
+        pass
+
+
+#: The process-wide disabled tracer (a singleton; identity-comparable).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Emitting tracer: each span close appends one event to *sink*.
+
+    Parameters
+    ----------
+    sink:
+        The :class:`~repro.obs.events.JsonlSink` events stream to.
+    registry:
+        Metrics registry :meth:`flush_metrics` snapshots (defaults to the
+        ambient default registry at flush time).
+    clock:
+        Nanosecond clock (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: JsonlSink,
+        *,
+        registry: MetricsRegistry | None = None,
+        clock=time.perf_counter_ns,
+    ):
+        self.sink = sink
+        self.registry = registry
+        self._clock = clock
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def span(self, name: str, *, machine: Any = None, **attrs: Any) -> Span:
+        """Open a new span; use as a context manager."""
+        return Span(self, name, machine, attrs)
+
+    # -- internal span lifecycle ----------------------------------------
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1] if self._stack else None
+        self._stack.append(span.span_id)
+
+    def _close(self, span: Span) -> None:
+        # Robust to exceptions unwinding several spans at once: pop back
+        # to (and including) this span rather than assuming perfect LIFO.
+        while self._stack:
+            if self._stack.pop() == span.span_id:
+                break
+        event: dict[str, Any] = {
+            "type": "span",
+            "id": span.span_id,
+            "name": span.name,
+            "wall_ns": span.wall_ns,
+        }
+        if span.parent_id is not None:
+            event["parent"] = span.parent_id
+        if span.pram is not None:
+            event["pram"] = span.pram
+        if span.attrs:
+            event["attrs"] = span.attrs
+        self.sink.emit(event)
+
+    # -- auxiliary events ------------------------------------------------
+    def emit(self, type: str, **payload: Any) -> None:
+        """Emit a non-span event (e.g. run preamble) through the sink."""
+        self.sink.emit({"type": type, **payload})
+
+    def flush_metrics(self, registry: MetricsRegistry | None = None) -> None:
+        """Append one ``metrics`` event with a registry snapshot."""
+        reg = registry or self.registry or default_registry()
+        self.sink.emit({"type": "metrics", "metrics": reg.snapshot()})
+
+    def close(self) -> None:
+        """Close the underlying sink."""
+        self.sink.close()
+
+
+#: The ambient tracer solvers fall back to when none is passed explicitly.
+_current: NullTracer | Tracer = NULL_TRACER
+
+
+def current_tracer() -> NullTracer | Tracer:
+    """The ambient tracer (``NULL_TRACER`` unless :func:`use_tracer` is active)."""
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install *tracer* as the ambient tracer for the block (nestable)."""
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous

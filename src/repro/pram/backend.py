@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import metrics as obs_metrics
 from repro.util.rng import SeedLike, spawn_seeds
 
 __all__ = [
@@ -81,6 +82,8 @@ class SerialBackend(ExecutionBackend):
     def bernoulli(self, seed: SeedLike, n: int, p: float) -> np.ndarray:  # noqa: D102
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"probability out of range: {p}")
+        obs_metrics.inc("backend/bernoulli_calls")
+        obs_metrics.inc("backend/bernoulli_draws", n)
         if n == 0:
             return np.zeros(0, dtype=bool)
         chunks = [
@@ -91,6 +94,7 @@ class SerialBackend(ExecutionBackend):
         return np.concatenate(parts)
 
     def edge_mark_counts(self, incidence: sp.csr_matrix, marked: np.ndarray) -> np.ndarray:  # noqa: D102
+        obs_metrics.inc("backend/matvec_calls")
         return incidence @ marked.astype(np.int64)
 
 
@@ -136,6 +140,8 @@ class ProcessBackend(ExecutionBackend):
     def bernoulli(self, seed: SeedLike, n: int, p: float) -> np.ndarray:  # noqa: D102
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"probability out of range: {p}")
+        obs_metrics.inc("backend/bernoulli_calls")
+        obs_metrics.inc("backend/bernoulli_draws", n)
         if n == 0:
             return np.zeros(0, dtype=bool)
         chunks = [
@@ -172,6 +178,7 @@ class ProcessBackend(ExecutionBackend):
         in-process matvec; the pre-split cache removes the slicing cost
         from the per-round path either way.
         """
+        obs_metrics.inc("backend/matvec_calls")
         m = incidence.shape[0]
         if m == 0:
             return np.zeros(0, dtype=np.int64)

@@ -17,6 +17,7 @@ from repro.analysis.traces import (
 from repro.core import beame_luby, sbl
 from repro.generators import mixed_dimension_hypergraph, uniform_hypergraph
 from repro.pram import CountingMachine
+from repro.theory.parameters import SBLParameters
 
 
 @pytest.fixture
@@ -57,9 +58,27 @@ class TestRoundTrip:
         H = mixed_dimension_hypergraph(50, 80, [2, 3, 5], seed=0)
         res = sbl(H, seed=0, p_override=0.3, d_cap_override=4, floor_override=8)
         back = result_from_json(result_to_json(res))
-        # dataclass params become a repr string, numeric fields survive
-        assert isinstance(back.meta["params"], str)
+        # dataclass params reconstruct exactly (format v2 tagged encoding)
+        assert isinstance(back.meta["params"], SBLParameters)
+        assert back.meta["params"] == res.meta["params"]
         assert back.meta["outer_rounds"] == res.meta["outer_rounds"]
+
+    def test_unknown_dataclass_degrades_to_dict(self, traced_result):
+        doc = json.loads(result_to_json(traced_result))
+        doc["meta"]["mystery"] = {
+            "__dataclass__": "NotARealDataclass",
+            "fields": {"x": 1},
+        }
+        back = result_from_json(json.dumps(doc))
+        assert back.meta["mystery"] == {"x": 1}
+
+    def test_version_1_file_still_loads(self, traced_result):
+        doc = json.loads(result_to_json(traced_result))
+        doc["format_version"] = 1
+        doc["meta"]["params"] = "SBLParameters(n=40, ...)"  # v1 repr string
+        back = result_from_json(json.dumps(doc))
+        assert back.meta["params"] == "SBLParameters(n=40, ...)"
+        assert back.num_rounds == traced_result.num_rounds
 
     def test_file_round_trip(self, traced_result, tmp_path):
         path = tmp_path / "trace.json"
@@ -84,5 +103,5 @@ class TestFormatGuards:
 
     def test_document_is_plain_json(self, traced_result):
         doc = json.loads(result_to_json(traced_result))
-        assert doc["format_version"] == 1
+        assert doc["format_version"] == 2
         assert isinstance(doc["rounds"], list)

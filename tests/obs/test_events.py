@@ -1,0 +1,112 @@
+"""Tests for the versioned JSONL event stream."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.events import (
+    EVENT_VERSION,
+    JsonlSink,
+    from_jsonable,
+    iter_events,
+    read_events,
+    to_jsonable,
+)
+
+
+class TestEncoding:
+    def test_python_scalars_pass_through(self):
+        for v in ("x", 3, 2.5, True, None):
+            assert to_jsonable(v) == v
+
+    def test_numpy_scalars_collapse(self):
+        assert to_jsonable(np.int64(7)) == 7
+        assert isinstance(to_jsonable(np.int64(7)), int)
+        assert to_jsonable(np.float64(0.5)) == 0.5
+        assert isinstance(to_jsonable(np.float64(0.5)), float)
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_ndarray_round_trips_exactly(self):
+        for arr in (
+            np.arange(5, dtype=np.int32),
+            np.array([0.25, -1.5], dtype=np.float64),
+            np.array([], dtype=np.intp),
+            np.array([True, False]),
+        ):
+            encoded = to_jsonable(arr)
+            # must survive an actual JSON round trip, not just the encoder
+            back = from_jsonable(json.loads(json.dumps(encoded)))
+            assert isinstance(back, np.ndarray)
+            assert back.dtype == arr.dtype
+            assert np.array_equal(back, arr)
+
+    def test_nested_containers(self):
+        doc = {"a": [np.int64(1), {"b": np.arange(3)}], "c": (1, 2)}
+        back = from_jsonable(json.loads(json.dumps(to_jsonable(doc))))
+        assert back["a"][0] == 1
+        assert np.array_equal(back["a"][1]["b"], np.arange(3))
+        assert back["c"] == [1, 2]
+
+    def test_unknown_objects_become_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert to_jsonable(Weird()) == "<weird>"
+
+
+class TestJsonlSink:
+    def test_every_line_is_versioned(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit({"type": "a"})
+        sink.emit({"type": "b", "x": np.int64(3)})
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [doc["v"] for doc in lines] == [EVENT_VERSION] * 2
+        assert lines[1]["x"] == 3
+        assert sink.events_emitted == 2
+
+    def test_path_target_owns_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "run"})
+        sink.close()
+        assert read_events(path)[0]["type"] == "run"
+
+    def test_emit_after_close_raises(self):
+        sink = JsonlSink(io.StringIO())
+        sink.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sink.emit({"type": "a"})
+
+    def test_borrowed_file_left_open(self):
+        buf = io.StringIO()
+        with JsonlSink(buf) as sink:
+            sink.emit({"type": "a"})
+        assert not buf.closed
+
+
+class TestReader:
+    def test_numpy_payload_parses_back_exactly(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        arr = np.array([5, 6, 7], dtype=np.uint16)
+        sink.emit({"type": "span", "data": arr, "n": np.int64(9)})
+        buf.seek(0)
+        (event,) = read_events(buf)
+        assert event["n"] == 9
+        assert event["data"].dtype == np.uint16
+        assert np.array_equal(event["data"], arr)
+
+    def test_unknown_version_rejected(self):
+        buf = io.StringIO('{"v": 999, "type": "span"}\n')
+        with pytest.raises(ValueError, match="event version"):
+            read_events(buf)
+
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO('{"v": 1, "type": "a"}\n\n{"v": 1, "type": "b"}\n')
+        assert [e["type"] for e in iter_events(buf)] == ["a", "b"]

@@ -1,0 +1,97 @@
+"""Tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestMetricKinds:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="negative"):
+            reg.counter("a").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(7)
+        assert reg.gauge("g").value == 7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in (4, 1, 7):
+            reg.histogram("h").observe(v)
+        h = reg.histogram("h")
+        assert (h.count, h.total, h.min, h.max) == (3, 12, 1, 7)
+        assert h.mean == 4.0
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            reg.gauge("x")
+
+
+class TestRegistry:
+    def test_snapshot_groups_and_sorts(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(3)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["gauges"] == {"g": 0.5}
+        assert snap["histograms"]["h"] == {"count": 1, "sum": 3, "min": 3, "max": 3}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestIsolation:
+    def test_isolated_registry_captures_module_helpers(self):
+        with metrics.isolated_registry() as reg:
+            metrics.inc("c", 3)
+            metrics.set_gauge("g", 1)
+            metrics.observe("h", 2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        # nothing leaked into the surrounding default registry
+        assert metrics.default_registry() is not reg
+
+    def test_isolation_nests_and_restores(self):
+        outer_default = metrics.default_registry()
+        with metrics.isolated_registry() as outer:
+            with metrics.isolated_registry() as inner:
+                metrics.inc("x")
+                assert metrics.default_registry() is inner
+            metrics.inc("y")
+            assert outer.snapshot()["counters"] == {"y": 1}
+            assert inner.snapshot()["counters"] == {"x": 1}
+        assert metrics.default_registry() is outer_default
+
+    def test_isolation_restores_on_error(self):
+        before = metrics.default_registry()
+        with pytest.raises(RuntimeError):
+            with metrics.isolated_registry():
+                raise RuntimeError("boom")
+        assert metrics.default_registry() is before
+
+    def test_explicit_registry_reused(self):
+        reg = MetricsRegistry()
+        with metrics.isolated_registry(reg) as got:
+            assert got is reg
+            metrics.inc("k")
+        assert reg.counter("k").value == 1

@@ -1,0 +1,171 @@
+"""Tests for span tracing: nesting, PRAM deltas, and the disabled path."""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+
+import pytest
+
+from repro.core import sbl
+from repro.generators import uniform_hypergraph
+from repro.obs import metrics
+from repro.obs.events import JsonlSink, read_events
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+from repro.pram import CountingMachine
+
+
+def _span_events(buf: io.StringIO):
+    buf.seek(0)
+    return [e for e in read_events(buf) if e["type"] == "span"]
+
+
+class TestSpanLifecycle:
+    def test_wall_time_from_injected_clock(self):
+        ticks = itertools.count(step=100)
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf), clock=lambda: next(ticks))
+        with tracer.span("a"):
+            pass
+        (event,) = _span_events(buf)
+        assert event["name"] == "a"
+        assert event["wall_ns"] == 100
+
+    def test_nesting_produces_parent_links(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        events = {e["name"]: e for e in _span_events(buf)}
+        assert "parent" not in events["outer"]
+        assert events["inner"]["parent"] == events["outer"]["id"]
+        assert inner.parent_id == outer.span_id
+
+    def test_siblings_share_parent(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("solve"):
+            with tracer.span("round"):
+                pass
+            with tracer.span("round"):
+                pass
+        events = _span_events(buf)
+        rounds = [e for e in events if e["name"] == "round"]
+        (solve,) = [e for e in events if e["name"] == "solve"]
+        assert {e["parent"] for e in rounds} == {solve["id"]}
+
+    def test_pram_deltas_from_counting_machine(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        mach = CountingMachine()
+        mach.map(10)
+        with tracer.span("work", machine=mach):
+            mach.map(50)
+            mach.sync()
+        (event,) = _span_events(buf)
+        # only the inside-the-span activity is attributed
+        assert event["pram"]["work"] == 50
+        assert event["pram"]["depth"] >= 1
+
+    def test_no_machine_no_pram_key(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("bare"):
+            pass
+        (event,) = _span_events(buf)
+        assert "pram" not in event
+
+    def test_attrs_and_set_merge(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("r", round=3, n=100) as sp:
+            sp.set(n_after=40, n=99)
+        (event,) = _span_events(buf)
+        assert event["attrs"] == {"round": 3, "n": 99, "n_after": 40}
+
+    def test_exception_still_emits_and_unwinds(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        names = [e["name"] for e in _span_events(buf)]
+        assert names == ["inner", "outer"]
+        with tracer.span("after") as sp:
+            pass
+        assert sp.parent_id is None  # stack fully unwound
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer(JsonlSink(io.StringIO())).enabled is True
+
+    def test_span_is_shared_singleton(self):
+        a = NULL_TRACER.span("x", machine=object(), round=1)
+        b = NULL_TRACER.span("y")
+        assert a is b
+
+    def test_disabled_run_allocates_no_events(self):
+        # a full solver run under the null tracer must not write anywhere;
+        # the null span has no mutable state at all
+        H = uniform_hypergraph(30, 50, 3, seed=0)
+        res = sbl(H, seed=1, tracer=NullTracer())
+        assert res.size > 0
+        assert not hasattr(NULL_TRACER.span("x"), "__dict__")
+
+    def test_null_span_noops(self):
+        span = NULL_TRACER.span("x")
+        with span as sp:
+            sp.set(a=1)
+        assert span.attrs == {}
+        assert span.wall_ns == 0
+
+
+class TestAmbientTracer:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer(JsonlSink(io.StringIO()))
+        with use_tracer(tracer) as got:
+            assert got is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_restores_on_error(self):
+        tracer = Tracer(JsonlSink(io.StringIO()))
+        with pytest.raises(RuntimeError):
+            with use_tracer(tracer):
+                raise RuntimeError("boom")
+        assert current_tracer() is NULL_TRACER
+
+    def test_solver_picks_up_ambient_tracer(self):
+        H = uniform_hypergraph(30, 50, 3, seed=0)
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with metrics.isolated_registry():
+            with use_tracer(tracer):
+                sbl(H, seed=1)
+        assert any(e["name"] == "sbl/solve" for e in _span_events(buf))
+
+
+class TestFlushMetrics:
+    def test_metrics_event_carries_snapshot(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with metrics.isolated_registry():
+            metrics.inc("solver/vertices_committed", 12)
+            tracer.flush_metrics()
+        buf.seek(0)
+        (event,) = [e for e in read_events(buf) if e["type"] == "metrics"]
+        assert event["metrics"]["counters"] == {"solver/vertices_committed": 12}

@@ -156,6 +156,60 @@ class TestSaveTrace:
         assert back.num_rounds > 0
 
 
+class TestTelemetry:
+    def test_solve_streams_versioned_events(self, instance, tmp_path, capsys):
+        from repro.obs.events import read_events
+
+        path = tmp_path / "run.jsonl"
+        rc = main(["solve", str(instance), "--algorithm", "sbl", "--seed", "2",
+                   "--telemetry", str(path)])
+        assert rc == 0
+        events = read_events(path)
+        assert events[0]["type"] == "run"
+        assert events[0]["algorithm"] == "sbl"
+        names = {e["name"] for e in events if e["type"] == "span"}
+        assert "sbl/solve" in names
+        assert any(e["type"] == "metrics" for e in events)
+        # telemetry must not leak the pram block into stdout without --costs
+        doc = json.loads(capsys.readouterr().out)
+        assert "pram" not in doc
+
+    def test_solve_telemetry_with_costs(self, instance, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        rc = main(["solve", str(instance), "--algorithm", "bl", "--costs",
+                   "--telemetry", str(path)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["pram"]["depth"] > 0
+
+    def test_experiment_telemetry(self, tmp_path, capsys):
+        from repro.obs.events import read_events
+
+        path = tmp_path / "exp.jsonl"
+        rc = main(["experiment", "E12", "--telemetry", str(path)])
+        assert rc == 0
+        events = read_events(path)
+        assert events[0]["type"] == "run"
+        assert events[0]["experiment"] == "E12"
+
+    def test_trace_summary(self, instance, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main(["solve", str(instance), "--algorithm", "bl", "--telemetry", str(path)])
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bl/solve" in out and "per-phase rollup" in out
+
+    def test_trace_compare(self, instance, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["solve", str(instance), "--algorithm", "bl", "--telemetry", str(a)])
+        main(["solve", str(instance), "--algorithm", "kuw", "--telemetry", str(b)])
+        capsys.readouterr()
+        assert main(["trace", "compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "Δ wall" in out and "kuw/solve" in out
+
+
 class TestExperiment:
     def test_theory_experiment(self, capsys):
         assert main(["experiment", "E12"]) == 0
