@@ -1,0 +1,129 @@
+"""Perf gate: fail CI when a kernel median regresses past a threshold.
+
+Re-runs the M1 kernel micro-benchmarks (via ``bench_smoke.run_benchmarks``)
+and compares each fresh median against the committed baseline
+``BENCH_m01.json``.  The gate fails when
+
+    fresh_median / baseline_median > threshold   (default 1.25)
+
+for any kernel, or when a baseline kernel disappeared from the benchmark
+suite.  Kernels that are new (present fresh, absent from the baseline)
+are reported but do not fail the gate — commit a refreshed baseline with
+``scripts/bench_smoke.py`` to start tracking them.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_gate.py
+    PYTHONPATH=src python scripts/bench_gate.py --threshold 1.5
+    PYTHONPATH=src python scripts/bench_gate.py --baseline BENCH_m01.json \
+        --output fresh.json
+
+Micro-benchmarks on shared CI runners are noisy; the default threshold
+is deliberately loose (25%) so the gate only trips on real regressions —
+an accidental O(n·m) loop, a dropped vectorisation — not scheduler
+jitter.  If the gate flakes, re-run the job before suspecting the code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from bench_smoke import REPO, run_benchmarks
+
+DEFAULT_BASELINE = REPO / "BENCH_m01.json"
+DEFAULT_THRESHOLD = 1.25
+
+
+def compare(
+    baseline: dict[str, int], fresh: dict[str, int], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Return ``(lines, violations)`` for the kernel-by-kernel comparison."""
+    lines: list[str] = []
+    violations: list[str] = []
+    names = sorted(set(baseline) | set(fresh))
+    width = max(len(n) for n in names) if names else 1
+    for name in names:
+        base = baseline.get(name)
+        cur = fresh.get(name)
+        if base is None:
+            lines.append(f"{name:<{width}}  NEW      {cur / 1e6:10.3f} ms (no baseline)")
+            continue
+        if cur is None:
+            lines.append(f"{name:<{width}}  MISSING  baseline {base / 1e6:10.3f} ms")
+            violations.append(f"{name}: kernel missing from fresh run")
+            continue
+        ratio = cur / base
+        verdict = "ok"
+        if ratio > threshold:
+            verdict = "REGRESSED"
+            violations.append(
+                f"{name}: {base / 1e6:.3f} ms -> {cur / 1e6:.3f} ms "
+                f"({ratio:.2f}x > {threshold:.2f}x)"
+            )
+        lines.append(
+            f"{name:<{width}}  {base / 1e6:10.3f} ms -> {cur / 1e6:10.3f} ms  "
+            f"{ratio:5.2f}x  {verdict}"
+        )
+    return lines, violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed medians file (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max allowed fresh/baseline median ratio (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the fresh payload here (CI artifact / triage)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.threshold <= 0:
+        print(f"threshold must be positive: {args.threshold}", file=sys.stderr)
+        return 2
+    if not args.baseline.exists():
+        print(f"baseline not found: {args.baseline}", file=sys.stderr)
+        return 2
+    baseline_doc = json.loads(args.baseline.read_text())
+    baseline = baseline_doc.get("medians_ns", {})
+    if not baseline:
+        print(f"baseline has no medians_ns: {args.baseline}", file=sys.stderr)
+        return 2
+
+    try:
+        payload = run_benchmarks()
+    except RuntimeError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if args.output is not None:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines, violations = compare(baseline, payload["medians_ns"], args.threshold)
+    print(f"perf gate vs {args.baseline.name} (threshold {args.threshold:.2f}x)")
+    for line in lines:
+        print(f"  {line}")
+    if violations:
+        print(f"\nFAIL: {len(violations)} kernel(s) regressed")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,7 +51,14 @@ def _provenance() -> dict:
     }
 
 
-def main() -> int:
+def run_benchmarks() -> dict:
+    """Run the kernel benchmarks once and return the medians payload.
+
+    Shared by this script (which commits the payload as BENCH_m01.json)
+    and ``scripts/bench_gate.py`` (which compares a fresh payload against
+    the committed one).  Raises ``RuntimeError`` if the pytest-benchmark
+    run fails.
+    """
     with tempfile.TemporaryDirectory() as tmp:
         raw = Path(tmp) / "bench.json"
         proc = subprocess.run(
@@ -68,7 +75,7 @@ def main() -> int:
             env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
         )
         if proc.returncode != 0:
-            return proc.returncode
+            raise RuntimeError(f"benchmark run failed (pytest rc={proc.returncode})")
         report = json.loads(raw.read_text())
 
     medians = {
@@ -77,7 +84,7 @@ def main() -> int:
         )
         for bench in report["benchmarks"]
     }
-    payload = {
+    return {
         "benchmark": BENCH.name,
         "unit": "ns",
         "stat": "median",
@@ -85,6 +92,15 @@ def main() -> int:
         "provenance": _provenance(),
         "medians_ns": dict(sorted(medians.items())),
     }
+
+
+def main() -> int:
+    try:
+        payload = run_benchmarks()
+    except RuntimeError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    medians = payload["medians_ns"]
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     width = max(len(k) for k in medians)
     for name, ns in sorted(medians.items()):

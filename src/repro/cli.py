@@ -8,6 +8,9 @@ The subcommands mirror the library's workflow::
     python -m repro check inst.txt --set 1,4,9,12
     python -m repro experiment E3 --scale quick
     python -m repro trace summary run.jsonl
+    python -m repro fuzz run --budget 60s --seed 0
+    python -m repro fuzz replay tests/regressions
+    python -m repro fuzz shrink inst.txt --seed 0 -o tests/regressions
 
 ``solve`` prints a JSON document (set, rounds, optional PRAM costs) so it
 composes with shell pipelines; everything else prints human-readable text.
@@ -249,6 +252,107 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.qa import parse_budget, run_fuzz
+
+    budget = parse_budget(args.budget)
+    solvers = (
+        [s.strip() for s in args.solvers.split(",") if s.strip()]
+        if args.solvers
+        else None
+    )
+    with _telemetry(
+        args.telemetry,
+        command="fuzz-run",
+        budget=str(budget),
+        seed=args.seed,
+    ):
+        report = run_fuzz(
+            budget,
+            seed=args.seed,
+            solvers=solvers,
+            out_dir=args.out,
+            max_failures=args.max_failures,
+            shrink_failures=not args.no_shrink,
+            start_index=args.start_index,
+        )
+    print(report.summary())
+    for cr in report.failures:
+        print(f"\nFAIL {cr.description}")
+        for f in cr.failures:
+            print(f"  {f}")
+        if cr.reproducer is not None:
+            print(
+                f"  reproducer: {cr.reproducer} "
+                f"(n={cr.shrunk_n}, m={cr.shrunk_m}) — replay with "
+                f"'repro fuzz replay {cr.reproducer}'"
+            )
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.qa import replay
+
+    target = Path(args.path)
+    paths = sorted(target.glob("*.npz")) if target.is_dir() else [target]
+    if not paths:
+        print(f"no reproducers under {target}", file=sys.stderr)
+        return 1
+    bad = 0
+    for path in paths:
+        failures = replay(path)
+        if failures:
+            bad += 1
+            print(f"FAIL {path.name}")
+            for f in failures:
+                print(f"  {f}")
+        else:
+            print(f"ok   {path.name}")
+    print(f"{len(paths) - bad}/{len(paths)} reproducers clean")
+    return 1 if bad else 0
+
+
+def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.qa import load_reproducer, make_predicate, save_reproducer, shrink
+
+    path = Path(args.instance)
+    if path.suffix == ".npz":
+        H, manifest = load_reproducer(path)
+        seed = int(manifest["seed"]) if args.seed is None else args.seed
+        solvers = manifest.get("solvers")
+    else:
+        H = load(path)
+        seed = 0 if args.seed is None else args.seed
+        solvers = None
+    if args.solvers:
+        solvers = [s.strip() for s in args.solvers.split(",") if s.strip()]
+    fails = make_predicate(seed, solvers=solvers, metamorphic=True, oracle=True)
+    if not fails(H):
+        print(f"{path}: differential battery passes — nothing to shrink")
+        return 1
+    result = shrink(H, fails, max_evals=args.max_evals)
+    print(result.summary())
+    out = save_reproducer(
+        result.hypergraph,
+        {
+            "kind": "shrunk-failure",
+            "seed": seed,
+            "solvers": solvers,
+            "description": f"shrunk from {path.name} "
+            f"(n={H.num_vertices}, m={H.num_edges})",
+            "failures": [],
+            "replay": {"metamorphic": True, "oracle": True, "focus_index": 0},
+        },
+        args.out,
+    )
+    print(f"reproducer written to {out}")
+    return 0
+
+
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     from repro.obs.inspector import render_summary
 
@@ -328,6 +432,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream span/metric events to this JSONL file (see 'repro trace')",
     )
     e.set_defaults(func=_cmd_experiment)
+
+    f = sub.add_parser("fuzz", help="differential fuzzing, replay and shrinking")
+    fsub = f.add_subparsers(dest="fuzz_command", required=True)
+    fr = fsub.add_parser("run", help="run a differential fuzz campaign")
+    fr.add_argument(
+        "--budget",
+        default="200",
+        help="case count ('200') or wall-clock duration ('60s', '2m')",
+    )
+    fr.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fr.add_argument(
+        "--solvers", default="", help="comma-separated solver subset (default: all)"
+    )
+    fr.add_argument(
+        "-o",
+        "--out",
+        default="tests/regressions",
+        help="directory for shrunk reproducers",
+    )
+    fr.add_argument(
+        "--max-failures", type=int, default=1, help="stop after this many failing cases"
+    )
+    fr.add_argument(
+        "--no-shrink", action="store_true", help="save failing instances unshrunk"
+    )
+    fr.add_argument(
+        "--start-index", type=int, default=0, help="first case index of the stream"
+    )
+    fr.add_argument(
+        "--telemetry",
+        default="",
+        metavar="PATH",
+        help="stream span/metric events to this JSONL file (see 'repro trace')",
+    )
+    fr.set_defaults(func=_cmd_fuzz_run)
+    fp = fsub.add_parser("replay", help="replay reproducer file(s)")
+    fp.add_argument("path", help="a .npz reproducer or a directory of them")
+    fp.set_defaults(func=_cmd_fuzz_replay)
+    fs = fsub.add_parser("shrink", help="delta-debug a failing instance")
+    fs.add_argument("instance", help="instance file (text/JSON) or .npz reproducer")
+    fs.add_argument(
+        "--seed", type=int, default=None, help="solver seed (default: manifest's, or 0)"
+    )
+    fs.add_argument("--solvers", default="", help="comma-separated solver subset")
+    fs.add_argument("--max-evals", type=int, default=2000, help="predicate eval budget")
+    fs.add_argument("-o", "--out", default="tests/regressions", help="output directory")
+    fs.set_defaults(func=_cmd_fuzz_shrink)
 
     t = sub.add_parser("trace", help="inspect telemetry JSONL streams")
     tsub = t.add_subparsers(dest="trace_command", required=True)

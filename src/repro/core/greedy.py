@@ -69,7 +69,11 @@ def greedy_mis(
     """
     active = H.vertices
     if order is None:
-        scan = as_generator(seed).permutation(active)
+        # np.asarray would alias the read-only view and numpy's shuffle
+        # fast path for arrays of size <= 1 operates in place, so an
+        # explicit copy is required (found by `repro fuzz`, pinned by
+        # tests/regressions/greedy-empty-universe.npz).
+        scan = as_generator(seed).permutation(active.copy())
     else:
         scan = np.asarray(
             list(order) if not isinstance(order, np.ndarray) else order, dtype=np.intp

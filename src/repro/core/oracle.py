@@ -31,7 +31,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.validate import is_independent
 from repro.util.rng import SeedLike, stream
 
-__all__ = ["IndependenceOracle", "kuw_oracle"]
+__all__ = ["IndependenceOracle", "kuw_oracle", "oracle_certify_mis"]
 
 
 class IndependenceOracle:
@@ -65,6 +65,44 @@ class IndependenceOracle:
         self.queries += len(sets)
         self.batches += 1
         return [is_independent(self._H, s) for s in sets]
+
+
+def oracle_certify_mis(
+    H: Hypergraph, members: Iterable[int] | np.ndarray
+) -> dict:
+    """Certify *members* as an MIS using independence queries only.
+
+    The structural validator (:func:`repro.hypergraph.validate.check_mis`)
+    reads edges directly; this certifier goes through the
+    :class:`IndependenceOracle` instead, so the two answer the same
+    question along entirely different code paths — which is exactly what
+    the differential harness in :mod:`repro.qa` wants.  Independence is
+    one query (``I`` itself); maximality is one parallel batch
+    (``I ∪ {v}`` for every active outsider ``v``, all of which must come
+    back dependent).
+
+    Returns
+    -------
+    dict
+        ``independent`` / ``maximal`` booleans, the ``addable`` witness
+        vertices (empty when maximal), and the ``queries`` / ``batches``
+        the certification spent.
+    """
+    oracle = IndependenceOracle(H)
+    I = np.asarray(sorted({int(v) for v in members}), dtype=np.intp)
+    independent = oracle.query(I)
+    outside = np.setdiff1d(oracle.vertices, I)
+    addable: list[int] = []
+    if independent and outside.size:
+        answers = oracle.query_batch([np.append(I, v) for v in outside.tolist()])
+        addable = [int(v) for v, ok in zip(outside.tolist(), answers) if ok]
+    return {
+        "independent": bool(independent),
+        "maximal": bool(independent) and not addable,
+        "addable": addable,
+        "queries": oracle.queries,
+        "batches": oracle.batches,
+    }
 
 
 def kuw_oracle(

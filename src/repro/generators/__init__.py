@@ -10,9 +10,13 @@ Workload families used across the examples, tests and experiments:
   complete d-uniform blocks) used for unit tests and adversarial probes.
 * :mod:`repro.generators.linear` — random *linear* hypergraphs
   (``|e ∩ e'| ≤ 1``), the class Luczak–Szymanska proved to be in RNC.
+* :mod:`repro.generators.planted` — instances with a certified planted
+  MIS, giving tests (and the :mod:`repro.qa` fuzzer) a solver-independent
+  ground truth.
 """
 
 from repro.generators.linear import random_linear_hypergraph, partial_steiner_triples
+from repro.generators.planted import planted_mis_instance
 from repro.generators.random_hypergraphs import (
     bounded_edges_instance,
     mixed_dimension_hypergraph,
@@ -41,4 +45,5 @@ __all__ = [
     "tight_cycle",
     "random_linear_hypergraph",
     "partial_steiner_triples",
+    "planted_mis_instance",
 ]

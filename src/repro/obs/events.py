@@ -25,7 +25,14 @@ from typing import Any, Iterator, TextIO, Union
 
 import numpy as np
 
-__all__ = ["EVENT_VERSION", "JsonlSink", "read_events", "iter_events", "to_jsonable", "from_jsonable"]
+__all__ = [
+    "EVENT_VERSION",
+    "JsonlSink",
+    "read_events",
+    "iter_events",
+    "to_jsonable",
+    "from_jsonable",
+]
 
 #: Bump on any backwards-incompatible change to the event schema.
 EVENT_VERSION = 1

@@ -1,0 +1,64 @@
+"""Correctness tooling: differential fuzzing, shrinking, regression replay.
+
+The paper's guarantees are "with high probability" statements about
+randomized solvers, so a single green test run proves little.  This
+package turns the repo's property tests into a reusable engine:
+
+* :mod:`repro.qa.fuzzer` — seeded instance synthesis over every
+  generator family plus adversarial mutations;
+* :mod:`repro.qa.differential` — the check battery (all seven solvers,
+  structural validator, pure-Python reference, independence oracle,
+  metamorphic invariants);
+* :mod:`repro.qa.shrinker` — greedy delta debugging of failing
+  instances;
+* :mod:`repro.qa.regressions` — replayable ``.npz`` reproducers (the
+  committed corpus under ``tests/regressions/`` is tier-1 tested);
+* :mod:`repro.qa.engine` — the budgeted campaign loop behind
+  ``repro fuzz``;
+* :mod:`repro.qa.faults` — planted-bug solver wrappers that keep the
+  subsystem itself honest.
+
+See ``docs/fuzzing.md`` for the design and the triage playbook.
+"""
+
+from repro.qa.differential import (
+    SOLVERS,
+    Failure,
+    SolverSpec,
+    applicable_solvers,
+    make_predicate,
+    run_case,
+)
+from repro.qa.engine import Budget, CaseReport, FuzzReport, parse_budget, run_fuzz
+from repro.qa.fuzzer import FAMILIES, FuzzCase, generate_case, iter_cases
+from repro.qa.regressions import (
+    load_reproducer,
+    replay,
+    replay_dir,
+    save_reproducer,
+)
+from repro.qa.shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "Failure",
+    "SolverSpec",
+    "SOLVERS",
+    "applicable_solvers",
+    "run_case",
+    "make_predicate",
+    "FuzzCase",
+    "FAMILIES",
+    "generate_case",
+    "iter_cases",
+    "Budget",
+    "parse_budget",
+    "FuzzReport",
+    "CaseReport",
+    "run_fuzz",
+    "ShrinkResult",
+    "shrink",
+    "save_reproducer",
+    "load_reproducer",
+    "replay",
+    "replay_dir",
+]

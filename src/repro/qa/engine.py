@@ -1,0 +1,312 @@
+"""The fuzz campaign engine: budget loop, shrink-on-failure, telemetry.
+
+``run_fuzz`` drives the whole pipeline the CLI and CI expose::
+
+    case stream (fuzzer) -> differential battery -> [on failure]
+        restrict to the failing subjects -> shrink -> save reproducer
+
+The engine is deterministic for a fixed ``(seed, budget-in-cases)``; a
+time budget ("60s") trades that for wall-clock control — CI uses a time
+budget with a fixed seed, which is deterministic in *content* (case k is
+always the same) even though the stopping index varies with machine
+speed.
+
+Telemetry rides the ambient tracer from :mod:`repro.obs`: one
+``fuzz/run`` span over the campaign, one ``fuzz/case`` span per case
+(family, sizes, failure count), and ``qa/*`` metrics counters — so a
+``--telemetry`` JSONL stream shows exactly which case went wrong and how
+long every stage took.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import current_tracer
+from repro.qa.differential import SOLVERS, Failure, make_predicate, run_case
+from repro.qa.fuzzer import FuzzCase, generate_case
+from repro.qa.regressions import save_reproducer
+from repro.qa.shrinker import shrink
+
+__all__ = ["Budget", "parse_budget", "CaseReport", "FuzzReport", "run_fuzz"]
+
+_KNOWN_SOLVER_NAMES = {s.name for s in SOLVERS}
+
+#: Failure checks that only the metamorphic battery can reproduce.
+_METAMORPHIC_CHECKS = {
+    "determinism",
+    "canonicalisation",
+    "edge-order",
+    "relabel",
+    "component-split",
+    "component-merge",
+}
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Either a case-count budget or a wall-clock budget (never both)."""
+
+    cases: int | None = None
+    seconds: float | None = None
+
+    def __str__(self) -> str:
+        if self.seconds is not None:
+            return f"{self.seconds:g}s"
+        return str(self.cases)
+
+
+def parse_budget(text: str) -> Budget:
+    """Parse ``"200"`` (cases), ``"60s"`` (seconds) or ``"2m"`` (minutes)."""
+    text = text.strip().lower()
+    try:
+        if text.endswith("ms"):
+            return Budget(seconds=float(text[:-2]) / 1000.0)
+        if text.endswith("s"):
+            return Budget(seconds=float(text[:-1]))
+        if text.endswith("m"):
+            return Budget(seconds=float(text[:-1]) * 60.0)
+        cases = int(text)
+    except ValueError:
+        raise ValueError(
+            f"bad budget {text!r}: want a case count ('200') or a duration "
+            "('60s', '2m')"
+        ) from None
+    if cases < 0:
+        raise ValueError(f"budget must be non-negative: {cases}")
+    return Budget(cases=cases)
+
+
+@dataclass
+class CaseReport:
+    """One failing case: what broke, and where the reproducer went."""
+
+    index: int
+    description: str
+    failures: list[Failure]
+    reproducer: Path | None = None
+    shrunk_n: int | None = None
+    shrunk_m: int | None = None
+
+
+@dataclass
+class FuzzReport:
+    """Campaign outcome returned by :func:`run_fuzz`."""
+
+    seed: int
+    budget: Budget
+    cases: int = 0
+    elapsed_s: float = 0.0
+    failures: list[CaseReport] = field(default_factory=list)
+    stop_reason: str = "budget-exhausted"
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "clean" if self.ok else f"{len(self.failures)} failing case(s)"
+        return (
+            f"fuzz seed={self.seed} budget={self.budget}: {self.cases} cases "
+            f"in {self.elapsed_s:.1f}s — {verdict} [{self.stop_reason}]"
+        )
+
+
+def _shrink_settings(failures: list[Failure]) -> tuple[list[str], bool, bool]:
+    """Derive the narrowest predicate that still reproduces *failures*.
+
+    An empty solver list is meaningful: only extra/oracle subjects
+    failed, so shrink candidates skip the healthy library fleet entirely.
+    """
+    solvers = sorted({f.solver for f in failures} & _KNOWN_SOLVER_NAMES)
+    metamorphic = any(f.check in _METAMORPHIC_CHECKS for f in failures)
+    oracle = any(f.check == "oracle" or f.solver == "kuw-oracle" for f in failures)
+    return solvers, metamorphic, oracle
+
+
+def _handle_failure(
+    case: FuzzCase,
+    failures: list[Failure],
+    out_dir: Path | None,
+    extra_solvers: Mapping[str, Callable] | None,
+    do_shrink: bool,
+    max_shrink_evals: int,
+    fuzz_seed: int,
+) -> CaseReport:
+    report = CaseReport(case.index, case.describe(), failures)
+    if out_dir is None:
+        return report
+    H = case.hypergraph
+    shrunk_kind = "unshrunk-failure"
+    shrink_meta: dict = {}
+    certificate_only = all(f.solver == "planted" for f in failures)
+    if do_shrink and not certificate_only:
+        solvers, metamorphic, oracle = _shrink_settings(failures)
+        # Keep only the extra subjects that actually failed — shrinking
+        # against a healthy solver fleet would never converge.
+        extras = None
+        if extra_solvers:
+            failing = {f.solver for f in failures}
+            extras = {n: fn for n, fn in extra_solvers.items() if n in failing} or None
+        fails = make_predicate(
+            case.solver_seed,
+            solvers=solvers,
+            extra_solvers=extras,
+            metamorphic=metamorphic,
+            oracle=oracle,
+        )
+        try:
+            result = shrink(H, fails, max_evals=max_shrink_evals)
+        except ValueError:
+            # Not reproducible under the narrowed predicate (flaky
+            # environment failure, or an extra solver with state): pin
+            # the unshrunk instance instead.
+            result = None
+        if result is not None:
+            H = result.hypergraph
+            shrunk_kind = "shrunk-failure"
+            shrink_meta = {
+                "evals": result.evals,
+                "from": {"n": case.hypergraph.num_vertices, "m": case.hypergraph.num_edges},
+            }
+    manifest = {
+        "kind": shrunk_kind,
+        "seed": case.solver_seed,
+        "solvers": sorted({f.solver for f in failures} & _KNOWN_SOLVER_NAMES) or None,
+        "description": f"fuzz failure: {case.describe()}",
+        "failures": [str(f) for f in failures],
+        "fuzz": {
+            "seed": fuzz_seed,
+            "index": case.index,
+            "family": case.family,
+            "params": case.params,
+            "mutations": list(case.mutations),
+        },
+        "shrink": shrink_meta,
+        "replay": {"metamorphic": True, "oracle": True, "focus_index": 0},
+    }
+    report.reproducer = save_reproducer(H, manifest, out_dir)
+    report.shrunk_n = H.num_vertices
+    report.shrunk_m = H.num_edges
+    return report
+
+
+def run_fuzz(
+    budget: Budget | str,
+    seed: int = 0,
+    *,
+    solvers: list[str] | None = None,
+    extra_solvers: Mapping[str, Callable] | None = None,
+    out_dir: str | Path | None = None,
+    max_failures: int = 1,
+    shrink_failures: bool = True,
+    max_shrink_evals: int = 2000,
+    metamorphic: bool = True,
+    oracle: bool = True,
+    start_index: int = 0,
+    on_case: Callable[[FuzzCase, list[Failure]], None] | None = None,
+) -> FuzzReport:
+    """Run a differential fuzzing campaign.
+
+    Parameters
+    ----------
+    budget:
+        A :class:`Budget` or its string form (``"200"`` cases, ``"60s"``).
+    seed:
+        Campaign seed; fully determines every case (see
+        :func:`repro.qa.fuzzer.generate_case`).
+    solvers, extra_solvers:
+        Subject selection, as in :func:`repro.qa.differential.run_case`.
+    out_dir:
+        Where reproducers are written (``None`` disables writing).
+    max_failures:
+        Stop after this many failing cases (CI wants 1).
+    shrink_failures, max_shrink_evals:
+        Delta-debug failing instances before saving.
+    metamorphic, oracle:
+        Invariant groups to run per case.
+    start_index:
+        First case index (resume a stream past known-clean prefixes).
+    on_case:
+        Observer hook called after each case with its failures.
+    """
+    if isinstance(budget, str):
+        budget = parse_budget(budget)
+    seed = int(seed)
+    out_path = Path(out_dir) if out_dir is not None else None
+    report = FuzzReport(seed=seed, budget=budget)
+    tracer = current_tracer()
+    t0 = time.monotonic()
+
+    def exhausted(index_offset: int) -> bool:
+        if budget.cases is not None and index_offset >= budget.cases:
+            return True
+        if budget.seconds is not None and time.monotonic() - t0 >= budget.seconds:
+            return True
+        return False
+
+    with tracer.span("fuzz/run", seed=seed, budget=str(budget)) as run_span:
+        offset = 0
+        while not exhausted(offset):
+            case = generate_case(seed, start_index + offset)
+            H = case.hypergraph
+            with tracer.span(
+                "fuzz/case",
+                index=case.index,
+                family=case.family,
+                n=H.num_vertices,
+                m=H.num_edges,
+                dim=H.dimension,
+            ) as span:
+                failures = run_case(
+                    H,
+                    case.solver_seed,
+                    solvers=solvers,
+                    extra_solvers=extra_solvers,
+                    focus_index=case.index,
+                    metamorphic=metamorphic,
+                    oracle=oracle,
+                    certificate=case.certificate,
+                )
+                if tracer.enabled:
+                    span.set(failures=len(failures), mutations=list(case.mutations))
+            obs_metrics.inc("qa/cases")
+            report.cases += 1
+            offset += 1
+            if on_case is not None:
+                on_case(case, failures)
+            if not failures:
+                continue
+            obs_metrics.inc("qa/failing_cases")
+            if tracer.enabled:
+                tracer.emit(
+                    "fuzz_failure",
+                    index=case.index,
+                    failures=[str(f) for f in failures],
+                )
+            report.failures.append(
+                _handle_failure(
+                    case,
+                    failures,
+                    out_path,
+                    extra_solvers,
+                    shrink_failures,
+                    max_shrink_evals,
+                    seed,
+                )
+            )
+            if len(report.failures) >= max_failures:
+                report.stop_reason = "max-failures"
+                break
+        report.elapsed_s = time.monotonic() - t0
+        if tracer.enabled:
+            run_span.set(
+                cases=report.cases,
+                failing_cases=len(report.failures),
+                stop_reason=report.stop_reason,
+            )
+    return report

@@ -1,0 +1,165 @@
+"""Structural hypergraph transforms for fuzzing and metamorphic testing.
+
+Two families of functions live here, both pure (they return new
+:class:`~repro.hypergraph.Hypergraph` instances):
+
+* **Adversarial mutations** — ``add_duplicate_edges``,
+  ``add_superset_edges``, ``add_singleton_edges``,
+  ``add_isolated_vertices`` — inject the degenerate shapes that the
+  algorithm cleanup phases (superset removal, singleton deletion,
+  normalisation) are supposed to absorb.  The fuzzer layers them on top
+  of generator output.
+* **Semantics-preserving transforms** — ``relabel_vertices``,
+  ``shuffle_edge_order``, ``disjoint_union``, ``compact_universe`` — the
+  metamorphic invariants of the differential harness: solving a
+  transformed instance must still produce a valid MIS, and where the
+  transform is a no-op on the canonical form (edge order) the solver
+  output must be bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = [
+    "add_duplicate_edges",
+    "add_superset_edges",
+    "add_singleton_edges",
+    "add_isolated_vertices",
+    "relabel_vertices",
+    "shuffle_edge_order",
+    "disjoint_union",
+    "compact_universe",
+]
+
+
+def add_duplicate_edges(H: Hypergraph, count: int, seed: SeedLike = None) -> Hypergraph:
+    """Re-append up to *count* existing edges (in random order).
+
+    Canonicalisation dedups, so the result must compare **equal** to *H*
+    — this mutation is a constructor-idempotence probe, not a semantic
+    change.  A no-op on edgeless instances.
+    """
+    if H.num_edges == 0 or count <= 0:
+        return H
+    rng = as_generator(seed)
+    picks = rng.integers(0, H.num_edges, size=count)
+    extra = [H.edges[int(i)] for i in picks]
+    return H.replace(edges=list(H.edges) + extra)
+
+
+def add_superset_edges(H: Hypergraph, count: int, seed: SeedLike = None) -> Hypergraph:
+    """Add up to *count* strict supersets of existing edges.
+
+    A superset edge is a redundant constraint (its subset already forbids
+    full containment), so every MIS of *H* remains independent in the
+    mutant; the cleanup phases are expected to strip the supersets.
+    Supersets draw their extra vertex from the active set; edges that
+    already span all active vertices are skipped.
+    """
+    if H.num_edges == 0 or count <= 0:
+        return H
+    rng = as_generator(seed)
+    active = H.vertices
+    extra: list[tuple[int, ...]] = []
+    for i in rng.integers(0, H.num_edges, size=count).tolist():
+        e = H.edges[int(i)]
+        candidates = np.setdiff1d(active, np.asarray(e, dtype=np.intp))
+        if candidates.size == 0:
+            continue
+        v = int(candidates[int(rng.integers(0, candidates.size))])
+        extra.append(tuple(sorted(e + (v,))))
+    if not extra:
+        return H
+    return H.replace(edges=list(H.edges) + extra)
+
+
+def add_singleton_edges(H: Hypergraph, count: int, seed: SeedLike = None) -> Hypergraph:
+    """Forbid up to *count* random active vertices via singleton edges.
+
+    A singleton ``{v}`` permanently excludes *v* from every independent
+    set; the BL cleanup colours such vertices red on round one.  A no-op
+    on instances with no active vertices.
+    """
+    if H.num_vertices == 0 or count <= 0:
+        return H
+    rng = as_generator(seed)
+    picks = rng.choice(H.vertices, size=min(count, H.num_vertices), replace=False)
+    extra = [(int(v),) for v in np.sort(picks).tolist()]
+    return H.replace(edges=list(H.edges) + extra)
+
+
+def add_isolated_vertices(H: Hypergraph, count: int) -> Hypergraph:
+    """Grow the universe by *count* fresh vertices touched by no edge.
+
+    Isolated vertices must all land in any maximal independent set, which
+    stresses the maximality side of every solver.
+    """
+    if count <= 0:
+        return H
+    new_universe = H.universe + count
+    vertices = np.concatenate(
+        [H.vertices, np.arange(H.universe, new_universe, dtype=np.intp)]
+    )
+    return Hypergraph(new_universe, H.edges, vertices=vertices)
+
+
+def relabel_vertices(
+    H: Hypergraph, permutation: np.ndarray | None = None, seed: SeedLike = None
+) -> tuple[Hypergraph, np.ndarray]:
+    """Apply a universe permutation ``v -> pi[v]`` to vertices and edges.
+
+    Returns ``(H_pi, pi)``.  A solver run on ``H_pi`` must produce a set
+    whose preimage under ``pi`` is a valid MIS of *H* — vertex identity
+    carries no structural information.
+    """
+    if permutation is None:
+        permutation = as_generator(seed).permutation(H.universe)
+    pi = np.asarray(permutation, dtype=np.intp)
+    if pi.shape != (H.universe,) or not np.array_equal(np.sort(pi), np.arange(H.universe)):
+        raise ValueError("permutation must be a bijection on the universe")
+    edges = [tuple(int(pi[v]) for v in e) for e in H.edges]
+    vertices = pi[H.vertices]
+    return Hypergraph(H.universe, edges, vertices=vertices), pi
+
+
+def shuffle_edge_order(H: Hypergraph, seed: SeedLike = None) -> Hypergraph:
+    """Rebuild *H* from its edges presented in a random order.
+
+    Canonicalisation sorts edges, so the rebuilt instance must compare
+    equal to *H* and any seeded solver must return bit-identical output
+    on both — presentation order is not allowed to leak into results.
+    """
+    rng = as_generator(seed)
+    edges = list(H.edges)
+    order = rng.permutation(len(edges))
+    return H.replace(edges=[edges[int(i)] for i in order])
+
+
+def disjoint_union(A: Hypergraph, B: Hypergraph) -> Hypergraph:
+    """Place *B* after *A* on a combined universe (B's ids shifted by |U_A|).
+
+    The components never interact, so the restriction of any MIS of the
+    union to either side is an MIS of that side — the component
+    split/merge invariant.
+    """
+    shift = A.universe
+    edges = list(A.edges) + [tuple(v + shift for v in e) for e in B.edges]
+    vertices = np.concatenate([A.vertices, B.vertices + shift])
+    return Hypergraph(A.universe + B.universe, edges, vertices=vertices)
+
+
+def compact_universe(H: Hypergraph) -> tuple[Hypergraph, np.ndarray]:
+    """Drop unused universe slots: relabel active vertices onto ``0..n-1``.
+
+    Returns ``(H_compact, old_ids)`` where ``old_ids[new] = old``.  Used
+    by the shrinker so reproducers do not carry dead id ranges.
+    """
+    old_ids = H.vertices.copy()
+    new_of_old = np.full(H.universe, -1, dtype=np.intp)
+    new_of_old[old_ids] = np.arange(old_ids.size, dtype=np.intp)
+    edges = [tuple(int(new_of_old[v]) for v in e) for e in H.edges]
+    return Hypergraph(int(old_ids.size), edges), old_ids

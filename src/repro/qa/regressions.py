@@ -1,0 +1,133 @@
+"""Replayable reproducer files (``.npz`` + embedded seed manifest).
+
+A reproducer is one ``numpy`` archive holding the instance's canonical
+arrays (``universe``, ``vertices``, ``indptr``, ``indices``) and a JSON
+manifest (schema, solver seed, solver subset, provenance, the failure
+messages observed when the file was written).  Everything needed to
+replay lives in the file; no pickle, no external state.
+
+The committed corpus lives in ``tests/regressions/`` and is collected by
+the tier-1 suite (``tests/test_regressions.py``): every reproducer ever
+shrunk out of a fuzz failure becomes a permanent regression test, and
+``repro fuzz replay tests/regressions`` re-runs the same battery from
+the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.qa.differential import Failure, run_case
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "save_reproducer",
+    "load_reproducer",
+    "replay",
+    "replay_dir",
+]
+
+MANIFEST_SCHEMA = 1
+
+PathLike = Union[str, Path]
+
+
+def _content_tag(H: Hypergraph, seed: int) -> str:
+    digest = hashlib.sha256()
+    digest.update(str(H.universe).encode())
+    digest.update(H.vertices.tobytes())
+    digest.update(H.store.indptr.tobytes())
+    digest.update(H.store.indices.tobytes())
+    digest.update(str(seed).encode())
+    return digest.hexdigest()[:10]
+
+
+def save_reproducer(
+    H: Hypergraph,
+    manifest: dict,
+    out_dir: PathLike,
+    *,
+    name: str | None = None,
+) -> Path:
+    """Write a reproducer archive; returns the path.
+
+    *manifest* must carry ``seed`` (the solver seed, an int); ``schema``
+    and a content-addressed filename are filled in here.  An existing
+    file of the same name is overwritten (same content hash implies the
+    same instance and seed).
+    """
+    if "seed" not in manifest:
+        raise ValueError("manifest must carry the solver 'seed'")
+    manifest = {"schema": MANIFEST_SCHEMA, **manifest}
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if name is None:
+        kind = manifest.get("kind", "repro")
+        name = f"{kind}-{_content_tag(H, int(manifest['seed']))}.npz"
+    path = out_dir / name
+    with open(path, "wb") as fh:
+        np.savez(
+            fh,
+            universe=np.asarray(H.universe, dtype=np.int64),
+            vertices=np.asarray(H.vertices, dtype=np.int64),
+            indptr=np.asarray(H.store.indptr, dtype=np.int64),
+            indices=np.asarray(H.store.indices, dtype=np.int64),
+            manifest=np.asarray(json.dumps(manifest, sort_keys=True)),
+        )
+    return path
+
+
+def load_reproducer(path: PathLike) -> tuple[Hypergraph, dict]:
+    """Read a reproducer archive back into ``(hypergraph, manifest)``.
+
+    The instance is rebuilt through the *public* constructor so the file
+    contents are re-canonicalised and re-validated — a corrupted archive
+    fails loudly here rather than silently skewing a replay.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        universe = int(data["universe"])
+        vertices = data["vertices"].astype(np.intp)
+        indptr = data["indptr"].astype(np.intp)
+        indices = data["indices"].astype(np.intp)
+        manifest = json.loads(str(data["manifest"]))
+    edges = [
+        tuple(int(v) for v in indices[indptr[i] : indptr[i + 1]])
+        for i in range(indptr.size - 1)
+    ]
+    H = Hypergraph(universe, edges, vertices=vertices)
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported manifest schema {manifest.get('schema')!r}"
+        )
+    return H, manifest
+
+
+def replay(path: PathLike) -> list[Failure]:
+    """Re-run the differential battery recorded in a reproducer.
+
+    Returns the **current** failures (empty once the underlying bug is
+    fixed — which is exactly what the regression suite asserts).
+    """
+    H, manifest = load_reproducer(path)
+    settings = manifest.get("replay", {})
+    return run_case(
+        H,
+        int(manifest["seed"]),
+        solvers=manifest.get("solvers"),
+        focus_index=int(settings.get("focus_index", 0)),
+        metamorphic=bool(settings.get("metamorphic", True)),
+        oracle=bool(settings.get("oracle", True)),
+    )
+
+
+def replay_dir(directory: PathLike) -> dict[str, list[Failure]]:
+    """Replay every ``*.npz`` under *directory*; map filename -> failures."""
+    return {
+        p.name: replay(p) for p in sorted(Path(directory).glob("*.npz"))
+    }

@@ -1,0 +1,155 @@
+"""Greedy delta-debugging shrinker for failing fuzz instances.
+
+Classic ddmin adapted to hypergraphs.  Given an instance and a failure
+predicate (built by :func:`repro.qa.differential.make_predicate`), the
+shrinker repeatedly tries structurally smaller candidates and keeps any
+candidate on which the predicate still fails:
+
+1. **Edge ddmin** — remove edge chunks at halving granularity, then
+   single edges, until no edge can be dropped.
+2. **Vertex elimination** — drop each active vertex (and the edges
+   touching it) one at a time.
+3. **Universe compaction** — relabel the survivors onto a dense
+   ``0..n-1`` range so the reproducer carries no dead id space.
+
+Every candidate evaluation is cached (hypergraphs are hashable values),
+and a global evaluation budget bounds the worst case.  The result is
+1-minimal with respect to single edge/vertex removal — not globally
+minimal, which is the standard ddmin contract and plenty for a readable
+reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.qa.mutations import compact_universe
+
+__all__ = ["ShrinkResult", "shrink"]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimised instance plus shrink accounting."""
+
+    hypergraph: Hypergraph
+    evals: int
+    cache_hits: int
+    steps: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        H = self.hypergraph
+        return (
+            f"shrunk to n={H.num_vertices} m={H.num_edges} "
+            f"(evals={self.evals}, cache_hits={self.cache_hits})"
+        )
+
+
+class _Budget:
+    def __init__(self, fails: Callable[[Hypergraph], bool], max_evals: int):
+        self.fails = fails
+        self.max_evals = max_evals
+        self.evals = 0
+        self.cache_hits = 0
+        self._cache: dict[Hypergraph, bool] = {}
+
+    def __call__(self, H: Hypergraph) -> bool:
+        cached = self._cache.get(H)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        if self.evals >= self.max_evals:
+            return False  # out of budget: treat as "does not fail", stop shrinking
+        self.evals += 1
+        try:
+            verdict = bool(self.fails(H))
+        except Exception:  # noqa: BLE001 — a predicate crash is not a repro
+            verdict = False
+        self._cache[H] = verdict
+        return verdict
+
+
+def _with_edges(H: Hypergraph, keep: list[tuple[int, ...]]) -> Hypergraph:
+    return Hypergraph(H.universe, keep, vertices=H.vertices)
+
+
+def _ddmin_edges(H: Hypergraph, fails: _Budget, steps: list[str]) -> Hypergraph:
+    """Remove edge chunks at halving granularity (ddmin's complement loop)."""
+    edges = list(H.edges)
+    granularity = 2
+    while len(edges) >= 2:
+        chunk = max(1, len(edges) // granularity)
+        removed_any = False
+        start = 0
+        while start < len(edges):
+            candidate = edges[:start] + edges[start + chunk :]
+            if candidate != edges and fails(_with_edges(H, candidate)):
+                edges = candidate
+                steps.append(f"edges -> {len(edges)}")
+                removed_any = True
+                # Re-test the same start offset: the list shifted left.
+            else:
+                start += chunk
+        if removed_any:
+            granularity = max(granularity - 1, 2)
+        elif chunk == 1:
+            break
+        else:
+            granularity = min(granularity * 2, len(edges))
+    return _with_edges(H, edges)
+
+
+def _eliminate_vertices(H: Hypergraph, fails: _Budget, steps: list[str]) -> Hypergraph:
+    """Drop active vertices one at a time while the failure persists."""
+    changed = True
+    while changed:
+        changed = False
+        for v in H.vertices.tolist():
+            candidate = H.without_vertices(np.asarray([v], dtype=np.intp))
+            if fails(candidate):
+                H = candidate
+                steps.append(f"dropped vertex {v}")
+                changed = True
+                break
+    return H
+
+
+def shrink(
+    H: Hypergraph,
+    fails: Callable[[Hypergraph], bool],
+    *,
+    max_evals: int = 2000,
+) -> ShrinkResult:
+    """Minimise *H* while ``fails(H)`` stays true.
+
+    Parameters
+    ----------
+    H:
+        A failing instance (``fails(H)`` must hold — raises otherwise,
+        because "shrink a passing instance" is always caller error).
+    fails:
+        The failure predicate.  It must be deterministic; build it from
+        :func:`repro.qa.differential.make_predicate` with a fixed seed.
+    max_evals:
+        Global predicate-evaluation budget.  On exhaustion the current
+        (still-failing) candidate is returned.
+    """
+    budget = _Budget(fails, max_evals)
+    if not budget(H):
+        raise ValueError("instance does not fail the predicate — nothing to shrink")
+    steps: list[str] = []
+    while True:
+        before = (H.num_vertices, H.num_edges)
+        H = _ddmin_edges(H, budget, steps)
+        H = _eliminate_vertices(H, budget, steps)
+        if (H.num_vertices, H.num_edges) == before:
+            break
+    compacted, _ = compact_universe(H)
+    if compacted.universe < H.universe and budget(compacted):
+        steps.append(f"compacted universe {H.universe} -> {compacted.universe}")
+        H = compacted
+    return ShrinkResult(H, evals=budget.evals, cache_hits=budget.cache_hits, steps=steps)

@@ -1,0 +1,131 @@
+"""Fuzzer determinism, family coverage and mutation semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.components import num_components
+from repro.hypergraph.validate import check_mis
+from repro.qa import FAMILIES, generate_case, iter_cases
+from repro.qa.mutations import (
+    add_duplicate_edges,
+    add_isolated_vertices,
+    add_singleton_edges,
+    add_superset_edges,
+    compact_universe,
+    disjoint_union,
+    relabel_vertices,
+    shuffle_edge_order,
+)
+
+
+class TestCaseSynthesis:
+    def test_deterministic_in_seed_and_index(self):
+        for index in range(12):
+            a = generate_case(3, index)
+            b = generate_case(3, index)
+            assert a.hypergraph == b.hypergraph
+            assert a.solver_seed == b.solver_seed
+            assert a.family == b.family
+            assert a.mutations == b.mutations
+
+    def test_independent_of_generation_order(self):
+        forward = [generate_case(5, i).hypergraph for i in range(6)]
+        backward = [generate_case(5, i).hypergraph for i in reversed(range(6))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = [generate_case(0, i).hypergraph for i in range(10)]
+        b = [generate_case(1, i).hypergraph for i in range(10)]
+        assert a != b
+
+    def test_family_rotation_covers_everything(self):
+        seen = {generate_case(0, i).family for i in range(len(FAMILIES))}
+        assert seen == {name for name, _ in FAMILIES}
+
+    def test_iter_cases_matches_generate_case(self):
+        stream = iter_cases(2)
+        for i in range(5):
+            assert next(stream).hypergraph == generate_case(2, i).hypergraph
+
+    def test_planted_certificate_is_valid(self):
+        planted = [
+            c for i in range(30) if (c := generate_case(0, i)).certificate is not None
+        ]
+        assert planted, "rotation must produce planted cases"
+        for case in planted:
+            check_mis(case.hypergraph, case.certificate)
+
+    def test_degenerate_shapes_appear(self):
+        cases = [generate_case(0, i) for i in range(60)]
+        assert any(c.hypergraph.num_edges == 0 for c in cases)
+        assert any(
+            c.hypergraph.num_edges and num_components(c.hypergraph) > 1 for c in cases
+        )
+        assert any(c.hypergraph.min_edge_size == 1 for c in cases)
+
+    def test_describe_mentions_provenance(self):
+        case = generate_case(0, 4)
+        text = case.describe()
+        assert "planted" in text and str(case.solver_seed) in text
+
+
+class TestMutations:
+    def setup_method(self):
+        self.H = Hypergraph(8, [(0, 1, 2), (2, 3), (3, 4, 5, 6), (1, 5), (6, 7)])
+
+    def test_duplicates_are_identity(self):
+        assert add_duplicate_edges(self.H, 3, seed=0) == self.H
+
+    def test_supersets_add_strictly_larger_edges(self):
+        mutated = add_superset_edges(self.H, 3, seed=0)
+        originals = set(self.H.edges)
+        added = [e for e in mutated.edges if e not in originals]
+        assert added
+        for e in added:
+            assert any(set(orig) < set(e) for orig in originals)
+
+    def test_singletons_forbid_vertices(self):
+        mutated = add_singleton_edges(self.H, 2, seed=0)
+        singles = [e for e in mutated.edges if len(e) == 1]
+        assert len(singles) == 2
+
+    def test_isolated_vertices_grow_universe(self):
+        mutated = add_isolated_vertices(self.H, 4)
+        assert mutated.universe == self.H.universe + 4
+        assert mutated.num_edges == self.H.num_edges
+        assert mutated.num_vertices == self.H.num_vertices + 4
+
+    def test_relabel_is_a_bijection_on_structure(self):
+        relabeled, pi = relabel_vertices(self.H, seed=1)
+        assert relabeled.num_edges == self.H.num_edges
+        assert sorted(relabeled.edge_sizes().tolist()) == sorted(
+            self.H.edge_sizes().tolist()
+        )
+        inv = np.argsort(pi)
+        back = [tuple(sorted(int(inv[v]) for v in e)) for e in relabeled.edges]
+        assert sorted(back) == sorted(self.H.edges)
+
+    def test_relabel_rejects_non_bijection(self):
+        with pytest.raises(ValueError):
+            relabel_vertices(self.H, permutation=np.zeros(8, dtype=np.intp))
+
+    def test_shuffle_edge_order_is_identity(self):
+        assert shuffle_edge_order(self.H, seed=3) == self.H
+
+    def test_disjoint_union_shifts_and_separates(self):
+        other = Hypergraph(3, [(0, 1, 2)])
+        union = disjoint_union(self.H, other)
+        assert union.universe == 11
+        assert union.num_edges == self.H.num_edges + 1
+        assert (8, 9, 10) in union.edges
+        assert num_components(union) > 1
+
+    def test_compact_universe_drops_dead_ids(self):
+        sparse = Hypergraph(10, [(2, 7), (7, 9)], vertices=[2, 5, 7, 9])
+        compact, old_ids = compact_universe(sparse)
+        assert compact.universe == 4
+        assert old_ids.tolist() == [2, 5, 7, 9]
+        assert compact.edges == ((0, 2), (2, 3))

@@ -1,0 +1,81 @@
+"""Reproducer archive round-trips and replay semantics."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.qa import load_reproducer, replay, replay_dir, save_reproducer
+
+
+@pytest.fixture
+def manifest():
+    return {
+        "kind": "corpus-seed",
+        "seed": 42,
+        "solvers": None,
+        "description": "round-trip fixture",
+        "failures": [],
+        "replay": {"metamorphic": True, "oracle": True, "focus_index": 0},
+    }
+
+
+class TestRoundTrip:
+    def test_instance_and_manifest_survive(self, tmp_path, manifest, small_mixed):
+        path = save_reproducer(small_mixed, manifest, tmp_path)
+        H, loaded = load_reproducer(path)
+        assert H == small_mixed
+        assert loaded["seed"] == 42
+        assert loaded["schema"] == 1
+        assert loaded["description"] == "round-trip fixture"
+
+    def test_sparse_active_set_survives(self, tmp_path, manifest):
+        original = Hypergraph(12, [(3, 4), (7, 9)], vertices=[3, 4, 7, 9, 11])
+        path = save_reproducer(original, manifest, tmp_path)
+        H, _ = load_reproducer(path)
+        assert H == original
+        assert H.vertices.tolist() == [3, 4, 7, 9, 11]
+
+    def test_empty_universe_survives(self, tmp_path, manifest):
+        path = save_reproducer(Hypergraph(0), manifest, tmp_path)
+        H, _ = load_reproducer(path)
+        assert H.universe == 0 and H.num_edges == 0
+
+    def test_filename_is_content_addressed(self, tmp_path, manifest, small_mixed):
+        a = save_reproducer(small_mixed, manifest, tmp_path)
+        b = save_reproducer(small_mixed, manifest, tmp_path)
+        assert a == b
+        assert a.name.startswith("corpus-seed-")
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    def test_missing_seed_rejected(self, tmp_path, small_mixed):
+        with pytest.raises(ValueError, match="seed"):
+            save_reproducer(small_mixed, {"kind": "x"}, tmp_path)
+
+    def test_unsupported_schema_rejected(self, tmp_path, manifest, small_mixed):
+        path = save_reproducer(small_mixed, {**manifest, "schema": 99}, tmp_path)
+        # save_reproducer keeps an explicit schema; loading must refuse it.
+        with pytest.raises(ValueError, match="schema"):
+            load_reproducer(path)
+
+    def test_no_pickle_in_archive(self, tmp_path, manifest, small_mixed):
+        path = save_reproducer(small_mixed, manifest, tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            parsed = json.loads(str(data["manifest"]))
+        assert parsed["kind"] == "corpus-seed"
+
+
+class TestReplay:
+    def test_replay_clean_instance(self, tmp_path, manifest, small_mixed):
+        path = save_reproducer(small_mixed, manifest, tmp_path)
+        assert replay(path) == []
+
+    def test_replay_dir_maps_filenames(self, tmp_path, manifest, small_mixed, triangle):
+        save_reproducer(small_mixed, manifest, tmp_path, name="a.npz")
+        save_reproducer(triangle, manifest, tmp_path, name="b.npz")
+        results = replay_dir(tmp_path)
+        assert set(results) == {"a.npz", "b.npz"}
+        assert all(f == [] for f in results.values())

@@ -1,0 +1,98 @@
+"""Shrinker contract: minimal reproducers, preserved failures, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import uniform_hypergraph
+from repro.hypergraph import Hypergraph
+from repro.qa import make_predicate, run_case, run_fuzz, shrink
+from repro.qa.faults import drop_maximality_above
+from repro.qa.regressions import load_reproducer
+
+
+class TestShrink:
+    def test_planted_bug_shrinks_to_trigger_boundary(self):
+        # The wrapped solver drops maximality once m > 4, so the minimal
+        # trigger has exactly 5 edges — well under the <= 8 requirement.
+        H = uniform_hypergraph(30, 45, 3, seed=2)
+        fails = make_predicate(7, extra_solvers={"buggy": drop_maximality_above(4)})
+        assert fails(H)
+        result = shrink(H, fails)
+        assert fails(result.hypergraph)
+        assert result.hypergraph.num_edges == 5
+        assert result.hypergraph.num_edges <= 8
+        assert result.evals > 0
+
+    def test_shrinking_a_passing_instance_raises(self, small_mixed):
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink(small_mixed, make_predicate(0))
+
+    def test_eval_budget_still_returns_a_failing_instance(self):
+        H = uniform_hypergraph(25, 40, 3, seed=3)
+        fails = make_predicate(5, extra_solvers={"buggy": drop_maximality_above(4)})
+        result = shrink(H, fails, max_evals=10)
+        assert fails(result.hypergraph)
+
+    def test_compacts_dead_universe_slots(self):
+        # Predicate depends only on edge count, so the shrinker can strip
+        # the dead id range entirely.
+        H = Hypergraph(40, [(30, 31), (32, 33), (34, 35)], vertices=range(30, 40))
+
+        def fails(candidate: Hypergraph) -> bool:
+            return candidate.num_edges >= 2
+
+        result = shrink(H, fails)
+        assert result.hypergraph.num_edges == 2
+        assert result.hypergraph.universe <= 4
+
+    def test_predicate_crash_counts_as_not_failing(self):
+        H = Hypergraph(4, [(0, 1), (2, 3)])
+
+        def fails(candidate: Hypergraph) -> bool:
+            if candidate.num_edges < 2:
+                raise RuntimeError("predicate blew up")
+            return True
+
+        result = shrink(H, fails)
+        assert result.hypergraph.num_edges == 2
+
+
+class TestEndToEnd:
+    def test_fuzz_detect_shrink_replay(self, tmp_path):
+        """The acceptance pipeline: plant a bug, fuzz, shrink, replay."""
+        broken = {"buggy": drop_maximality_above(4)}
+        report = run_fuzz(
+            "40", seed=0, extra_solvers=broken, out_dir=tmp_path, max_failures=1
+        )
+        assert not report.ok
+        assert report.stop_reason == "max-failures"
+        [case_report] = report.failures
+        assert any(f.check == "maximality" for f in case_report.failures)
+        assert case_report.reproducer is not None
+        assert case_report.shrunk_m is not None and case_report.shrunk_m <= 8
+
+        # The reproducer replays the failure deterministically when the
+        # faulty solver is plugged back in...
+        H, manifest = load_reproducer(case_report.reproducer)
+        first = run_case(H, int(manifest["seed"]), extra_solvers=broken,
+                         metamorphic=False, oracle=False)
+        second = run_case(H, int(manifest["seed"]), extra_solvers=broken,
+                          metamorphic=False, oracle=False)
+        assert [str(f) for f in first] == [str(f) for f in second]
+        assert any(f.solver == "buggy" and f.check == "maximality" for f in first)
+
+        # ...and is clean against the healthy solver fleet (so it can sit
+        # in tests/regressions/ as a permanent pin).
+        assert run_case(H, int(manifest["seed"])) == []
+
+    def test_clean_fuzz_writes_nothing(self, tmp_path):
+        report = run_fuzz("15", seed=0, out_dir=tmp_path)
+        assert report.ok
+        assert report.cases == 15
+        assert list(tmp_path.glob("*.npz")) == []
+
+    def test_time_budget_stops(self):
+        report = run_fuzz("1s", seed=0)
+        assert report.elapsed_s < 10
+        assert report.cases >= 1

@@ -1,0 +1,48 @@
+"""Perf-gate comparison logic (no benchmarks are run here)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from bench_gate import compare  # noqa: E402
+
+
+def test_within_threshold_passes():
+    lines, violations = compare({"kuw": 1000, "bl": 2000}, {"kuw": 1200, "bl": 1900}, 1.25)
+    assert violations == []
+    assert any("ok" in line for line in lines)
+
+
+def test_regression_past_threshold_fails():
+    _, violations = compare({"kuw": 1000}, {"kuw": 1300}, 1.25)
+    assert len(violations) == 1
+    assert "kuw" in violations[0] and "1.30x" in violations[0]
+
+
+def test_boundary_ratio_is_not_a_violation():
+    _, violations = compare({"kuw": 1000}, {"kuw": 1250}, 1.25)
+    assert violations == []
+
+
+def test_missing_kernel_fails():
+    _, violations = compare({"kuw": 1000, "bl": 2000}, {"kuw": 1000}, 1.25)
+    assert any("missing" in v for v in violations)
+
+
+def test_new_kernel_is_reported_not_failed():
+    lines, violations = compare({"kuw": 1000}, {"kuw": 1000, "shiny": 500}, 1.25)
+    assert violations == []
+    assert any("NEW" in line and "shiny" in line for line in lines)
+
+
+def test_committed_baseline_is_parseable():
+    import json
+
+    baseline = Path(__file__).resolve().parent.parent / "BENCH_m01.json"
+    doc = json.loads(baseline.read_text())
+    assert doc["unit"] == "ns"
+    assert doc["medians_ns"]
+    assert all(isinstance(v, int) for v in doc["medians_ns"].values())

@@ -222,3 +222,55 @@ class TestExperiment:
     def test_unknown_id_raises(self):
         with pytest.raises(ValueError):
             main(["experiment", "E99"])
+
+
+class TestFuzz:
+    def test_run_case_budget_clean(self, tmp_path, capsys):
+        rc = main(["fuzz", "run", "--budget", "12", "--seed", "0",
+                   "-o", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "12 cases" in out and "clean" in out
+        assert list(tmp_path.glob("*.npz")) == []
+
+    def test_run_time_budget(self, tmp_path, capsys):
+        rc = main(["fuzz", "run", "--budget", "500ms", "--seed", "0",
+                   "-o", str(tmp_path)])
+        assert rc == 0
+        assert "budget=0.5s" in capsys.readouterr().out
+
+    def test_run_solver_subset(self, tmp_path, capsys):
+        rc = main(["fuzz", "run", "--budget", "6", "--seed", "3",
+                   "--solvers", "sbl,greedy", "-o", str(tmp_path)])
+        assert rc == 0
+
+    def test_run_writes_telemetry(self, tmp_path):
+        from repro.obs.events import read_events
+
+        stream = tmp_path / "fuzz.jsonl"
+        rc = main(["fuzz", "run", "--budget", "4", "--seed", "0",
+                   "-o", str(tmp_path), "--telemetry", str(stream)])
+        assert rc == 0
+        events = read_events(stream)
+        assert events[0]["type"] == "run"
+        assert events[0]["command"] == "fuzz-run"
+        names = {e["name"] for e in events if e["type"] == "span"}
+        assert "fuzz/run" in names and "fuzz/case" in names
+
+    def test_replay_committed_corpus(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).parent / "regressions"
+        rc = main(["fuzz", "replay", str(corpus)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reproducers clean" in out
+        assert "FAIL" not in out
+
+    def test_replay_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["fuzz", "replay", str(tmp_path)]) == 1
+
+    def test_shrink_healthy_instance_refuses(self, instance, tmp_path, capsys):
+        rc = main(["fuzz", "shrink", str(instance), "-o", str(tmp_path)])
+        assert rc == 1
+        assert "nothing to shrink" in capsys.readouterr().out

@@ -1,0 +1,44 @@
+"""Tier-1 replay of the committed reproducer corpus.
+
+Every ``.npz`` under ``tests/regressions/`` — whether shrunk out of a
+real fuzz failure or pinned as a corpus seed — is replayed through the
+full differential battery on every test run.  A reproducer that fails
+here means a previously fixed bug has come back (or a corpus pin has
+rotted); triage with::
+
+    PYTHONPATH=src python -m repro fuzz replay tests/regressions
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa import load_reproducer, replay
+
+REGRESSION_DIR = Path(__file__).parent / "regressions"
+REPRODUCERS = sorted(REGRESSION_DIR.glob("*.npz"))
+
+
+def test_corpus_is_not_empty():
+    # The corpus ships with seed pins; an empty glob means a packaging
+    # or path bug, not a clean bill of health.
+    assert REPRODUCERS, f"no reproducers found under {REGRESSION_DIR}"
+
+
+@pytest.mark.parametrize("path", REPRODUCERS, ids=lambda p: p.stem)
+def test_reproducer_replays_clean(path):
+    failures = replay(path)
+    assert failures == [], (
+        f"{path.name} regressed:\n" + "\n".join(f"  {f}" for f in failures)
+    )
+
+
+@pytest.mark.parametrize("path", REPRODUCERS, ids=lambda p: p.stem)
+def test_manifest_is_well_formed(path):
+    _, manifest = load_reproducer(path)
+    assert manifest["schema"] == 1
+    assert isinstance(manifest["seed"], int)
+    assert manifest["kind"] in {"shrunk-failure", "unshrunk-failure", "corpus-seed"}
+    assert manifest["description"]
