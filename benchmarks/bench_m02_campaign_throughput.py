@@ -1,0 +1,171 @@
+"""M2 — campaign throughput: serial vs the parallel executor.
+
+Times one reference campaign grid (uniform instances × {bl, kuw, greedy}
+× repeats) end-to-end in each execution mode — in-process serial and
+``ParallelRunner`` with 1, 2 and 4 workers — and reports the median and
+IQR of the wall-clock per mode, plus derived cells/s and speedup-vs-serial
+ratios.
+
+Unlike the M1 kernel micro-benchmarks this is a *process-level* benchmark
+(pools, shared memory, IPC), so it is a plain timing module rather than a
+pytest-benchmark suite: pytest-benchmark's calibrated inner loops interact
+badly with pool startup costs, and the thing being measured is exactly the
+per-run overhead a calibrating harness would amortise away.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_m02_campaign_throughput.py
+
+or through the recording/gating scripts (``scripts/bench_smoke.py --suite
+m02`` writes ``BENCH_m02.json``; ``scripts/bench_gate.py`` compares a
+fresh run against it).
+
+Interpreting speedups: each parallel mode pays a fixed pool+arena setup
+(amortised here by reusing one warm runner across the timed repeats) and
+per-cell IPC.  Speedup > 1 therefore needs both multiple physical cores
+and cells whose solve time dominates the ~ms dispatch cost.  On a
+single-core machine the expected "speedup" is ≤ 1 — the numbers are still
+useful as a regression fence on executor overhead, which is why the gate
+compares per-machine baselines instead of asserting absolute scaling.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.campaign import AlgorithmSpec, Campaign, InstanceSpec
+from repro.core import beame_luby, greedy_mis, karp_upfal_wigderson
+from repro.exec import ParallelRunner
+from repro.generators import uniform_hypergraph
+
+#: Worker counts the parallel modes sweep (serial is always measured).
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+
+
+def reference_campaign(repeats: int = 4) -> Campaign:
+    """The fixed grid every mode runs: 2 instances × 3 algorithms × repeats."""
+    return Campaign(
+        instances=[
+            InstanceSpec("u3-n60", uniform_hypergraph, {"n": 60, "m": 120, "d": 3}),
+            InstanceSpec("u3-n90", uniform_hypergraph, {"n": 90, "m": 180, "d": 3}),
+        ],
+        algorithms=[
+            AlgorithmSpec("bl", beame_luby),
+            AlgorithmSpec("kuw", karp_upfal_wigderson),
+            AlgorithmSpec("greedy", greedy_mis),
+        ],
+        repeats=repeats,
+    )
+
+
+def _cpu_model() -> str | None:
+    """Best-effort CPU model string (``platform.processor`` is often empty)."""
+    if platform.system() == "Linux":
+        try:
+            with open("/proc/cpuinfo", encoding="utf-8") as fp:
+                for line in fp:
+                    if line.lower().startswith("model name"):
+                        return line.split(":", 1)[1].strip()
+        except OSError:
+            pass
+    return platform.processor() or None
+
+
+def _time_mode(campaign: Campaign, runner, *, seed: int, warmup: int, timed: int) -> list[int]:
+    """Wall-clock samples (ns) for ``campaign.run`` in one execution mode."""
+    for _ in range(warmup):
+        campaign.run(seed=seed, parallel=runner)
+    samples = []
+    for _ in range(timed):
+        t0 = time.perf_counter_ns()
+        campaign.run(seed=seed, parallel=runner)
+        samples.append(time.perf_counter_ns() - t0)
+    return samples
+
+
+def run_m02(
+    *,
+    repeats: int = 4,
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+    warmup: int = 1,
+    timed: int = 5,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Measure every mode; return the BENCH_m02 payload.
+
+    One :class:`ParallelRunner` per worker count is created up front and
+    reused across the warmup + timed repeats, so pool startup is paid once
+    per mode (matching how a long campaign would use the executor) and the
+    timed samples measure steady-state dispatch + solve throughput.
+    """
+    campaign = reference_campaign(repeats)
+    cells = len(campaign.instances) * len(campaign.algorithms) * campaign.repeats
+    modes: dict[str, list[int]] = {}
+    modes["campaign_serial"] = _time_mode(
+        campaign, None, seed=seed, warmup=warmup, timed=timed
+    )
+    reference = None
+    for w in worker_counts:
+        with ParallelRunner(w) as runner:
+            records = campaign.run(seed=seed, parallel=runner)
+            if reference is None:
+                reference = campaign.run(seed=seed)
+            if records != reference:
+                raise RuntimeError(
+                    f"parallel records diverged from serial at workers={w}"
+                )
+            modes[f"campaign_workers{w}"] = _time_mode(
+                campaign, runner, seed=seed, warmup=max(warmup - 1, 0), timed=timed
+            )
+
+    medians = {name: int(np.median(s)) for name, s in modes.items()}
+    iqrs = {
+        name: int(np.percentile(s, 75) - np.percentile(s, 25))
+        for name, s in modes.items()
+    }
+    serial = medians["campaign_serial"]
+    return {
+        "benchmark": "bench_m02_campaign_throughput.py",
+        "unit": "ns",
+        "stat": "median",
+        "machine": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "grid": {
+            "instances": [i.name for i in campaign.instances],
+            "algorithms": [a.name for a in campaign.algorithms],
+            "repeats": repeats,
+            "cells": cells,
+            "timed_samples": timed,
+        },
+        "medians_ns": dict(sorted(medians.items())),
+        "iqr_ns": dict(sorted(iqrs.items())),
+        "speedup_vs_serial": {
+            name: round(serial / ns, 3)
+            for name, ns in sorted(medians.items())
+            if name != "campaign_serial"
+        },
+        "cells_per_s": {
+            name: round(cells / (ns / 1e9), 1) for name, ns in sorted(medians.items())
+        },
+    }
+
+
+def main() -> int:
+    payload = run_m02()
+    width = max(len(k) for k in payload["medians_ns"])
+    for name, ns in payload["medians_ns"].items():
+        iqr = payload["iqr_ns"][name]
+        speed = payload["speedup_vs_serial"].get(name)
+        extra = f"  {speed:5.2f}x vs serial" if speed is not None else ""
+        print(f"{name:<{width}}  {ns / 1e6:10.3f} ms  (IQR {iqr / 1e6:7.3f} ms){extra}")
+    print(f"\ncpu_count={payload['cpu_count']}  machine={payload['machine']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,27 +1,35 @@
-"""Perf gate: fail CI when a kernel median regresses past a threshold.
+"""Perf gate: fail CI when a benchmark median regresses past a threshold.
 
-Re-runs the M1 kernel micro-benchmarks (via ``bench_smoke.run_benchmarks``)
-and compares each fresh median against the committed baseline
-``BENCH_m01.json``.  The gate fails when
+Re-runs the benchmark suites (via ``bench_smoke``) and compares each fresh
+median against the committed per-machine baselines — ``BENCH_m01.json``
+for the solver kernels, ``BENCH_m02.json`` for campaign throughput.  The
+gate fails an entry when **both** hold:
 
-    fresh_median / baseline_median > threshold   (default 1.25)
+    fresh_median / baseline_median > threshold        (default 1.25)
+    fresh_median - baseline_median > iqr_mult · IQR   (default 3.0×)
 
-for any kernel, or when a baseline kernel disappeared from the benchmark
-suite.  Kernels that are new (present fresh, absent from the baseline)
-are reported but do not fail the gate — commit a refreshed baseline with
+The second condition uses the baseline's recorded inter-quartile range:
+an entry whose absolute change is within a few IQRs of its own run-to-run
+spread is jitter, not a regression, no matter what the ratio says — this
+is what keeps sub-millisecond kernels from tripping the gate on scheduler
+noise.  Baselines without ``iqr_ns`` (or with a zero IQR) fall back to
+the plain ratio test.  A baseline entry missing from the fresh run fails
+the gate; entries that are new (present fresh, absent from the baseline)
+are reported but do not fail — commit a refreshed baseline with
 ``scripts/bench_smoke.py`` to start tracking them.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_gate.py
-    PYTHONPATH=src python scripts/bench_gate.py --threshold 1.5
-    PYTHONPATH=src python scripts/bench_gate.py --baseline BENCH_m01.json \
+    PYTHONPATH=src python scripts/bench_gate.py                  # both suites
+    PYTHONPATH=src python scripts/bench_gate.py --suite m01
+    PYTHONPATH=src python scripts/bench_gate.py --threshold 1.5 \
         --output fresh.json
 
-Micro-benchmarks on shared CI runners are noisy; the default threshold
-is deliberately loose (25%) so the gate only trips on real regressions —
-an accidental O(n·m) loop, a dropped vectorisation — not scheduler
-jitter.  If the gate flakes, re-run the job before suspecting the code.
+Micro-benchmarks on shared CI runners are noisy; the default threshold is
+deliberately loose (25%) and IQR-slacked so the gate only trips on real
+regressions — an accidental O(n·m) loop, a dropped vectorisation — not
+scheduler jitter.  If the gate flakes, re-run the job before suspecting
+the code.
 """
 
 from __future__ import annotations
@@ -31,16 +39,28 @@ import json
 import sys
 from pathlib import Path
 
-from bench_smoke import REPO, run_benchmarks
+from bench_smoke import OUT_M02, REPO, run_benchmarks, run_benchmarks_m02
 
 DEFAULT_BASELINE = REPO / "BENCH_m01.json"
 DEFAULT_THRESHOLD = 1.25
+DEFAULT_IQR_MULT = 3.0
 
 
 def compare(
-    baseline: dict[str, int], fresh: dict[str, int], threshold: float
+    baseline: dict[str, int],
+    fresh: dict[str, int],
+    threshold: float,
+    *,
+    baseline_iqr: dict[str, int] | None = None,
+    iqr_mult: float = DEFAULT_IQR_MULT,
 ) -> tuple[list[str], list[str]]:
-    """Return ``(lines, violations)`` for the kernel-by-kernel comparison."""
+    """Return ``(lines, violations)`` for the entry-by-entry comparison.
+
+    ``baseline_iqr`` maps entry name to the baseline's IQR in ns; when an
+    entry has a positive IQR, a ratio over *threshold* only counts as a
+    violation if the absolute increase also exceeds ``iqr_mult`` IQRs.
+    """
+    iqr_map = baseline_iqr or {}
     lines: list[str] = []
     violations: list[str] = []
     names = sorted(set(baseline) | set(fresh))
@@ -53,16 +73,27 @@ def compare(
             continue
         if cur is None:
             lines.append(f"{name:<{width}}  MISSING  baseline {base / 1e6:10.3f} ms")
-            violations.append(f"{name}: kernel missing from fresh run")
+            violations.append(f"{name}: entry missing from fresh run")
             continue
         ratio = cur / base
         verdict = "ok"
         if ratio > threshold:
-            verdict = "REGRESSED"
-            violations.append(
-                f"{name}: {base / 1e6:.3f} ms -> {cur / 1e6:.3f} ms "
-                f"({ratio:.2f}x > {threshold:.2f}x)"
-            )
+            iqr = iqr_map.get(name, 0) or 0
+            slack = iqr_mult * iqr
+            if iqr > 0 and (cur - base) <= slack:
+                verdict = "ok (within noise)"
+            else:
+                verdict = "REGRESSED"
+                violations.append(
+                    f"{name}: {base / 1e6:.3f} ms -> {cur / 1e6:.3f} ms "
+                    f"({ratio:.2f}x > {threshold:.2f}x"
+                    + (
+                        f", +{(cur - base) / 1e6:.3f} ms > "
+                        f"{iqr_mult:g}·IQR {slack / 1e6:.3f} ms)"
+                        if iqr > 0
+                        else ")"
+                    )
+                )
         lines.append(
             f"{name:<{width}}  {base / 1e6:10.3f} ms -> {cur / 1e6:10.3f} ms  "
             f"{ratio:5.2f}x  {verdict}"
@@ -70,13 +101,63 @@ def compare(
     return lines, violations
 
 
+def _gate_suite(
+    suite: str,
+    baseline_path: Path,
+    threshold: float,
+    iqr_mult: float,
+) -> tuple[dict | None, int]:
+    """Run one suite's gate; returns ``(fresh_payload, exit_code)``."""
+    if not baseline_path.exists():
+        print(f"baseline not found: {baseline_path}", file=sys.stderr)
+        return None, 2
+    baseline_doc = json.loads(baseline_path.read_text())
+    baseline = baseline_doc.get("medians_ns", {})
+    if not baseline:
+        print(f"baseline has no medians_ns: {baseline_path}", file=sys.stderr)
+        return None, 2
+
+    try:
+        payload = run_benchmarks() if suite == "m01" else run_benchmarks_m02()
+    except RuntimeError as exc:
+        print(exc, file=sys.stderr)
+        return None, 1
+
+    lines, violations = compare(
+        baseline,
+        payload["medians_ns"],
+        threshold,
+        baseline_iqr=baseline_doc.get("iqr_ns"),
+        iqr_mult=iqr_mult,
+    )
+    print(
+        f"[{suite}] perf gate vs {baseline_path.name} "
+        f"(threshold {threshold:.2f}x, noise slack {iqr_mult:g}·IQR)"
+    )
+    for line in lines:
+        print(f"  {line}")
+    if violations:
+        print(f"\n[{suite}] FAIL: {len(violations)} entr(y/ies) regressed")
+        for v in violations:
+            print(f"  {v}")
+        return payload, 1
+    print(f"[{suite}] perf gate passed\n")
+    return payload, 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--suite",
+        choices=["m01", "m02", "both"],
+        default="both",
+        help="which suite(s) to gate (default: both)",
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
-        default=DEFAULT_BASELINE,
-        help=f"committed medians file (default: {DEFAULT_BASELINE.name})",
+        default=None,
+        help="override the baseline file (single-suite runs only)",
     )
     parser.add_argument(
         "--threshold",
@@ -85,44 +166,44 @@ def main(argv: list[str] | None = None) -> int:
         help="max allowed fresh/baseline median ratio (default: %(default)s)",
     )
     parser.add_argument(
+        "--iqr-mult",
+        type=float,
+        default=DEFAULT_IQR_MULT,
+        help="noise slack: absolute increase must exceed this many baseline "
+        "IQRs to count as a regression (default: %(default)s)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
-        help="also write the fresh payload here (CI artifact / triage)",
+        help="also write the fresh payload(s) here (CI artifact / triage)",
     )
     args = parser.parse_args(argv)
 
     if args.threshold <= 0:
         print(f"threshold must be positive: {args.threshold}", file=sys.stderr)
         return 2
-    if not args.baseline.exists():
-        print(f"baseline not found: {args.baseline}", file=sys.stderr)
-        return 2
-    baseline_doc = json.loads(args.baseline.read_text())
-    baseline = baseline_doc.get("medians_ns", {})
-    if not baseline:
-        print(f"baseline has no medians_ns: {args.baseline}", file=sys.stderr)
+    suites = ["m01", "m02"] if args.suite == "both" else [args.suite]
+    if args.baseline is not None and len(suites) > 1:
+        print("--baseline requires --suite m01 or m02", file=sys.stderr)
         return 2
 
-    try:
-        payload = run_benchmarks()
-    except RuntimeError as exc:
-        print(exc, file=sys.stderr)
-        return 1
-    if args.output is not None:
-        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    default_baselines = {"m01": DEFAULT_BASELINE, "m02": OUT_M02}
+    fresh: dict[str, dict] = {}
+    rc = 0
+    for suite in suites:
+        baseline_path = args.baseline or default_baselines[suite]
+        payload, suite_rc = _gate_suite(suite, baseline_path, args.threshold, args.iqr_mult)
+        if payload is not None:
+            fresh[suite] = payload
+        rc = max(rc, suite_rc)
 
-    lines, violations = compare(baseline, payload["medians_ns"], args.threshold)
-    print(f"perf gate vs {args.baseline.name} (threshold {args.threshold:.2f}x)")
-    for line in lines:
-        print(f"  {line}")
-    if violations:
-        print(f"\nFAIL: {len(violations)} kernel(s) regressed")
-        for v in violations:
-            print(f"  {v}")
-        return 1
-    print("\nperf gate passed")
-    return 0
+    if args.output is not None and fresh:
+        doc = next(iter(fresh.values())) if len(fresh) == 1 else fresh
+        args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    if rc == 0:
+        print("perf gate passed")
+    return rc
 
 
 if __name__ == "__main__":

@@ -1,19 +1,31 @@
-"""Bench smoke: run the M1 kernel micro-benchmarks and record medians.
+"""Bench smoke: run the benchmark suites and record medians + IQR.
 
-Runs ``benchmarks/bench_m01_solver_kernels.py`` through pytest-benchmark
-and writes ``BENCH_m01.json`` at the repo root: one entry per kernel with
-the median in nanoseconds.  This is the opt-in perf gate wired into the
-tier-1 targets (see ROADMAP.md) — run it before and after touching the
-hot paths and diff the medians:
+Two suites, one JSON baseline each at the repo root:
 
-    PYTHONPATH=src python scripts/bench_smoke.py
+* **m01** — the solver-kernel micro-benchmarks
+  (``benchmarks/bench_m01_solver_kernels.py`` via pytest-benchmark, with
+  warmup iterations enabled so first-call JIT/cache effects don't land in
+  the recorded samples) → ``BENCH_m01.json``.
+* **m02** — campaign throughput serial vs the parallel executor
+  (``benchmarks/bench_m02_campaign_throughput.py``, plain wall-clock
+  timing) → ``BENCH_m02.json``.
 
-Exit status is non-zero if the benchmark run itself fails; the script
-does not enforce thresholds (the JSON is the record, review the diff).
+Both payloads carry ``medians_ns`` and ``iqr_ns`` per entry; the IQR is
+what lets ``scripts/bench_gate.py`` distinguish a real regression from
+run-to-run noise.  This is the opt-in perf gate wired into the tier-1
+targets (see ROADMAP.md) — run it before and after touching the hot paths
+and diff the medians:
+
+    PYTHONPATH=src python scripts/bench_smoke.py            # both suites
+    PYTHONPATH=src python scripts/bench_smoke.py --suite m01
+
+Exit status is non-zero if a benchmark run itself fails; the script does
+not enforce thresholds (the JSON is the record, review the diff).
 """
 
 from __future__ import annotations
 
+import argparse
 import datetime
 import json
 import platform
@@ -25,6 +37,10 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 BENCH = REPO / "benchmarks" / "bench_m01_solver_kernels.py"
 OUT = REPO / "BENCH_m01.json"
+OUT_M02 = REPO / "BENCH_m02.json"
+
+#: pytest-benchmark warmup iterations for the m01 kernels.
+WARMUP_ITERATIONS = 5
 
 
 def _provenance() -> dict:
@@ -51,8 +67,8 @@ def _provenance() -> dict:
     }
 
 
-def run_benchmarks() -> dict:
-    """Run the kernel benchmarks once and return the medians payload.
+def run_benchmarks(warmup_iterations: int = WARMUP_ITERATIONS) -> dict:
+    """Run the m01 kernel benchmarks once and return the payload.
 
     Shared by this script (which commits the payload as BENCH_m01.json)
     and ``scripts/bench_gate.py`` (which compares a fresh payload against
@@ -69,6 +85,8 @@ def run_benchmarks() -> dict:
                 str(BENCH),
                 "-q",
                 "--benchmark-only",
+                "--benchmark-warmup=on",
+                f"--benchmark-warmup-iterations={warmup_iterations}",
                 f"--benchmark-json={raw}",
             ],
             cwd=REPO,
@@ -78,34 +96,74 @@ def run_benchmarks() -> dict:
             raise RuntimeError(f"benchmark run failed (pytest rc={proc.returncode})")
         report = json.loads(raw.read_text())
 
-    medians = {
-        bench["name"].removeprefix("test_kernel_"): int(
-            bench["stats"]["median"] * 1e9
-        )
-        for bench in report["benchmarks"]
-    }
+    medians = {}
+    iqrs = {}
+    for bench in report["benchmarks"]:
+        name = bench["name"].removeprefix("test_kernel_")
+        medians[name] = int(bench["stats"]["median"] * 1e9)
+        iqrs[name] = int(bench["stats"]["iqr"] * 1e9)
     return {
         "benchmark": BENCH.name,
         "unit": "ns",
         "stat": "median",
         "machine": report.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "warmup_iterations": warmup_iterations,
         "provenance": _provenance(),
         "medians_ns": dict(sorted(medians.items())),
+        "iqr_ns": dict(sorted(iqrs.items())),
     }
 
 
-def main() -> int:
+def run_benchmarks_m02() -> dict:
+    """Run the m02 campaign-throughput benchmark and return the payload."""
+    sys.path.insert(0, str(REPO / "benchmarks"))
     try:
-        payload = run_benchmarks()
-    except RuntimeError as exc:
-        print(exc, file=sys.stderr)
-        return 1
+        from bench_m02_campaign_throughput import run_m02
+    finally:
+        sys.path.pop(0)
+    payload = run_m02()
+    payload["provenance"] = _provenance()
+    return payload
+
+
+#: suite name -> (runner, baseline path)
+SUITES = {
+    "m01": (run_benchmarks, OUT),
+    "m02": (run_benchmarks_m02, OUT_M02),
+}
+
+
+def _print_payload(payload: dict) -> None:
     medians = payload["medians_ns"]
-    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    iqrs = payload.get("iqr_ns", {})
     width = max(len(k) for k in medians)
     for name, ns in sorted(medians.items()):
-        print(f"{name:<{width}}  {ns / 1e6:10.3f} ms")
-    print(f"\nwrote {OUT.relative_to(REPO)}")
+        iqr = iqrs.get(name)
+        tail = f"  (IQR {iqr / 1e6:7.3f} ms)" if iqr is not None else ""
+        print(f"{name:<{width}}  {ns / 1e6:10.3f} ms{tail}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=[*SUITES, "all"],
+        default="all",
+        help="which benchmark suite(s) to run and record (default: all)",
+    )
+    args = parser.parse_args(argv)
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    for suite in suites:
+        runner, out = SUITES[suite]
+        try:
+            payload = runner()
+        except RuntimeError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[{suite}]")
+        _print_payload(payload)
+        print(f"wrote {out.relative_to(REPO)}\n")
     return 0
 
 

@@ -112,13 +112,48 @@ class Campaign:
     repeats: int = 3
     verify: bool = True
 
-    def run(self, seed: SeedLike = 0) -> list[RunRecord]:
-        """Execute the full grid; returns one record per (cell, repeat)."""
+    def run(
+        self,
+        seed: SeedLike = 0,
+        *,
+        parallel: "Union[None, int, Any]" = None,
+    ) -> list[RunRecord]:
+        """Execute the full grid; returns one record per (cell, repeat).
+
+        Parameters
+        ----------
+        seed:
+            Campaign seed.  Instance randomness and the per-cell algorithm
+            seeds all derive from it, and the derivation is identical for
+            every execution mode — so the records are **bit-identical**
+            whether the grid runs serially or on any number of workers.
+        parallel:
+            ``None`` (default) runs in-process.  An ``int`` runs the grid
+            on that many worker processes via
+            :class:`repro.exec.ParallelRunner` (instances travel through
+            shared memory, one block per distinct instance).  An existing
+            ``ParallelRunner`` is borrowed, letting several campaigns
+            share one warm pool.
+        """
         if self.repeats < 1:
             raise ValueError(f"repeats must be >= 1: {self.repeats}")
         if not self.instances or not self.algorithms:
             raise ValueError("campaign needs at least one instance and one algorithm")
-        records: list[RunRecord] = []
+        if parallel is None:
+            return self._run_serial(seed)
+        from repro.exec import ParallelRunner
+
+        if isinstance(parallel, ParallelRunner):
+            return self._run_parallel(seed, parallel)
+        with ParallelRunner(int(parallel)) as runner:
+            return self._run_parallel(seed, runner)
+
+    def _grid(self, seed: SeedLike):
+        """Yield one ``(ispec, H, aspec, rep, cell_seed)`` tuple per run.
+
+        The single source of the seed-tree shape: both execution modes
+        iterate this generator, which is what makes their records agree.
+        """
         inst_seeds = spawn_seeds((seed, "instances"), len(self.instances))
         for ispec, iseed in zip(self.instances, inst_seeds):
             H = ispec.build(iseed)
@@ -128,26 +163,65 @@ class Campaign:
             si = 0
             for aspec in self.algorithms:
                 for rep in range(self.repeats):
-                    machine = CountingMachine()
-                    res = aspec.run(H, algo_seeds[si], machine)
+                    yield ispec, H, aspec, rep, algo_seeds[si]
                     si += 1
-                    if self.verify:
-                        check_mis(H, res.independent_set)
-                    records.append(
-                        RunRecord(
-                            instance=ispec.name,
-                            algorithm=aspec.name,
-                            repeat=rep,
-                            n=H.num_vertices,
-                            m=H.num_edges,
-                            dimension=H.dimension,
-                            mis_size=res.size,
-                            rounds=res.num_rounds,
-                            depth=machine.depth,
-                            work=machine.work,
-                        )
-                    )
+
+    def _run_serial(self, seed: SeedLike) -> list[RunRecord]:
+        records: list[RunRecord] = []
+        for ispec, H, aspec, rep, cell_seed in self._grid(seed):
+            machine = CountingMachine()
+            res = aspec.run(H, cell_seed, machine)
+            if self.verify:
+                check_mis(H, res.independent_set)
+            records.append(
+                RunRecord(
+                    instance=ispec.name,
+                    algorithm=aspec.name,
+                    repeat=rep,
+                    n=H.num_vertices,
+                    m=H.num_edges,
+                    dimension=H.dimension,
+                    mis_size=res.size,
+                    rounds=res.num_rounds,
+                    depth=machine.depth,
+                    work=machine.work,
+                )
+            )
         return records
+
+    def _run_parallel(self, seed: SeedLike, runner: Any) -> list[RunRecord]:
+        from repro.exec import Cell
+
+        cells = []
+        stubs = []  # (ispec, H, aspec, rep) aligned with cells
+        for ispec, H, aspec, rep, cell_seed in self._grid(seed):
+            cells.append(
+                Cell(
+                    instance=H,
+                    fn=aspec.fn,
+                    seed=cell_seed,
+                    options=dict(aspec.options),
+                    verify=self.verify,
+                    label=f"{ispec.name}/{aspec.name}/{rep}",
+                )
+            )
+            stubs.append((ispec, H, aspec, rep))
+        results = runner.run_cells(cells)
+        return [
+            RunRecord(
+                instance=ispec.name,
+                algorithm=aspec.name,
+                repeat=rep,
+                n=H.num_vertices,
+                m=H.num_edges,
+                dimension=H.dimension,
+                mis_size=r.mis_size,
+                rounds=r.num_rounds,
+                depth=r.depth,
+                work=r.work,
+            )
+            for (ispec, H, aspec, rep), r in zip(stubs, results)
+        ]
 
     def summarize(self, records: Sequence[RunRecord]) -> list[dict[str, Any]]:
         """Per-cell means over repeats: one dict per (instance, algorithm)."""

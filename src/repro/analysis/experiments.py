@@ -117,6 +117,48 @@ def _scales(scale: str, quick, full):
     raise ValueError(f"unknown scale: {scale!r}")
 
 
+def _solver_trials(H, fn, seeds, *, options=None, verify=True):
+    """Run ``fn(H, seed, **options)`` once per seed; return the outcomes.
+
+    The repeated-trial primitive of the experiment runners.  Outcomes are
+    :class:`repro.exec.CellResult` objects (``num_rounds``, ``mis_size``,
+    ``meta``, ``independent_set``) in seed order.  When an ambient
+    :func:`repro.exec.use_runner` block is active the trials fan out over
+    its worker pool; otherwise they run in-process.  Either way each trial
+    consumes exactly its own seed, so the outcomes are identical.
+    """
+    from repro.exec import Cell, CellResult, current_runner
+
+    opts = dict(options or {})
+    runner = current_runner()
+    if runner is not None:
+        cells = [
+            Cell(instance=H, fn=fn, seed=s, options=opts, verify=verify)
+            for s in seeds
+        ]
+        return runner.run_cells(cells)
+    out = []
+    for i, s in enumerate(seeds):
+        res = fn(H, s, **opts)
+        if verify:
+            check_mis(H, res.independent_set)
+        out.append(
+            CellResult(
+                index=i,
+                label="",
+                mis_size=res.size,
+                num_rounds=res.num_rounds,
+                depth=res.machine.get("depth", 0) if res.machine else 0,
+                work=res.machine.get("work", 0) if res.machine else 0,
+                wall_ns=0,
+                independent_set=res.independent_set,
+                machine=dict(res.machine) if res.machine else {},
+                meta=res.meta,
+            )
+        )
+    return out
+
+
 # ---------------------------------------------------------------------------
 # E1 — Theorem 1: SBL correctness and round bound
 # ---------------------------------------------------------------------------
@@ -132,11 +174,11 @@ def e01_sbl_rounds(scale: str = "quick", seed: int = 0) -> ExperimentResult:
         p = n ** (-1.0 / 3.0)
         floor = math.ceil(p**-2.0)
         bound = round_bound(n, p)
-        rounds = []
-        for s in seeds[1:]:
-            res = sbl(H, s, p_override=p, d_cap_override=4, floor_override=floor)
-            check_mis(H, res.independent_set)
-            rounds.append(res.meta["outer_rounds"])
+        trials = _solver_trials(
+            H, sbl, seeds[1:],
+            options={"p_override": p, "d_cap_override": 4, "floor_override": floor},
+        )
+        rounds = [t.meta["outer_rounds"] for t in trials]
         mean_rounds = float(np.mean(rounds))
         within = max(rounds) <= bound
         all_within &= within
@@ -223,11 +265,7 @@ def e03_bl_rounds(scale: str = "quick", seed: int = 0) -> ExperimentResult:
         for i, n in enumerate(ns):
             seeds = spawn_seeds((seed, d * 1000 + i), repeats + 1)
             H = uniform_hypergraph(n, 2 * n, d, seed=seeds[0])
-            rounds = []
-            for s in seeds[1:]:
-                res = beame_luby(H, s)
-                check_mis(H, res.independent_set)
-                rounds.append(res.num_rounds)
+            rounds = [t.num_rounds for t in _solver_trials(H, beame_luby, seeds[1:])]
             mean_r = float(np.mean(rounds))
             means.append(mean_r)
             rows.append([d, n, 2 * n, mean_r, mean_r / math.log2(n) ** 2])
@@ -445,11 +483,9 @@ def e08_kuw_sqrt(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     for i, n in enumerate(ns):
         seeds = spawn_seeds((seed, 8000 + i), repeats + 1)
         H = uniform_hypergraph(n, 3 * n, 3, seed=seeds[0])
-        rounds = []
-        for s in seeds[1:]:
-            res = karp_upfal_wigderson(H, s)
-            check_mis(H, res.independent_set)
-            rounds.append(res.num_rounds)
+        rounds = [
+            t.num_rounds for t in _solver_trials(H, karp_upfal_wigderson, seeds[1:])
+        ]
         mean_r = float(np.mean(rounds))
         means.append(mean_r)
         envelope = math.sqrt(n)
@@ -940,11 +976,9 @@ def e17_permutation_conjecture(scale: str = "quick", seed: int = 0) -> Experimen
         for i, n in enumerate(ns):
             seeds = spawn_seeds((seed, 17000, fname, i), repeats + 1)
             H = make(n, seeds[0])
-            rounds = []
-            for s in seeds[1:]:
-                res = permutation_bl(H, s)
-                check_mis(H, res.independent_set)
-                rounds.append(res.num_rounds)
+            rounds = [
+                t.num_rounds for t in _solver_trials(H, permutation_bl, seeds[1:])
+            ]
             means.append(float(np.mean(rounds)))
             rows.append([fname, n, H.num_edges, means[-1], max(rounds)])
         a, _ = fit_power_law(ns, means)
@@ -987,12 +1021,30 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id (``"E1"`` … ``"E14"``)."""
+def run_experiment(
+    experiment_id: str,
+    scale: str = "quick",
+    seed: int = 0,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id (``"E1"`` … ``"E17"``).
+
+    With ``workers`` set, an ambient :class:`repro.exec.ParallelRunner`
+    is installed for the duration, so runners built on the
+    ``_solver_trials`` primitive fan their repeated trials out across
+    worker processes.  Results are identical to ``workers=None`` — the
+    trial seeds are derived before dispatch and consumed one-per-trial in
+    both modes.
+    """
     try:
         fn = EXPERIMENTS[experiment_id.upper()]
     except KeyError:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(scale=scale, seed=seed)
+    if workers is None:
+        return fn(scale=scale, seed=seed)
+    from repro.exec import ParallelRunner, use_runner
+
+    with ParallelRunner(int(workers)) as runner, use_runner(runner):
+        return fn(scale=scale, seed=seed)

@@ -7,6 +7,7 @@ The subcommands mirror the library's workflow::
     python -m repro solve inst.txt --algorithm sbl --seed 7 --costs
     python -m repro check inst.txt --set 1,4,9,12
     python -m repro experiment E3 --scale quick
+    python -m repro campaign --sizes 100,200 --workers 4 --csv runs.csv
     python -m repro trace summary run.jsonl
     python -m repro fuzz run --budget 60s --seed 0
     python -m repro fuzz replay tests/regressions
@@ -201,7 +202,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         algorithms=[AlgorithmSpec(a, ALGORITHMS[a]) for a in algo_names],
         repeats=args.repeats,
     )
-    records = camp.run(seed=args.seed)
+    workers = args.workers if args.workers and args.workers > 0 else None
+    with _telemetry(
+        args.telemetry,
+        command="campaign",
+        sizes=ns,
+        algorithms=algo_names,
+        repeats=args.repeats,
+        seed=args.seed,
+        workers=workers or 0,
+    ):
+        records = camp.run(seed=args.seed, parallel=workers)
     if args.csv:
         write_csv(records, args.csv)
         print(f"wrote {len(records)} runs to {args.csv}", file=sys.stderr)
@@ -244,10 +255,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
     ):
+        workers = args.workers if args.workers and args.workers > 0 else None
         if eid.startswith("A"):
             res = run_ablation(eid, scale=args.scale, seed=args.seed)
         else:
-            res = run_experiment(eid, scale=args.scale, seed=args.seed)
+            res = run_experiment(eid, scale=args.scale, seed=args.seed, workers=workers)
     print(res.to_markdown())
     return 0
 
@@ -414,6 +426,19 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--repeats", type=int, default=3)
     k.add_argument("--seed", type=int, default=0)
     k.add_argument("--csv", default="", help="also write per-run records to this CSV path")
+    k.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run the grid on N worker processes (0 = in-process); "
+        "records are identical for every worker count",
+    )
+    k.add_argument(
+        "--telemetry",
+        default="",
+        metavar="PATH",
+        help="stream span/metric events to this JSONL file (see 'repro trace')",
+    )
     k.set_defaults(func=_cmd_campaign)
 
     c = sub.add_parser("check", help="validate a claimed MIS")
@@ -430,6 +455,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="PATH",
         help="stream span/metric events to this JSONL file (see 'repro trace')",
+    )
+    e.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan repeated trials out over N worker processes "
+        "(0 = in-process); experiments E1/E3/E8/E17 parallelise",
     )
     e.set_defaults(func=_cmd_experiment)
 

@@ -1,0 +1,324 @@
+"""The parallel cell executor.
+
+A **cell** is one solver invocation: ``(instance, algorithm fn, seed,
+options)``.  Campaigns and experiment trial loops are grids of cells with
+no data dependencies between them — embarrassingly parallel, except that
+the results must be *bit-identical* to serial execution.  The runner
+guarantees that by construction:
+
+* **Seeds are inputs, not artifacts of scheduling.**  Every cell carries
+  its own :class:`numpy.random.SeedSequence` leaf, derived by the caller
+  from the campaign seed tree (:func:`repro.util.rng.spawn_seeds`).  A
+  cell's randomness therefore depends only on its coordinates in the
+  grid, never on which worker ran it or in what order.
+* **Results assemble in submission order.**  ``run_cells`` maps over an
+  order-preserving pool, so the returned list matches the cell list
+  index-for-index no matter the completion order.
+
+Instances travel by :class:`~repro.exec.shm.InstanceHandle` — published
+once into shared memory by the parent, attached (and cached) by each
+worker — so task payloads stay a few hundred bytes however large the
+hypergraph is.
+
+Telemetry round-trips: when the parent has an ambient tracer, each worker
+runs its cell under a private :class:`~repro.obs.tracer.Tracer` over a
+:class:`~repro.obs.events.MemorySink` and an isolated metrics registry,
+and ships both back with the result.  The parent merges the metrics into
+its default registry and splices the span events (ids remapped, roots
+re-parented under the ``exec/run_cells`` span) into its own stream — so
+``repro trace summary`` over a parallel run shows the same tree shape a
+serial run would.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.exec import shm
+from repro.exec.pool import WorkerPool
+from repro.exec.shm import InstanceHandle, ShmArena
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import MemorySink
+from repro.obs.metrics import default_registry, isolated_registry
+from repro.obs.tracer import NULL_TRACER, Tracer, current_tracer, use_tracer
+from repro.pram.machine import CountingMachine
+
+__all__ = ["Cell", "CellResult", "ParallelRunner", "current_runner", "use_runner"]
+
+SolverFn = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable solver invocation.
+
+    ``instance`` is either a published :class:`InstanceHandle` or a raw
+    :class:`Hypergraph` (``run_cells`` publishes raw instances into a
+    per-call arena automatically, deduplicated by content hash).  ``fn``
+    must be picklable — a module-level callable with the solver signature
+    ``fn(H, seed, *, machine=..., **options)``.
+    """
+
+    instance: Union[InstanceHandle, Hypergraph]
+    fn: SolverFn
+    seed: Any
+    options: dict[str, Any] = field(default_factory=dict)
+    verify: bool = True
+    keep_rounds: bool = False
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """What comes back from one cell, in submission order.
+
+    ``depth``/``work`` are the PRAM cost totals of the cell's
+    :class:`CountingMachine`; ``rounds`` is the per-round trace only when
+    the cell asked for it (``keep_rounds``) — it dominates payload size.
+    """
+
+    index: int
+    label: str
+    mis_size: int
+    num_rounds: int
+    depth: int
+    work: int
+    wall_ns: int
+    independent_set: np.ndarray
+    machine: dict[str, int]
+    meta: dict[str, Any]
+    rounds: list[Any] | None = None
+
+
+class ParallelRunner:
+    """Schedules cells over a :class:`WorkerPool`; owns nothing it leaks.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count, or an existing :class:`WorkerPool` to borrow
+        (borrowed pools are not closed by the runner).
+    mp_context:
+        Start method for a runner-owned pool (defaults to ``fork`` where
+        available).
+
+    Use as a context manager, or call :meth:`close` explicitly — the
+    runner holds worker processes.
+    """
+
+    def __init__(
+        self,
+        workers: Union[int, WorkerPool],
+        *,
+        mp_context: Any = None,
+    ):
+        if isinstance(workers, WorkerPool):
+            self._pool = workers
+            self._owns_pool = False
+        else:
+            self._pool = WorkerPool(workers, mp_context=mp_context)
+            self._owns_pool = True
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    # -- execution -------------------------------------------------------
+    def run_cells(self, cells: Sequence[Cell]) -> list[CellResult]:
+        """Run every cell; return results in cell order.
+
+        Raw ``Hypergraph`` instances are published into a temporary arena
+        for the duration of the call (handles passed in by the caller are
+        used as-is and never released here).  If a worker dies the
+        underlying ``BrokenProcessPool`` propagates — after the arena is
+        torn down, so no shared-memory block outlives the failure.
+        """
+        if not cells:
+            return []
+        _check_picklable(cells)
+        tracer = current_tracer()
+        capture = bool(tracer.enabled)
+        with ExitStack() as stack:
+            arena = stack.enter_context(ShmArena())
+            payloads = []
+            for i, cell in enumerate(cells):
+                instance = cell.instance
+                if isinstance(instance, Hypergraph):
+                    instance = arena.publish(instance)
+                payloads.append((i, cell, instance, capture))
+            with tracer.span(
+                "exec/run_cells", cells=len(cells), workers=self.workers
+            ) as span:
+                raw = list(self._pool.map(_run_cell, payloads))
+                results = [self._absorb(r, tracer, span) for r in raw]
+        obs_metrics.inc("exec/cells_run", len(results))
+        return results
+
+    def _absorb(self, raw: dict[str, Any], tracer: Any, span: Any) -> CellResult:
+        """Fold one worker result into parent telemetry; build its CellResult."""
+        if raw["metrics"] is not None:
+            default_registry().merge_snapshot(raw["metrics"])
+        if raw["events"]:
+            _replay_events(tracer, raw["events"], parent_id=span.span_id)
+        machine = raw["machine"]
+        return CellResult(
+            index=raw["index"],
+            label=raw["label"],
+            mis_size=raw["size"],
+            num_rounds=raw["num_rounds"],
+            depth=int(machine.get("depth", 0)),
+            work=int(machine.get("work", 0)),
+            wall_ns=raw["wall_ns"],
+            independent_set=raw["independent_set"],
+            machine=machine,
+            meta=raw["meta"],
+            rounds=raw["rounds"],
+        )
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._pool.closed
+
+    def close(self) -> None:
+        """Close the owned pool (borrowed pools stay open). Idempotent."""
+        if self._owns_pool:
+            self._pool.close()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"ParallelRunner(workers={self.workers}, {state})"
+
+
+def _check_picklable(cells: Sequence[Cell]) -> None:
+    """Fail fast, with the function named, instead of deep in the pool."""
+    seen: set[int] = set()
+    for cell in cells:
+        if id(cell.fn) in seen:
+            continue
+        seen.add(id(cell.fn))
+        try:
+            pickle.dumps(cell.fn)
+        except Exception as exc:
+            raise TypeError(
+                f"cell function {cell.fn!r} is not picklable (define it at "
+                f"module level; lambdas and closures cannot cross process "
+                f"boundaries): {exc}"
+            ) from exc
+
+
+def _replay_events(
+    tracer: Any, events: list[dict[str, Any]], *, parent_id: int | None
+) -> None:
+    """Splice a worker's event stream into the parent tracer's sink.
+
+    Worker span ids start at 1 per cell; a block of ids is reserved on the
+    parent tracer and every id/parent shifted into it, keeping the merged
+    stream collision-free.  Root spans of the cell are re-parented under
+    the parent's ``exec/run_cells`` span so the offline tree keeps its
+    shape.
+    """
+    max_id = max(
+        (e.get("id", 0) for e in events if e.get("type") == "span"), default=0
+    )
+    base = tracer.reserve_ids(max_id)
+    for event in events:
+        event = dict(event)
+        if event.get("type") == "span":
+            event["id"] = event["id"] + base
+            if "parent" in event:
+                event["parent"] = event["parent"] + base
+            elif parent_id is not None:
+                event["parent"] = parent_id
+        tracer.sink.emit(event)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+def _run_cell(payload: tuple[int, Cell, Any, bool]) -> dict[str, Any]:
+    """Execute one cell in a worker process.
+
+    Runs under an isolated metrics registry and (when the parent captures
+    telemetry) a private memory-sink tracer — never the tracer/registry
+    inherited across ``fork``, which may hold the parent's open file
+    descriptors.  Returns a plain dict so the payload pickles without
+    importing result classes in a particular order.
+    """
+    index, cell, instance, capture = payload
+    with isolated_registry() as registry:
+        H = shm.attach(instance) if isinstance(instance, InstanceHandle) else instance
+        sink = MemorySink() if capture else None
+        tracer = Tracer(sink, registry=registry) if capture else NULL_TRACER
+        machine = CountingMachine()
+        with use_tracer(tracer):  # type: ignore[arg-type]
+            t0 = time.perf_counter_ns()
+            with tracer.span("exec/cell", machine=machine, index=index, label=cell.label):
+                res = cell.fn(H, cell.seed, machine=machine, **cell.options)
+            wall_ns = time.perf_counter_ns() - t0
+        if cell.verify:
+            res.verify(H)
+        machine_summary = (
+            dict(res.machine)
+            if res.machine is not None
+            else {
+                "depth": machine.depth,
+                "work": machine.work,
+                "max_processors": machine.max_processors,
+            }
+        )
+        return {
+            "index": index,
+            "label": cell.label,
+            "size": res.size,
+            "num_rounds": res.num_rounds,
+            "independent_set": res.independent_set,
+            "machine": machine_summary,
+            "meta": res.meta,
+            "rounds": res.rounds if cell.keep_rounds else None,
+            "wall_ns": wall_ns,
+            "metrics": registry.snapshot(),
+            "events": sink.events if sink is not None else [],
+        }
+
+
+# ---------------------------------------------------------------------------
+# ambient runner
+# ---------------------------------------------------------------------------
+#: The runner experiment trial loops fall back to (``None`` = run serially).
+_current_runner: ParallelRunner | None = None
+
+
+def current_runner() -> ParallelRunner | None:
+    """The ambient runner installed by :func:`use_runner`, if any."""
+    return _current_runner
+
+
+@contextmanager
+def use_runner(runner: ParallelRunner | None) -> Iterator[ParallelRunner | None]:
+    """Install *runner* as the ambient runner for the block (nestable).
+
+    Trial loops written against :func:`current_runner` transparently go
+    parallel inside the block and stay serial outside it — no signature
+    changes down the call stack.
+    """
+    global _current_runner
+    previous = _current_runner
+    _current_runner = runner
+    try:
+        yield runner
+    finally:
+        _current_runner = previous

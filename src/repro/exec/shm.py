@@ -1,0 +1,287 @@
+"""Zero-copy instance transfer over POSIX shared memory.
+
+The parallel executor runs thousands of cells against a handful of
+instances.  Pickling a :class:`~repro.hypergraph.hypergraph.Hypergraph`
+into every task payload would copy the edge arrays once *per cell*; the
+arena copies them once *per instance* into a
+:mod:`multiprocessing.shared_memory` block, and every task carries only an
+:class:`InstanceHandle` — block name, array lengths, content hash — a few
+hundred bytes regardless of instance size.
+
+Workers :func:`attach` to the block and rebuild the hypergraph as
+read-only NumPy views directly over the shared buffer (the canonical
+arrays *are* the wire format, so reconstruction is
+``Hypergraph.from_arrays(..., canonical=True)`` — no copy, no
+re-canonicalisation).  A per-process cache keyed on the content hash makes
+repeat attachments free: the typical campaign touches each instance from
+each worker once.
+
+Cleanup is the hard part of shared memory and is handled in exactly one
+place: the arena that *created* a block owns its lifetime.  ``close()``
+unlinks every live block and is invoked by ``with``-exit, by a
+``weakref.finalize`` at garbage collection, and (transitively) at
+interpreter exit — so blocks are reclaimed even when a worker crashed
+mid-task or the parent unwound on an exception.  Workers never unlink;
+their attachments are explicitly unregistered from the resource tracker
+(attachment-side tracking would otherwise unlink blocks still in use —
+the well-known CPython < 3.13 behaviour).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Iterator
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["InstanceHandle", "ShmArena", "attach", "detach_all"]
+
+_INTP = np.dtype(np.intp)
+
+
+@dataclass(frozen=True)
+class InstanceHandle:
+    """A picklable reference to a hypergraph published in shared memory.
+
+    Attributes
+    ----------
+    block:
+        Name of the shared-memory block holding the three canonical
+        arrays, laid out back-to-back as ``vertices | indptr | indices``
+        (all ``intp``).
+    universe, n_vertices, n_indptr, n_indices:
+        Scalars needed to slice the buffer back into arrays.
+    content_hash:
+        :meth:`Hypergraph.content_hash` of the instance — the worker-side
+        cache key and an integrity check.
+    """
+
+    block: str
+    universe: int
+    n_vertices: int
+    n_indptr: int
+    n_indices: int
+    content_hash: str
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the three arrays."""
+        return (self.n_vertices + self.n_indptr + self.n_indices) * _INTP.itemsize
+
+
+def _as_views(handle: InstanceHandle, buf) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The three read-only array views over a shared buffer."""
+    nv, np_, ni = handle.n_vertices, handle.n_indptr, handle.n_indices
+    flat = np.frombuffer(buf, dtype=_INTP, count=nv + np_ + ni)
+    flat.flags.writeable = False
+    return flat[:nv], flat[nv : nv + np_], flat[nv + np_ :]
+
+
+class ShmArena:
+    """Owner of shared-memory instance blocks, with guaranteed cleanup.
+
+    ``publish`` is idempotent per content: publishing an equal hypergraph
+    twice returns the same handle and bumps a reference count; ``release``
+    drops it and unlinks at zero.  ``close`` (also ``with``-exit and a GC
+    finalizer) unlinks everything regardless of counts — the arena is the
+    single owner, so no block outlives it.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, shared_memory.SharedMemory] = {}
+        self._handles: dict[str, InstanceHandle] = {}  # content hash -> handle
+        self._refcounts: dict[str, int] = {}
+        self._finalizer = weakref.finalize(self, ShmArena._cleanup, self._blocks)
+
+    # -- publication ----------------------------------------------------
+    def publish(self, H: Hypergraph) -> InstanceHandle:
+        """Copy *H*'s canonical arrays into shared memory; return the handle."""
+        key = H.content_hash()
+        existing = self._handles.get(key)
+        if existing is not None:
+            self._refcounts[key] += 1
+            obs_metrics.inc("exec/arena_publish_dedup")
+            return existing
+        universe, vertices, indptr, indices = H.to_arrays()
+        nbytes = (vertices.size + indptr.size + indices.size) * _INTP.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        offset = 0
+        for arr in (vertices, indptr, indices):
+            dst = np.frombuffer(shm.buf, dtype=_INTP, count=arr.size, offset=offset)
+            dst[:] = arr
+            offset += arr.nbytes
+        handle = InstanceHandle(
+            block=shm.name,
+            universe=universe,
+            n_vertices=vertices.size,
+            n_indptr=indptr.size,
+            n_indices=indices.size,
+            content_hash=key,
+        )
+        self._blocks[shm.name] = shm
+        self._handles[key] = handle
+        self._refcounts[key] = 1
+        obs_metrics.inc("exec/arena_published")
+        obs_metrics.inc("exec/arena_published_bytes", nbytes)
+        return handle
+
+    def release(self, handle: InstanceHandle) -> None:
+        """Drop one reference; unlink the block when the count reaches zero."""
+        key = handle.content_hash
+        if key not in self._refcounts:
+            return
+        self._refcounts[key] -= 1
+        if self._refcounts[key] > 0:
+            return
+        del self._refcounts[key]
+        del self._handles[key]
+        shm = self._blocks.pop(handle.block, None)
+        if shm is not None:
+            _destroy(shm)
+
+    def get(self, handle: InstanceHandle) -> Hypergraph:
+        """Rebuild an instance from one of this arena's own blocks.
+
+        Copies out of the mapping: the returned hypergraph must be able to
+        outlive the block (views would pin the mmap open and make unlink
+        raise ``BufferError``).  The zero-copy path is the worker-side
+        :func:`attach`, whose cache owns the mapping for the process
+        lifetime.
+        """
+        shm = self._blocks[handle.block]
+        arrays = [a.copy() for a in _as_views(handle, shm.buf)]
+        for a in arrays:
+            a.flags.writeable = False
+        return Hypergraph.from_arrays(handle.universe, *arrays)
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[InstanceHandle]:
+        return iter(self._handles.values())
+
+    def close(self) -> None:
+        """Unlink every live block (idempotent; exception-safe)."""
+        self._handles.clear()
+        self._refcounts.clear()
+        ShmArena._cleanup(self._blocks)
+
+    @staticmethod
+    def _cleanup(blocks: dict[str, shared_memory.SharedMemory]) -> None:
+        # Static (and operating on the dict, not self) so the GC finalizer
+        # holds no reference back to the arena.
+        while blocks:
+            _, shm = blocks.popitem()
+            _destroy(shm)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Mappings whose close failed because live views still pin the buffer.
+#: Kept referenced so ``SharedMemory.__del__`` never retries the close
+#: (which would surface the same ``BufferError`` as an unraisable
+#: warning); the pages are reclaimed at process exit like any mapping.
+_PINNED: list[shared_memory.SharedMemory] = []
+
+
+def _destroy(shm: shared_memory.SharedMemory) -> None:
+    try:
+        try:
+            shm.close()
+        except BufferError:
+            # Live views still pin the mapping; unlinking below still
+            # reclaims the name and backing segment, and parking the object
+            # in _PINNED stops __del__ retrying the close (an unraisable
+            # BufferError otherwise).  The pages free at process exit.
+            _PINNED.append(shm)
+    finally:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+#: Per-process attachment cache: content hash -> (mapping, hypergraph).
+#: The SharedMemory object must stay referenced while any view into its
+#: buffer is alive, so it is cached alongside the hypergraph it backs.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, Hypergraph]] = {}
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Map an existing block without adopting its lifetime.
+
+    On CPython ≥ 3.13 ``track=False`` expresses that directly; earlier
+    versions register every attachment with the resource tracker, which
+    would reclaim the block out from under the creating arena.  There the
+    registration is *suppressed* during the attach (registering and then
+    unregistering would be wrong under ``fork``, where the tracker process
+    is shared with the parent: the tracker's per-type cache is a set, so
+    the unregister would erase the creator's own registration too).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shm(rname: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _skip_shm  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+def attach(handle: InstanceHandle) -> Hypergraph:
+    """Rebuild the instance behind *handle*, caching per process.
+
+    The first attach per (process, instance) maps the block and builds
+    read-only views; subsequent attaches are a dict hit.  Raises
+    ``FileNotFoundError`` if the owning arena already unlinked the block.
+    """
+    cached = _ATTACHED.get(handle.content_hash)
+    if cached is not None:
+        obs_metrics.inc("exec/instance_cache_hits")
+        return cached[1]
+    shm = _attach_block(handle.block)
+    H = Hypergraph.from_arrays(handle.universe, *_as_views(handle, shm.buf))
+    _ATTACHED[handle.content_hash] = (shm, H)
+    obs_metrics.inc("exec/instance_cache_misses")
+    obs_metrics.inc("exec/attached_bytes", handle.nbytes)
+    return H
+
+
+def detach_all() -> None:
+    """Drop the attachment cache and close the mappings (never unlinks).
+
+    A mapping still referenced by live views (a caller kept the attached
+    hypergraph alive) cannot be closed yet; it is parked in :data:`_PINNED`
+    until process exit rather than left to a failing ``__del__``.
+    """
+    while _ATTACHED:
+        _, (shm, _H) = _ATTACHED.popitem()
+        try:
+            shm.close()
+        except BufferError:
+            _PINNED.append(shm)
+        except Exception:
+            pass

@@ -75,6 +75,7 @@ class Hypergraph:
         "_edge_sizes",
         "_dimension",
         "_vertex_to_edges",
+        "_content_hash",
     )
 
     def __init__(
@@ -103,6 +104,7 @@ class Hypergraph:
         self._edge_sizes: np.ndarray | None = None
         self._dimension: int | None = None
         self._vertex_to_edges: dict[int, list[int]] | None = None
+        self._content_hash: str | None = None
 
     def _validate_edges_active(self) -> None:
         """Every edge vertex must be an *active* vertex — one vectorised mask
@@ -140,6 +142,78 @@ class Hypergraph:
         obj._store = store
         obj._init_caches()
         return obj
+
+    # ------------------------------------------------------------------
+    # array round-trip (the wire/shared-memory representation)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """Decompose into ``(universe, vertices, indptr, indices)``.
+
+        The three arrays are the instance's own buffers exposed read-only
+        (zero-copy); together with the universe they determine the
+        hypergraph exactly and satisfy the canonical invariant, so
+        :meth:`from_arrays` reconstructs an equal instance without
+        re-canonicalising.  This is the transfer format the parallel
+        executor serialises into shared memory.
+        """
+
+        def _ro(a: np.ndarray) -> np.ndarray:
+            view = a.view()
+            view.flags.writeable = False
+            return view
+
+        return (
+            self._universe,
+            _ro(self._vertices),
+            _ro(self._store.indptr),
+            _ro(self._store.indices),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        universe: int,
+        vertices: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        canonical: bool = True,
+    ) -> "Hypergraph":
+        """Rebuild from :meth:`to_arrays` output.
+
+        With ``canonical=True`` (the round-trip case) the arrays are
+        adopted as-is — no copy, no validation — so workers attaching to a
+        shared-memory buffer pay only the view construction.  Pass
+        ``canonical=False`` for arrays of unknown provenance; the full
+        canonicalisation and active-vertex validation then runs.
+        """
+        store = EdgeStore.from_arrays(indptr, indices, canonical=canonical)
+        if canonical:
+            return cls._from_arrays(int(universe), store, np.asarray(vertices, dtype=np.intp))
+        return cls(int(universe), store, vertices=vertices)
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical arrays (hex digest, cached).
+
+        Two hypergraphs are equal iff their hashes agree (the arrays are
+        canonical, so the representation is unique).  The parallel
+        executor keys its worker-side instance cache on this.
+        """
+        if self._content_hash is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(
+                np.asarray(
+                    [self._universe, self._vertices.size, self._store.num_edges],
+                    dtype=np.int64,
+                ).tobytes()
+            )
+            h.update(np.ascontiguousarray(self._vertices).tobytes())
+            h.update(np.ascontiguousarray(self._store.indptr).tobytes())
+            h.update(np.ascontiguousarray(self._store.indices).tobytes())
+            self._content_hash = h.hexdigest()
+        return self._content_hash
 
     # ------------------------------------------------------------------
     # basic accessors

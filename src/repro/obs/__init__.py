@@ -19,7 +19,7 @@ Everything here depends only on the standard library and NumPy — the
 solvers import :mod:`repro.obs` but never the other way around.
 """
 
-from repro.obs.events import EVENT_VERSION, JsonlSink, read_events
+from repro.obs.events import EVENT_VERSION, JsonlSink, MemorySink, read_events
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -33,6 +33,7 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, current_trac
 __all__ = [
     "EVENT_VERSION",
     "JsonlSink",
+    "MemorySink",
     "read_events",
     "Counter",
     "Gauge",

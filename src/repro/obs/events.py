@@ -28,6 +28,7 @@ import numpy as np
 __all__ = [
     "EVENT_VERSION",
     "JsonlSink",
+    "MemorySink",
     "read_events",
     "iter_events",
     "to_jsonable",
@@ -107,6 +108,36 @@ class JsonlSink:
         self._fp = None
 
     def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemorySink:
+    """In-memory sink collecting encoded events in a list.
+
+    Used where a telemetry stream must be carried as a value instead of a
+    file — chiefly worker processes of the parallel executor, which hand
+    their span events back to the parent with each result.  Events are
+    stored already :func:`to_jsonable`-encoded (version tag excluded), so
+    the list pickles cheaply and re-emitting through a real sink adds the
+    version exactly once.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self.events_emitted = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Append one encoded event."""
+        self.events.append(to_jsonable(event))
+        self.events_emitted += 1
+
+    def close(self) -> None:
+        """No-op (the list remains readable)."""
+
+    def __enter__(self) -> "MemorySink":
         return self
 
     def __exit__(self, *exc) -> None:

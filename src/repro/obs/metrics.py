@@ -145,6 +145,33 @@ class MetricsRegistry:
                 }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add, histograms pool (count/sum/min/max combine exactly),
+        gauges take the incoming value (last write wins, matching their
+        single-registry semantics).  This is how the parallel executor
+        re-aggregates per-worker registries into the parent's: merging the
+        snapshots of N disjoint runs yields the same counters and
+        histograms as running all N against one registry.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, h in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += h["count"]
+            hist.total += h["sum"]
+            for bound in ("min", "max"):
+                incoming = h.get(bound)
+                if incoming is None:
+                    continue
+                current = getattr(hist, bound)
+                pick = min if bound == "min" else max
+                setattr(hist, bound, incoming if current is None else pick(current, incoming))
+
     def reset(self) -> None:
         self._metrics.clear()
 

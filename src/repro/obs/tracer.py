@@ -165,7 +165,9 @@ class Tracer:
     Parameters
     ----------
     sink:
-        The :class:`~repro.obs.events.JsonlSink` events stream to.
+        The sink events stream to — a :class:`~repro.obs.events.JsonlSink`
+        (file-backed) or :class:`~repro.obs.events.MemorySink` (in-memory,
+        used by executor workers).
     registry:
         Metrics registry :meth:`flush_metrics` snapshots (defaults to the
         ambient default registry at flush time).
@@ -191,6 +193,23 @@ class Tracer:
     def span(self, name: str, *, machine: Any = None, **attrs: Any) -> Span:
         """Open a new span; use as a context manager."""
         return Span(self, name, machine, attrs)
+
+    @property
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span (``None`` outside any span)."""
+        return self._stack[-1] if self._stack else None
+
+    def reserve_ids(self, count: int) -> int:
+        """Reserve *count* span ids; returns the offset to add to ``1…count``.
+
+        Used when splicing a foreign event stream (a worker's spans, whose
+        ids start at 1) into this tracer's stream: remapping foreign id
+        ``i`` to ``reserve_ids(max_foreign_id) + i`` keeps ids unique
+        without coordinating id allocation across processes.
+        """
+        base = self._next_id - 1
+        self._next_id += max(0, int(count))
+        return base
 
     # -- internal span lifecycle ----------------------------------------
     def _open(self, span: Span) -> None:

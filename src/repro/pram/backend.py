@@ -8,21 +8,23 @@ The per-round hot path of every marking algorithm is two bulk operations:
 
 Both are embarrassingly parallel.  :class:`SerialBackend` runs them with
 NumPy in-process; :class:`ProcessBackend` fans them out over a
-``ProcessPoolExecutor``, which is the honest way to get CPU parallelism in
-CPython (the GIL rules out shared-memory threading for this workload — see
-DESIGN.md §2).  Determinism is preserved under any worker count: the random
-stream is chunked by a fixed ``chunk_size`` derived from *n*, not by the
-number of workers.
+:class:`repro.exec.pool.WorkerPool` (the shared process-pool wrapper the
+campaign executor also uses), which is the honest way to get CPU
+parallelism in CPython (the GIL rules out shared-memory threading for this
+workload — see DESIGN.md §2).  Determinism is preserved under any worker
+count: the random stream is chunked by a fixed ``chunk_size`` derived from
+*n*, not by the number of workers.  Backends hold worker processes — use
+them as context managers or call ``close()``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.exec.pool import WorkerPool
 from repro.obs import metrics as obs_metrics
 from repro.util.rng import SeedLike, spawn_seeds
 
@@ -123,7 +125,7 @@ class ProcessBackend(ExecutionBackend):
             raise ValueError(f"chunk_size must be positive: {chunk_size}")
         self.workers = workers
         self.chunk_size = chunk_size
-        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=workers)
+        self._pool: WorkerPool | None = WorkerPool(workers)
         # Pre-split incidence cache: the algorithms call edge_mark_counts
         # with the same (per-round) incidence object many times, so the row
         # slicing is done once per matrix.  The strong reference keeps the
@@ -132,7 +134,7 @@ class ProcessBackend(ExecutionBackend):
         self._split_for: sp.csr_matrix | None = None
         self._split_chunks: list[sp.csr_matrix] | None = None
 
-    def _require_pool(self) -> ProcessPoolExecutor:
+    def _require_pool(self) -> WorkerPool:
         if self._pool is None:
             raise RuntimeError("backend already closed")
         return self._pool
@@ -191,7 +193,7 @@ class ProcessBackend(ExecutionBackend):
 
     def close(self) -> None:  # noqa: D102
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.close()
             self._pool = None
         self._split_for = None
         self._split_chunks = None

@@ -49,6 +49,19 @@ class TestRun:
         b = small_campaign().run(seed=5)
         assert a == b
 
+    def test_parallel_matches_serial(self):
+        camp = small_campaign()
+        serial = camp.run(seed=3)
+        assert camp.run(seed=3, parallel=2) == serial
+
+    def test_parallel_accepts_runner(self):
+        from repro.exec import ParallelRunner
+
+        camp = small_campaign()
+        serial = camp.run(seed=3)
+        with ParallelRunner(1) as runner:
+            assert camp.run(seed=3, parallel=runner) == serial
+
     def test_repeats_vary_seeds(self):
         records = small_campaign(repeats=4).run(seed=0)
         bl_rounds = {r.rounds for r in records if r.algorithm == "bl" and r.instance == "u3"}

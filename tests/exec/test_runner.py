@@ -1,0 +1,180 @@
+"""ParallelRunner: determinism, ordering, lifecycle, failure containment."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import greedy_mis, karp_upfal_wigderson
+from repro.exec import Cell, ParallelRunner, WorkerPool, current_runner, use_runner
+from repro.generators import uniform_hypergraph
+from repro.util.rng import spawn_seeds
+
+#: Small but non-trivial: enough randomness to expose seed-tree mistakes.
+_INSTANCE = uniform_hypergraph(30, 60, 3, seed=7)
+
+
+def _make_cells(seed_key, repeats: int = 4) -> list[Cell]:
+    """A fresh cell list — seeds re-derived per call (SeedSequence objects
+    are consumed by use, so each execution mode needs its own leaves)."""
+    seeds = spawn_seeds(seed_key, repeats)
+    return [
+        Cell(
+            instance=_INSTANCE,
+            fn=karp_upfal_wigderson,
+            seed=s,
+            label=f"kuw/{i}",
+        )
+        for i, s in enumerate(seeds)
+    ]
+
+
+def _serial_reference(seed_key, repeats: int = 4):
+    out = []
+    for s in spawn_seeds(seed_key, repeats):
+        res = karp_upfal_wigderson(_INSTANCE, s)
+        res.verify(_INSTANCE)
+        out.append(res)
+    return out
+
+
+def _crash(H, seed, machine=None, **options):
+    """A cell function that kills its worker outright (no exception to
+    catch — the pool must surface BrokenProcessPool)."""
+    os._exit(1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_to_serial(self, workers):
+        reference = _serial_reference(("exec-det", workers))
+        with ParallelRunner(workers) as runner:
+            results = runner.run_cells(_make_cells(("exec-det", workers)))
+        assert [r.mis_size for r in results] == [r.size for r in reference]
+        assert [r.num_rounds for r in results] == [r.num_rounds for r in reference]
+        for got, want in zip(results, reference):
+            assert np.array_equal(got.independent_set, want.independent_set)
+
+    def test_worker_count_does_not_change_results(self):
+        outcomes = []
+        for workers in (1, 2):
+            with ParallelRunner(workers) as runner:
+                results = runner.run_cells(_make_cells("exec-wc"))
+            outcomes.append(
+                [(r.mis_size, r.num_rounds, tuple(r.independent_set)) for r in results]
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestRunCells:
+    def test_results_in_submission_order(self):
+        with ParallelRunner(2) as runner:
+            results = runner.run_cells(_make_cells("exec-order", repeats=6))
+        assert [r.index for r in results] == list(range(6))
+        assert [r.label for r in results] == [f"kuw/{i}" for i in range(6)]
+
+    def test_empty_cell_list(self):
+        with ParallelRunner(1) as runner:
+            assert runner.run_cells([]) == []
+
+    def test_machine_costs_reported(self):
+        with ParallelRunner(1) as runner:
+            (result,) = runner.run_cells(_make_cells("exec-costs", repeats=1))
+        assert result.depth > 0
+        assert result.work > 0
+        assert result.wall_ns > 0
+
+    def test_mixed_functions_and_options(self):
+        seeds = spawn_seeds("exec-mixed", 2)
+        cells = [
+            Cell(instance=_INSTANCE, fn=karp_upfal_wigderson, seed=seeds[0]),
+            Cell(instance=_INSTANCE, fn=greedy_mis, seed=seeds[1]),
+        ]
+        with ParallelRunner(2) as runner:
+            kuw_res, greedy_res = runner.run_cells(cells)
+        assert kuw_res.mis_size > 0
+        assert greedy_res.mis_size > 0
+        assert kuw_res.num_rounds >= 1
+
+    def test_lambda_function_rejected_with_clear_error(self):
+        cells = [Cell(instance=_INSTANCE, fn=lambda H, s, **kw: None, seed=0)]
+        with ParallelRunner(1) as runner:
+            with pytest.raises(TypeError, match="picklable"):
+                runner.run_cells(cells)
+
+
+class TestLifecycle:
+    def test_owned_pool_closed_on_exit(self):
+        with ParallelRunner(1) as runner:
+            assert not runner.closed
+        assert runner.closed
+
+    def test_borrowed_pool_survives_runner(self):
+        with WorkerPool(1) as pool:
+            with ParallelRunner(pool) as runner:
+                runner.run_cells(_make_cells("exec-borrow", repeats=1))
+            assert not pool.closed  # borrowed, so the runner left it open
+        assert pool.closed
+
+    def test_run_after_close_raises(self):
+        runner = ParallelRunner(1)
+        runner.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.run_cells(_make_cells("exec-closed", repeats=1))
+
+    def test_close_idempotent(self):
+        runner = ParallelRunner(1)
+        runner.close()
+        runner.close()
+
+    def test_repr_shows_state(self):
+        runner = ParallelRunner(2)
+        assert "workers=2" in repr(runner)
+        runner.close()
+        assert "closed" in repr(runner)
+
+
+class TestFailureContainment:
+    def test_worker_crash_leaves_no_shared_memory(self):
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        before = set(shm_dir.iterdir())
+        cells = [Cell(instance=_INSTANCE, fn=_crash, seed=0)]
+        with ParallelRunner(1) as runner:
+            with pytest.raises(BrokenProcessPool):
+                runner.run_cells(cells)
+        leaked = {p for p in set(shm_dir.iterdir()) - before if p.name.startswith("psm_")}
+        assert leaked == set()
+
+    def test_pool_usable_error_reported_per_run(self):
+        # A crashed pool is broken for good; a fresh runner works fine.
+        with ParallelRunner(1) as runner:
+            with pytest.raises(BrokenProcessPool):
+                runner.run_cells([Cell(instance=_INSTANCE, fn=_crash, seed=0)])
+        with ParallelRunner(1) as runner:
+            results = runner.run_cells(_make_cells("exec-recover", repeats=1))
+        assert results[0].mis_size > 0
+
+
+class TestAmbientRunner:
+    def test_default_is_none(self):
+        assert current_runner() is None
+
+    def test_use_runner_installs_and_restores(self):
+        with ParallelRunner(1) as runner:
+            with use_runner(runner) as installed:
+                assert installed is runner
+                assert current_runner() is runner
+            assert current_runner() is None
+
+    def test_nesting(self):
+        with ParallelRunner(1) as outer, ParallelRunner(1) as inner:
+            with use_runner(outer):
+                with use_runner(inner):
+                    assert current_runner() is inner
+                assert current_runner() is outer

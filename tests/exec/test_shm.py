@@ -1,0 +1,178 @@
+"""Shared-memory arena: round-trips, refcounts, cleanup, attach cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exec import ShmArena, attach, detach_all
+from repro.hypergraph import Hypergraph
+from repro.obs.metrics import isolated_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_attach_cache():
+    """Attachment cache is per-process state; keep tests independent."""
+    detach_all()
+    yield
+    detach_all()
+
+
+class TestRoundTrip:
+    def test_publish_get_equal(self, small_mixed):
+        with ShmArena() as arena:
+            handle = arena.publish(small_mixed)
+            assert arena.get(handle) == small_mixed
+
+    def test_get_copies_out_of_the_block(self, small_mixed):
+        # get() must copy: the rebuilt instance outlives the arena (views
+        # over the mapping would pin it open and break unlink).
+        with ShmArena() as arena:
+            H = arena.get(arena.publish(small_mixed))
+        assert H == small_mixed
+
+    def test_get_arrays_read_only(self, triangle):
+        with ShmArena() as arena:
+            H = arena.get(arena.publish(triangle))
+            _, vertices, indptr, indices = H.to_arrays()
+            for arr in (vertices, indptr, indices):
+                with pytest.raises(ValueError):
+                    arr[0] = 99
+
+    def test_edgeless_instance(self, edgeless):
+        with ShmArena() as arena:
+            assert arena.get(arena.publish(edgeless)) == edgeless
+
+    def test_empty_universe(self):
+        H = Hypergraph(0)
+        with ShmArena() as arena:
+            assert arena.get(arena.publish(H)) == H
+
+    def test_handle_is_small_and_picklable(self, small_mixed):
+        with ShmArena() as arena:
+            handle = arena.publish(small_mixed)
+            payload = pickle.dumps(handle)
+        # the point of the arena: task payloads stay tiny regardless of
+        # instance size
+        assert len(payload) < 1024
+        assert handle.content_hash == small_mixed.content_hash()
+
+    def test_handle_nbytes(self, small_mixed):
+        _, vertices, indptr, indices = small_mixed.to_arrays()
+        with ShmArena() as arena:
+            handle = arena.publish(small_mixed)
+            expected = (vertices.size + indptr.size + indices.size) * np.dtype(
+                np.intp
+            ).itemsize
+            assert handle.nbytes == expected
+
+
+class TestRefcounts:
+    def test_dedup_same_content(self, triangle):
+        with ShmArena() as arena:
+            h1 = arena.publish(triangle)
+            h2 = arena.publish(Hypergraph(3, [(1, 0), (2, 1), (2, 0)]))
+            assert h1 is h2
+            assert arena.num_blocks == 1
+
+    def test_distinct_content_distinct_blocks(self, triangle, small_mixed):
+        with ShmArena() as arena:
+            arena.publish(triangle)
+            arena.publish(small_mixed)
+            assert arena.num_blocks == 2
+
+    def test_release_at_zero_unlinks(self, triangle):
+        with ShmArena() as arena:
+            handle = arena.publish(triangle)
+            arena.publish(triangle)  # refcount 2
+            arena.release(handle)
+            assert arena.num_blocks == 1  # still referenced
+            arena.release(handle)
+            assert arena.num_blocks == 0
+
+    def test_release_unknown_handle_noop(self, triangle, small_mixed):
+        with ShmArena() as arena, ShmArena() as other:
+            foreign = other.publish(small_mixed)
+            arena.publish(triangle)
+            arena.release(foreign)
+            assert arena.num_blocks == 1
+
+    def test_iter_yields_handles(self, triangle, small_mixed):
+        with ShmArena() as arena:
+            published = {arena.publish(triangle), arena.publish(small_mixed)}
+            assert set(arena) == published
+
+
+class TestCleanup:
+    def test_close_unlinks_everything(self, triangle, small_mixed):
+        arena = ShmArena()
+        arena.publish(triangle)
+        arena.publish(small_mixed)
+        arena.close()
+        assert arena.num_blocks == 0
+
+    def test_close_idempotent(self, triangle):
+        arena = ShmArena()
+        arena.publish(triangle)
+        arena.close()
+        arena.close()
+
+    def test_attach_after_close_raises(self, triangle):
+        with ShmArena() as arena:
+            handle = arena.publish(triangle)
+        with pytest.raises(FileNotFoundError):
+            attach(handle)
+
+    def test_finalizer_cleans_on_gc(self, triangle):
+        import gc
+
+        arena = ShmArena()
+        handle = arena.publish(triangle)
+        del arena
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            attach(handle)
+
+
+class TestAttach:
+    def test_attach_equal_and_cached(self, small_mixed):
+        with ShmArena() as arena:
+            handle = arena.publish(small_mixed)
+            with isolated_registry() as registry:
+                first = attach(handle)
+                second = attach(handle)
+                assert first == small_mixed
+                assert second is first  # cache hit returns the same object
+                counters = registry.snapshot()["counters"]
+                assert counters["exec/instance_cache_misses"] == 1
+                assert counters["exec/instance_cache_hits"] == 1
+                assert counters["exec/attached_bytes"] == handle.nbytes
+            detach_all()
+
+    def test_attach_is_zero_copy_views(self, small_mixed):
+        with ShmArena() as arena:
+            handle = arena.publish(small_mixed)
+            H = attach(handle)
+            _, vertices, _indptr, _indices = H.to_arrays()
+            # Same segment, not a copy: a write through the creator's
+            # mapping is visible through the attached (read-only) views.
+            block = arena._blocks[handle.block]
+            shared = np.frombuffer(block.buf, dtype=np.intp, count=vertices.size)
+            original = int(shared[0])
+            try:
+                shared[0] = original + 7
+                assert int(vertices[0]) == original + 7
+            finally:
+                shared[0] = original
+            detach_all()
+
+    def test_detach_all_does_not_unlink(self, small_mixed):
+        with ShmArena() as arena:
+            handle = arena.publish(small_mixed)
+            attach(handle)
+            detach_all()
+            # block still owned by the arena: re-attach works
+            assert attach(handle) == small_mixed
+            detach_all()

@@ -183,6 +183,67 @@ class TestSubhypergraphs:
         assert triangle.num_edges == 3  # original unchanged
 
 
+class TestArrayTransfer:
+    """to_arrays / from_arrays / content_hash — the shared-memory wire format."""
+
+    def test_round_trip(self, small_mixed):
+        universe, vertices, indptr, indices = small_mixed.to_arrays()
+        rebuilt = Hypergraph.from_arrays(universe, vertices, indptr, indices)
+        assert rebuilt == small_mixed
+        assert rebuilt.edges == small_mixed.edges
+        assert rebuilt.vertices.tolist() == small_mixed.vertices.tolist()
+
+    def test_round_trip_edgeless(self, edgeless):
+        assert Hypergraph.from_arrays(*edgeless.to_arrays()) == edgeless
+
+    def test_round_trip_empty_universe(self):
+        H = Hypergraph(0)
+        assert Hypergraph.from_arrays(*H.to_arrays()) == H
+
+    def test_to_arrays_is_zero_copy_read_only(self, small_mixed):
+        _, vertices, indptr, indices = small_mixed.to_arrays()
+        for arr in (vertices, indptr, indices):
+            assert arr.base is not None  # a view, not a copy
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_from_arrays_canonical_adopts_without_copy(self, small_mixed):
+        universe, vertices, indptr, indices = small_mixed.to_arrays()
+        rebuilt = Hypergraph.from_arrays(universe, vertices, indptr, indices)
+        _, _, indptr2, indices2 = rebuilt.to_arrays()
+        assert np.shares_memory(indptr, indptr2)
+        assert np.shares_memory(indices, indices2)
+
+    def test_from_arrays_uncanonical_input_canonicalised(self):
+        # (2,1,0) unsorted; canonical=False must sort and validate it
+        indptr = np.array([0, 3], dtype=np.intp)
+        indices = np.array([2, 1, 0], dtype=np.intp)
+        H = Hypergraph.from_arrays(
+            4, np.arange(4, dtype=np.intp), indptr, indices, canonical=False
+        )
+        assert H.edges == ((0, 1, 2),)
+
+    def test_content_hash_equal_iff_equal(self, small_mixed):
+        same = Hypergraph(8, list(small_mixed.edges))
+        other = small_mixed.without_vertices([7])
+        assert same.content_hash() == small_mixed.content_hash()
+        assert other.content_hash() != small_mixed.content_hash()
+
+    def test_content_hash_distinguishes_universe_and_vertices(self):
+        assert Hypergraph(4).content_hash() != Hypergraph(5).content_hash()
+        assert (
+            Hypergraph(4, vertices=[0, 1]).content_hash()
+            != Hypergraph(4).content_hash()
+        )
+
+    def test_content_hash_cached(self, triangle):
+        assert triangle.content_hash() is triangle.content_hash()
+
+    def test_content_hash_survives_round_trip(self, small_mixed):
+        rebuilt = Hypergraph.from_arrays(*small_mixed.to_arrays())
+        assert rebuilt.content_hash() == small_mixed.content_hash()
+
+
 class TestEquality:
     def test_equal(self):
         assert Hypergraph(4, [(0, 1)]) == Hypergraph(4, [(1, 0)])

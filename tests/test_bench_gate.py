@@ -5,6 +5,8 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
 
 from bench_gate import compare  # noqa: E402
@@ -38,11 +40,52 @@ def test_new_kernel_is_reported_not_failed():
     assert any("NEW" in line and "shiny" in line for line in lines)
 
 
-def test_committed_baseline_is_parseable():
+def test_over_threshold_within_iqr_noise_passes():
+    # 1.4x ratio, but the baseline's own spread covers the increase
+    lines, violations = compare(
+        {"kuw": 1000}, {"kuw": 1400}, 1.25, baseline_iqr={"kuw": 200}
+    )
+    assert violations == []
+    assert any("within noise" in line for line in lines)
+
+
+def test_over_threshold_beyond_iqr_fails():
+    # +700 > 3 x IQR(200): a real regression, not jitter
+    _, violations = compare(
+        {"kuw": 1000}, {"kuw": 1700}, 1.25, baseline_iqr={"kuw": 200}
+    )
+    assert len(violations) == 1
+    assert "IQR" in violations[0]
+
+
+def test_iqr_mult_is_tunable():
+    _, lenient = compare(
+        {"kuw": 1000}, {"kuw": 1700}, 1.25, baseline_iqr={"kuw": 200}, iqr_mult=4.0
+    )
+    assert lenient == []
+
+
+def test_zero_iqr_falls_back_to_ratio_test():
+    _, violations = compare(
+        {"kuw": 1000}, {"kuw": 1300}, 1.25, baseline_iqr={"kuw": 0}
+    )
+    assert len(violations) == 1
+
+
+def test_missing_iqr_entry_falls_back_to_ratio_test():
+    _, violations = compare(
+        {"kuw": 1000}, {"kuw": 1300}, 1.25, baseline_iqr={"other": 500}
+    )
+    assert len(violations) == 1
+
+
+@pytest.mark.parametrize("name", ["BENCH_m01.json", "BENCH_m02.json"])
+def test_committed_baseline_is_parseable(name):
     import json
 
-    baseline = Path(__file__).resolve().parent.parent / "BENCH_m01.json"
+    baseline = Path(__file__).resolve().parent.parent / name
     doc = json.loads(baseline.read_text())
     assert doc["unit"] == "ns"
     assert doc["medians_ns"]
     assert all(isinstance(v, int) for v in doc["medians_ns"].values())
+    assert set(doc["iqr_ns"]) == set(doc["medians_ns"])
