@@ -4,6 +4,13 @@ Unlike the E/A-series (one-shot table regenerations), these use
 pytest-benchmark conventionally — many rounds, full statistics — on fixed
 mid-size instances, so regressions in the hot paths (marking matvec,
 cleanup, KUW prefix computation, greedy scan) show up as timing shifts.
+
+The solver entries pin their execution backend with ``use_kernel`` so
+each entry keeps measuring the same code path as the dispatcher evolves:
+the historical ``bl``/``kuw``/``permutation``/``greedy`` entries are the
+CSR path, ``bl_bitset`` is the dense engine (acceptance floor: ≥ 10×
+the ``bl`` median), and ``bl_jit`` exists only where numba is installed
+(the with-numba CI leg).
 """
 
 import pytest
@@ -13,6 +20,8 @@ from repro.generators import uniform_hypergraph
 from repro.hypergraph import check_mis
 from repro.hypergraph.degrees import degree_profile
 from repro.hypergraph.ops import normalize
+from repro.kernels import use_kernel
+from repro.kernels.jit import HAVE_NUMBA
 
 N, M, D = 400, 800, 3
 
@@ -22,23 +31,45 @@ def instance():
     return uniform_hypergraph(N, M, D, seed=7)
 
 
+def _forced(kernel, fn, *args, **kwargs):
+    with use_kernel(kernel):
+        return fn(*args, **kwargs)
+
+
 def test_kernel_greedy(benchmark, instance):
-    res = benchmark(lambda: greedy_mis(instance, seed=1))
+    res = benchmark(lambda: _forced("csr", greedy_mis, instance, seed=1))
     check_mis(instance, res.independent_set)
 
 
 def test_kernel_kuw(benchmark, instance):
-    res = benchmark(lambda: karp_upfal_wigderson(instance, seed=1, trace=False))
+    res = benchmark(
+        lambda: _forced("csr", karp_upfal_wigderson, instance, seed=1, trace=False)
+    )
     check_mis(instance, res.independent_set)
 
 
 def test_kernel_permutation(benchmark, instance):
-    res = benchmark(lambda: permutation_bl(instance, seed=1, trace=False))
+    res = benchmark(
+        lambda: _forced("csr", permutation_bl, instance, seed=1, trace=False)
+    )
     check_mis(instance, res.independent_set)
 
 
 def test_kernel_bl(benchmark, instance):
-    res = benchmark(lambda: beame_luby(instance, seed=1, trace=False))
+    res = benchmark(lambda: _forced("csr", beame_luby, instance, seed=1, trace=False))
+    check_mis(instance, res.independent_set)
+
+
+def test_kernel_bl_bitset(benchmark, instance):
+    res = benchmark(
+        lambda: _forced("bitset", beame_luby, instance, seed=1, trace=False)
+    )
+    check_mis(instance, res.independent_set)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+def test_kernel_bl_jit(benchmark, instance):
+    res = benchmark(lambda: _forced("jit", beame_luby, instance, seed=1, trace=False))
     check_mis(instance, res.independent_set)
 
 

@@ -31,6 +31,7 @@ from typing import Callable, Iterator, Sequence
 from repro.analysis import run_experiment
 from repro.analysis.ablations import run_ablation
 from repro.analysis.tables import render_kv
+from repro.exec.workers import resolve_workers
 from repro.core import (
     beame_luby,
     greedy_mis,
@@ -137,6 +138,9 @@ def _telemetry(path: str, **run_attrs) -> Iterator[None]:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     H = load(args.instance)
+    # Validate the spec (so 'auto' and bad values behave uniformly across
+    # subcommands), but a single solve has no grid to fan out: in-process.
+    resolve_workers(args.workers)
     fn = ALGORITHMS[args.algorithm]
     # Telemetry implies a cost accountant: spans record depth/work deltas.
     machine = CountingMachine() if (args.costs or args.telemetry) else None
@@ -202,7 +206,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         algorithms=[AlgorithmSpec(a, ALGORITHMS[a]) for a in algo_names],
         repeats=args.repeats,
     )
-    workers = args.workers if args.workers and args.workers > 0 else None
+    workers = resolve_workers(args.workers)
     with _telemetry(
         args.telemetry,
         command="campaign",
@@ -255,7 +259,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
     ):
-        workers = args.workers if args.workers and args.workers > 0 else None
+        workers = resolve_workers(args.workers)
         if eid.startswith("A"):
             res = run_ablation(eid, scale=args.scale, seed=args.seed)
         else:
@@ -268,6 +272,7 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
     from repro.qa import parse_budget, run_fuzz
 
     budget = parse_budget(args.budget)
+    workers = resolve_workers(args.workers)
     solvers = (
         [s.strip() for s in args.solvers.split(",") if s.strip()]
         if args.solvers
@@ -278,6 +283,7 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
         command="fuzz-run",
         budget=str(budget),
         seed=args.seed,
+        workers=workers or 0,
     ):
         report = run_fuzz(
             budget,
@@ -287,6 +293,7 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
             max_failures=args.max_failures,
             shrink_failures=not args.no_shrink,
             start_index=args.start_index,
+            workers=workers,
         )
     print(report.summary())
     for cr in report.failures:
@@ -408,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="sbl")
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--costs", action="store_true", help="account EREW-PRAM depth/work")
+    s.add_argument(
+        "--workers",
+        default="0",
+        help="accepted for interface symmetry with campaign/experiment "
+        "('auto' resolves against BENCH_m02.json); a single solve always "
+        "runs in-process",
+    )
     s.add_argument("--pretty", action="store_true", help="indent the JSON output")
     s.add_argument("--save-trace", default="", help="write the full round trace to this path")
     s.add_argument(
@@ -428,10 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--csv", default="", help="also write per-run records to this CSV path")
     k.add_argument(
         "--workers",
-        type=int,
-        default=0,
-        help="run the grid on N worker processes (0 = in-process); "
-        "records are identical for every worker count",
+        default="0",
+        help="run the grid on N worker processes (0 = in-process, 'auto' = "
+        "cpu count floored by the measured dispatch overhead in "
+        "BENCH_m02.json); records are identical for every worker count",
     )
     k.add_argument(
         "--telemetry",
@@ -458,10 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     e.add_argument(
         "--workers",
-        type=int,
-        default=0,
-        help="fan repeated trials out over N worker processes "
-        "(0 = in-process); experiments E1/E3/E8/E17 parallelise",
+        default="0",
+        help="fan repeated trials out over N worker processes (0 = "
+        "in-process, 'auto' = cpu count floored by the measured dispatch "
+        "overhead in BENCH_m02.json); experiments E1/E3/E8/E17 parallelise",
     )
     e.set_defaults(func=_cmd_experiment)
 
@@ -491,6 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fr.add_argument(
         "--start-index", type=int, default=0, help="first case index of the stream"
+    )
+    fr.add_argument(
+        "--workers",
+        default="0",
+        help="fan case batteries out over N worker processes on the shared "
+        "campaign executor (0 = in-process, 'auto' = cpu count floored by "
+        "the measured dispatch overhead in BENCH_m02.json)",
     )
     fr.add_argument(
         "--telemetry",

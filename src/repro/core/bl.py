@@ -32,6 +32,10 @@ from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.degrees import DeltaTracker, degree_profile
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.ops import normalize, normalize_after_trim, trim_vertices
+from repro.kernels.bl_dense import beame_luby_dense
+from repro.kernels.bl_scalar import beame_luby_scalar
+from repro.kernels.dispatch import select_backend
+from repro.kernels.jit import row_kernels
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.backend import ExecutionBackend, SerialBackend
@@ -239,10 +243,32 @@ def beame_luby(
     with trc.span(
         "bl/solve", machine=mach, n=H.num_vertices, m=H.num_edges, dim=H.dimension
     ) as span:
-        result = _beame_luby(
-            H, seed, mach, backend, recompute_probability, marking_probability,
-            max_rounds, trace, on_round, trc,
-        )
+        # Shape dispatch: the dense engine covers the plain solve; anything
+        # holding CSR structures out to the caller (an explicit execution
+        # backend, a per-round hook, per-round tracer spans) pins CSR.
+        blockers: list[str] = []
+        if backend is not None:
+            blockers.append("backend")
+        if on_round is not None:
+            blockers.append("on_round")
+        if trc.enabled:
+            blockers.append("tracer")
+        decision = select_backend(H, blockers=tuple(blockers))
+        if decision.backend == "jit":
+            result = beame_luby_dense(
+                H, seed, mach, recompute_probability, marking_probability,
+                max_rounds, trace, kern=row_kernels(True),
+            )
+        elif decision.dense:
+            result = beame_luby_scalar(
+                H, seed, mach, recompute_probability, marking_probability,
+                max_rounds, trace,
+            )
+        else:
+            result = _beame_luby(
+                H, seed, mach, backend, recompute_probability, marking_probability,
+                max_rounds, trace, on_round, trc,
+            )
         if trc.enabled:
             span.set(rounds=result.num_rounds, mis_size=result.size)
     return result

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.dispatch import select_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.machine import Machine
@@ -92,12 +93,32 @@ def greedy_mis(
         edges = H.edges
         sizes = [len(e) for e in edges]
         accepted_count = [0] * len(edges)
-        adj = H.vertex_to_edges()
         in_I = np.zeros(H.universe, dtype=bool)
         added = 0
 
+        # Shape dispatch: both adjacency layouts enumerate the same incident
+        # edge sets, and the scan (order, accept/reject rule) is shared — the
+        # backends are bit-identical by construction.  The dense layout is a
+        # CSC-style flat index (one argsort) instead of a dict of lists.
+        store = H.store
+        use_dense = bool(select_backend(H).dense and store.indices.size)
+        if use_dense:
+            csc_order = np.argsort(store.indices, kind="stable")
+            eids = np.repeat(
+                np.arange(len(edges), dtype=np.intp), store.sizes()
+            )[csc_order].tolist()
+            aptr = np.zeros(H.universe + 1, dtype=np.intp)
+            np.cumsum(
+                np.bincount(store.indices, minlength=H.universe), out=aptr[1:]
+            )
+            aptr = aptr.tolist()
+        else:
+            adj = H.vertex_to_edges()
+
         for v in scan.tolist():
-            incident = adj.get(v, ())
+            incident = (
+                eids[aptr[v] : aptr[v + 1]] if use_dense else adj.get(v, ())
+            )
             completes = any(accepted_count[i] == sizes[i] - 1 for i in incident)
             if completes:
                 continue

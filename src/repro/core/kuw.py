@@ -39,6 +39,8 @@ import numpy as np
 
 from repro.core.result import MISResult, RoundRecord
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.bitstore import BitEdgeStore
+from repro.kernels.dispatch import select_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pram.backend import ExecutionBackend, SerialBackend
@@ -114,6 +116,13 @@ def _kuw(
     sizes = store.sizes()
     total = store.total_size
 
+    # Shape dispatch: on dense-capable instances the per-round segmented
+    # reductions are replaced by gathers through the padded incidence block
+    # (see BitEdgeStore).  The loop — RNG draws, machine charges, records —
+    # is shared, so the backends are bit-identical by construction.
+    decision = select_backend(H)
+    dense = BitEdgeStore.from_store(store, universe) if m and decision.dense else None
+
     while candidates.size:
         rng = next(rng_stream)
         c = candidates
@@ -130,12 +139,22 @@ def _kuw(
             # non-I positions of the nearly-complete edges (one per edge).
             blocked_now = 0
             if m:
-                inI_pos = in_I[indices]
-                counts_I = np.add.reduceat(inI_pos.astype(np.intp), indptr[:-1])
-                nearly = counts_I == sizes - 1
-                if nearly.any():
-                    pos = store.position_mask(nearly) & ~inI_pos
-                    missing = indices[pos]
+                missing = None
+                if dense is not None:
+                    inI_block = dense.gather(in_I, False)
+                    counts_I = inI_block.sum(axis=1)
+                    nearly = counts_I == sizes - 1
+                    if nearly.any():
+                        sub = dense.block[nearly]
+                        missing = sub[~inI_block[nearly] & (sub < universe)]
+                else:
+                    inI_pos = in_I[indices]
+                    counts_I = np.add.reduceat(inI_pos.astype(np.intp), indptr[:-1])
+                    nearly = counts_I == sizes - 1
+                    if nearly.any():
+                        pos = store.position_mask(nearly) & ~inI_pos
+                        missing = indices[pos]
+                if missing is not None:
                     in_C = np.zeros(universe, dtype=bool)
                     in_C[c] = True
                     newly = np.unique(missing[in_C[missing] & ~blocked[missing]])
@@ -175,15 +194,23 @@ def _kuw(
                 L = int(c.size)  # safe prefix if unconstrained
                 tightest_vertex = -1
                 if m:
-                    pos_all = position[indices]
-                    open_edge = (
-                        np.add.reduceat(
-                            (~(in_I[indices] | (pos_all > 0))).astype(np.intp),
-                            indptr[:-1],
-                        )
-                        > 0
-                    )  # a discarded vertex keeps the edge open forever
-                    t_edge = np.maximum.reduceat(pos_all, indptr[:-1])
+                    if dense is not None:
+                        pos_block = dense.gather(position, 0)
+                        # pad counts as "in I" so it never holds an edge open
+                        open_edge = (
+                            ~(dense.gather(in_I, True) | (pos_block > 0))
+                        ).any(axis=1)
+                        t_edge = pos_block.max(axis=1)
+                    else:
+                        pos_all = position[indices]
+                        open_edge = (
+                            np.add.reduceat(
+                                (~(in_I[indices] | (pos_all > 0))).astype(np.intp),
+                                indptr[:-1],
+                            )
+                            > 0
+                        )  # a discarded vertex keeps the edge open forever
+                        t_edge = np.maximum.reduceat(pos_all, indptr[:-1])
                     valid = ~open_edge
                     if (valid & (t_edge == 0)).any():
                         # e ⊆ I would violate independence; guarded by

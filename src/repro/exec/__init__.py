@@ -21,8 +21,10 @@ them as context managers or call ``close()``.
 from repro.exec.pool import WorkerPool, default_mp_context
 from repro.exec.runner import Cell, CellResult, ParallelRunner, current_runner, use_runner
 from repro.exec.shm import InstanceHandle, ShmArena, attach, detach_all
+from repro.exec.workers import AUTO_SPEEDUP_FLOOR, resolve_workers
 
 __all__ = [
+    "AUTO_SPEEDUP_FLOOR",
     "Cell",
     "CellResult",
     "InstanceHandle",
@@ -33,5 +35,6 @@ __all__ = [
     "current_runner",
     "default_mp_context",
     "detach_all",
+    "resolve_workers",
     "use_runner",
 ]

@@ -161,6 +161,47 @@ class ParallelRunner:
         obs_metrics.inc("exec/cells_run", len(results))
         return results
 
+    def map_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        label: str = "exec/map_tasks",
+    ) -> list[Any]:
+        """Map a picklable function over *items*; results in item order.
+
+        The generic sibling of :meth:`run_cells` for workloads that are
+        not solver cells (the fuzz campaign's per-case batteries): same
+        order-preserving pool, same telemetry round-trip (worker spans
+        and metrics spliced back into the parent stream), but no
+        shared-memory instance transfer — items travel pickled, so keep
+        them small.  *fn* must be a module-level callable.
+        """
+        if not items:
+            return []
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise TypeError(
+                f"task function {fn!r} is not picklable (define it at module "
+                f"level; lambdas and closures cannot cross process "
+                f"boundaries): {exc}"
+            ) from exc
+        tracer = current_tracer()
+        capture = bool(tracer.enabled)
+        payloads = [(i, fn, item, capture) for i, item in enumerate(items)]
+        with tracer.span(label, tasks=len(items), workers=self.workers) as span:
+            raw = list(self._pool.map(_run_task, payloads))
+            results = []
+            for r in raw:
+                if r["metrics"] is not None:
+                    default_registry().merge_snapshot(r["metrics"])
+                if r["events"]:
+                    _replay_events(tracer, r["events"], parent_id=span.span_id)
+                results.append(r["result"])
+        obs_metrics.inc("exec/tasks_run", len(results))
+        return results
+
     def _absorb(self, raw: dict[str, Any], tracer: Any, span: Any) -> CellResult:
         """Fold one worker result into parent telemetry; build its CellResult."""
         if raw["metrics"] is not None:
@@ -290,6 +331,27 @@ def _run_cell(payload: tuple[int, Cell, Any, bool]) -> dict[str, Any]:
             "meta": res.meta,
             "rounds": res.rounds if cell.keep_rounds else None,
             "wall_ns": wall_ns,
+            "metrics": registry.snapshot(),
+            "events": sink.events if sink is not None else [],
+        }
+
+
+def _run_task(payload: tuple[int, Callable[[Any], Any], Any, bool]) -> dict[str, Any]:
+    """Execute one generic task in a worker process.
+
+    Same isolation discipline as :func:`_run_cell` — private registry,
+    private memory-sink tracer when the parent captures telemetry — but
+    the result is whatever the task function returns (it must pickle).
+    """
+    index, fn, item, capture = payload
+    with isolated_registry() as registry:
+        sink = MemorySink() if capture else None
+        tracer = Tracer(sink, registry=registry) if capture else NULL_TRACER
+        with use_tracer(tracer):  # type: ignore[arg-type]
+            result = fn(item)
+        return {
+            "index": index,
+            "result": result,
             "metrics": registry.snapshot(),
             "events": sink.events if sink is not None else [],
         }

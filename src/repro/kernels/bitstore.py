@@ -1,0 +1,220 @@
+"""Dense edge representation: packed bitset rows + padded incidence block.
+
+:class:`BitEdgeStore` is the second physical layout for a hypergraph's
+edge set, complementing the CSR :class:`~repro.hypergraph.edgestore.EdgeStore`.
+It holds two views of the same edges:
+
+* ``rows`` — one packed ``uint64`` bitset row per edge over the (fixed)
+  universe, so subset tests, trims and unions are word-parallel;
+* ``block`` — the *packed incidence block*: an ``(m, dim)`` integer matrix
+  whose row *i* lists the vertices of edge *i* in ascending order, padded
+  with the sentinel ``universe``.  For the small dimensions the paper's
+  algorithms live in (``d ≤ 3`` after normalisation) a gather over this
+  block replaces a ragged ``np.add.reduceat`` over CSR — one contiguous
+  fancy-index instead of a segmented reduction, which is what the
+  shape-dispatched solvers exploit.
+
+The primitives here are exactly the round-body operations of the solvers
+(per-edge marked counts, fully-marked detection, trim, singleton
+collection, containment witnesses); each is differentially pinned against
+its CSR counterpart in ``tests/kernels`` and via the ``repro.qa`` fuzz
+subjects.
+
+Padding convention: every lookup that gathers a per-vertex value through
+``block`` must supply the value the sentinel column should contribute
+(identity of the reduction): 0 for sums of indicator values, ``True`` for
+universally-quantified tests, and so on.  The helpers take an explicit
+``pad`` argument to keep that choice visible at the call site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.edgestore import EdgeStore
+
+__all__ = ["BitEdgeStore", "pack_mask", "unpack_words"]
+
+#: Word size of the packed rows.
+WORD_BITS = 64
+
+
+def pack_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean vector into little-endian ``uint64`` words."""
+    packed = np.packbits(mask.astype(np.uint8, copy=False), bitorder="little")
+    pad = (-packed.size) % 8
+    if pad:
+        packed = np.concatenate([packed, np.zeros(pad, dtype=np.uint8)])
+    return packed.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, universe: int) -> np.ndarray:
+    """Inverse of :func:`pack_mask` (truncates to *universe* bits)."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return bits[:universe].astype(bool)
+
+
+class BitEdgeStore:
+    """Dense (bitset + incidence-block) view of a canonical edge store.
+
+    Parameters
+    ----------
+    universe:
+        Ground-set size; every row spans ``ceil(universe / 64)`` words.
+    block:
+        ``(m, dim)`` vertex matrix padded with ``universe`` (adopted, not
+        copied).
+    sizes:
+        Per-edge sizes aligned with *block*.
+    """
+
+    __slots__ = ("universe", "block", "sizes", "_rows")
+
+    def __init__(self, universe: int, block: np.ndarray, sizes: np.ndarray):
+        self.universe = int(universe)
+        self.block = block
+        self.sizes = sizes
+        self._rows: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(cls, store: EdgeStore, universe: int) -> "BitEdgeStore":
+        """Build the dense view from a canonical CSR store."""
+        sizes = store.sizes().astype(np.intp, copy=True)
+        m = sizes.size
+        dim = int(sizes.max()) if m else 0
+        block = np.full((m, max(dim, 1)), universe, dtype=np.intp)
+        if m:
+            rows = np.repeat(np.arange(m, dtype=np.intp), sizes)
+            cols = np.arange(store.indices.size, dtype=np.intp) - np.repeat(
+                store.indptr[:-1], sizes
+            )
+            block[rows, cols] = store.indices
+        return cls(universe, block, sizes)
+
+    def to_store(self) -> EdgeStore:
+        """Rebuild a canonical CSR store (tests / interop; not a hot path)."""
+        m = self.sizes.size
+        edges = [
+            tuple(int(v) for v in self.block[i] if v < self.universe)
+            for i in range(m)
+        ]
+        return EdgeStore.from_iterable(edges)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.sizes.size)
+
+    @property
+    def dimension(self) -> int:
+        return int(self.sizes.max()) if self.sizes.size else 0
+
+    @property
+    def words(self) -> int:
+        """Words per packed row."""
+        return (self.universe + WORD_BITS - 1) // WORD_BITS
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Packed ``(m, words)`` bitset rows (built lazily, then cached)."""
+        if self._rows is None:
+            m = self.num_edges
+            w = max(self.words, 1)
+            rows = np.zeros((m, w), dtype=np.uint64)
+            if m:
+                valid = self.block < self.universe
+                eids = np.broadcast_to(
+                    np.arange(m, dtype=np.intp)[:, None], self.block.shape
+                )[valid]
+                verts = self.block[valid]
+                flat = rows.view(np.uint64).reshape(m, w)
+                np.bitwise_or.at(
+                    flat,
+                    (eids, verts // WORD_BITS),
+                    np.uint64(1) << (verts % WORD_BITS).astype(np.uint64),
+                )
+            self._rows = rows
+        return self._rows
+
+    # ------------------------------------------------------------------
+    # round-body primitives (each pinned against the CSR equivalent)
+    # ------------------------------------------------------------------
+    def gather(self, values: np.ndarray, pad) -> np.ndarray:
+        """Per-slot gather of a per-vertex array through the block.
+
+        *values* has length ``universe``; *pad* is the value the sentinel
+        column contributes (the identity of whatever reduction follows).
+        """
+        ext = np.empty(self.universe + 1, dtype=values.dtype)
+        ext[: self.universe] = values
+        ext[self.universe] = pad
+        return ext[self.block]
+
+    def edge_mark_counts(self, marked: np.ndarray) -> np.ndarray:
+        """Per-edge count of marked vertices — dense twin of
+        ``SerialBackend.edge_mark_counts`` (``incidence @ marked``)."""
+        return self.gather(marked, False).sum(axis=1).astype(np.int64)
+
+    def fully_marked(self, marked: np.ndarray) -> np.ndarray:
+        """Edges entirely inside the marked set (pad counts as marked)."""
+        return self.gather(marked, True).all(axis=1)
+
+    def union_of(self, edge_mask: np.ndarray) -> np.ndarray:
+        """Union of the selected edges, as a boolean vertex mask."""
+        out = np.zeros(self.universe + 1, dtype=bool)
+        out[self.block[edge_mask].ravel()] = True
+        return out[: self.universe]
+
+    def touching(self, vertex_mask: np.ndarray) -> np.ndarray:
+        """Edges with at least one endpoint in *vertex_mask*."""
+        return self.gather(vertex_mask, False).any(axis=1)
+
+    def trim(self, vertex_mask: np.ndarray) -> "BitEdgeStore":
+        """Remove the masked vertices from every edge (no dedup; the
+        engines own the dedup/cleanup policy).  Raises like the CSR trim
+        if an edge would become empty."""
+        hit = self.gather(vertex_mask, False)
+        new_sizes = self.sizes - hit.sum(axis=1)
+        if (new_sizes == 0).any():
+            bad = int(np.flatnonzero(new_sizes == 0)[0])
+            edge = tuple(int(v) for v in self.block[bad] if v < self.universe)
+            raise ValueError(
+                f"edge {edge} became empty: the removed set contains a full edge"
+            )
+        block = np.where(hit, self.universe, self.block)
+        block = np.sort(block, axis=1)  # kept vertices stay ascending; pads sink right
+        return BitEdgeStore(self.universe, block, new_sizes.astype(np.intp))
+
+    def singleton_vertices(self) -> np.ndarray:
+        """Sorted unique vertices carried by singleton edges."""
+        single = self.sizes == 1
+        if not single.any():
+            return np.empty(0, dtype=np.intp)
+        return np.unique(self.block[single, 0])
+
+    def superset_mask(self) -> np.ndarray:
+        """Edges that properly contain another edge (word-parallel scan).
+
+        Quadratic in ``m`` over packed words — meant for the small dense
+        instances the dispatcher routes here, and as the differential
+        subject for the CSR Gram-product scan.
+        """
+        m = self.num_edges
+        drop = np.zeros(m, dtype=bool)
+        if m <= 1:
+            return drop
+        rows = self.rows
+        sizes = self.sizes
+        for j in range(m):
+            smaller = sizes < sizes[j]
+            if not smaller.any():
+                continue
+            contained = ~np.bitwise_and(rows, ~rows[j]).any(axis=1)
+            if (contained & smaller).any():
+                drop[j] = True
+        return drop

@@ -1,0 +1,130 @@
+"""Shape-based kernel dispatch for the MIS solvers.
+
+Every solver entry point (``beame_luby``, ``karp_upfal_wigderson``,
+``permutation_bl``, ``greedy_mis``) asks this module which execution
+backend to run — callers never pick one by hand.  The decision uses cheap
+instance features only (universe, dimension, n, m, density; in the spirit
+of the A5 cost-model ablation: features you can read off the store headers
+without touching the payload), plus hard blockers from the call site
+(instrumentation hooks that are defined in terms of the CSR
+representation).
+
+The contract the dispatcher relies on — and the differential fuzz subjects
+enforce — is that **all backends are bit-identical per seed**, so this
+choice can never change a result, a trace record, or a regression corpus
+replay; only wall-clock.
+
+Every decision is counted in the metrics registry:
+
+* ``kernels/dispatch/<backend>`` — which backend ran;
+* ``kernels/dispatch_reason/<reason>`` — why (low-cardinality labels);
+
+both visible in ``repro trace summary``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import current_kernel
+from repro.kernels.bl_dense import DENSE_MAX_DIMENSION, DENSE_MAX_UNIVERSE
+from repro.kernels.jit import HAVE_NUMBA
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["ShapeFeatures", "KernelDecision", "dense_capable", "select_backend"]
+
+
+@dataclass(frozen=True)
+class ShapeFeatures:
+    """The cheap features the dispatcher (and its obs trail) looks at."""
+
+    n: int
+    m: int
+    universe: int
+    dimension: int
+    density: float  # m / max(n, 1)
+
+    @classmethod
+    def of(cls, H: Hypergraph) -> "ShapeFeatures":
+        n = H.num_vertices
+        m = H.num_edges
+        return cls(
+            n=n,
+            m=m,
+            universe=H.universe,
+            dimension=H.dimension,
+            density=m / max(n, 1),
+        )
+
+
+@dataclass(frozen=True)
+class KernelDecision:
+    """Outcome of one dispatch: the backend to run and the (counted) reason."""
+
+    backend: str  # "csr" | "bitset" | "jit"
+    reason: str
+
+    @property
+    def dense(self) -> bool:
+        return self.backend != "csr"
+
+
+def dense_capable(H: Hypergraph) -> bool:
+    """Can the dense engine represent this instance at all?
+
+    The dense state is quadratic in the universe (pair-key tables) and its
+    cleanup logic enumerates vertex pairs per edge, so it is gated to
+    dimension ≤ 3 (the post-normalisation regime of the paper's algorithms)
+    and a universe small enough that the tables stay within a few MB.
+    """
+    return H.dimension <= DENSE_MAX_DIMENSION and H.universe <= DENSE_MAX_UNIVERSE
+
+
+def select_backend(
+    H: Hypergraph,
+    *,
+    requested: str | None = None,
+    blockers: tuple[str, ...] = (),
+) -> KernelDecision:
+    """Choose the backend for one solve and count the decision.
+
+    Parameters
+    ----------
+    H:
+        The instance (only shape features are read).
+    requested:
+        Explicit kernel name; defaults to :func:`repro.kernels.current_kernel`
+        (``use_kernel`` override, else ``REPRO_KERNEL``, else ``auto``).
+    blockers:
+        Call-site conditions that force CSR regardless of the request —
+        e.g. an ``on_round`` hook (its signature hands out CSR hypergraph
+        successors) or an enabled tracer (per-round spans are emitted from
+        the CSR loop).  Low-cardinality labels; the first one is counted.
+    """
+    req = _validated(requested) if requested is not None else current_kernel()
+    if req == "csr":
+        decision = KernelDecision("csr", "forced:csr")
+    elif blockers:
+        decision = KernelDecision("csr", f"blocked:{blockers[0]}")
+    elif not dense_capable(H):
+        reason = "auto:shape-sparse" if req == "auto" else "unsupported-shape"
+        decision = KernelDecision("csr", reason)
+    elif req == "jit":
+        if HAVE_NUMBA:
+            decision = KernelDecision("jit", "forced:jit")
+        else:
+            decision = KernelDecision("bitset", "fallback:jit-unavailable")
+    elif req == "bitset":
+        decision = KernelDecision("bitset", "forced:bitset")
+    else:
+        decision = KernelDecision("bitset", "auto:shape-dense")
+    obs_metrics.inc(f"kernels/dispatch/{decision.backend}")
+    obs_metrics.inc(f"kernels/dispatch_reason/{decision.reason}")
+    return decision
+
+
+def _validated(name: str) -> str:
+    from repro.kernels import _validate
+
+    return _validate(name)

@@ -1,0 +1,114 @@
+"""Optional numba-compiled inner kernels (import-guarded).
+
+The dense engine's per-round inner loops are three tiny "stamp gather"
+reductions over the ``(m, 3)`` incidence block.  NumPy runs them as a
+fancy-index gather plus a row reduction (two temporaries); numba fuses
+them into one pass with early exit.  The compiled and NumPy variants are
+exact integer computations over the same inputs, so they are
+interchangeable bit for bit — which is what lets ``jit`` degrade to
+``bitset`` when numba is absent without changing any result.
+
+numba is **optional**: this module must import cleanly without it
+(``HAVE_NUMBA`` is the guard the dispatcher checks).  Nothing outside
+``repro.kernels`` may import numba directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "NUMPY_KERNELS", "JIT_KERNELS", "row_kernels"]
+
+try:  # pragma: no cover - exercised by the with-numba CI leg
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - any import failure means "no numba"
+    njit = None
+    HAVE_NUMBA = False
+
+
+class _NumpyRowKernels:
+    """Pure-NumPy row-stamp reductions (always available)."""
+
+    name = "numpy"
+
+    @staticmethod
+    def row_all(block: np.ndarray, stamps: np.ndarray, stamp: int) -> np.ndarray:
+        """Per row: are all slots stamped?  (Pad slot must be pre-stamped.)"""
+        return (stamps[block] == stamp).all(axis=1)
+
+    @staticmethod
+    def row_hits(block: np.ndarray, stamps: np.ndarray, stamp: int) -> np.ndarray:
+        """Per slot: is the slot's vertex stamped?  (Full boolean matrix.)"""
+        return stamps[block] == stamp
+
+    @staticmethod
+    def row_any(block: np.ndarray, stamps: np.ndarray, stamp: int) -> np.ndarray:
+        """Per row: is any slot stamped?"""
+        return (stamps[block] == stamp).any(axis=1)
+
+
+NUMPY_KERNELS = _NumpyRowKernels()
+
+JIT_KERNELS = None
+
+if HAVE_NUMBA:  # pragma: no cover - exercised by the with-numba CI leg
+
+    @njit(cache=True)
+    def _jit_row_all(block, stamps, stamp):
+        m, k = block.shape
+        out = np.empty(m, dtype=np.bool_)
+        for i in range(m):
+            ok = True
+            for j in range(k):
+                if stamps[block[i, j]] != stamp:
+                    ok = False
+                    break
+            out[i] = ok
+        return out
+
+    @njit(cache=True)
+    def _jit_row_hits(block, stamps, stamp):
+        m, k = block.shape
+        out = np.empty((m, k), dtype=np.bool_)
+        for i in range(m):
+            for j in range(k):
+                out[i, j] = stamps[block[i, j]] == stamp
+        return out
+
+    @njit(cache=True)
+    def _jit_row_any(block, stamps, stamp):
+        m, k = block.shape
+        out = np.empty(m, dtype=np.bool_)
+        for i in range(m):
+            hit = False
+            for j in range(k):
+                if stamps[block[i, j]] == stamp:
+                    hit = True
+                    break
+            out[i] = hit
+        return out
+
+    class _JitRowKernels:
+        """numba-fused row-stamp reductions."""
+
+        name = "jit"
+        row_all = staticmethod(_jit_row_all)
+        row_hits = staticmethod(_jit_row_hits)
+        row_any = staticmethod(_jit_row_any)
+
+    JIT_KERNELS = _JitRowKernels()
+
+
+def row_kernels(jit: bool):
+    """The row-kernel namespace for a backend choice.
+
+    ``jit=True`` requires ``HAVE_NUMBA`` (the dispatcher never asks
+    otherwise); ``jit=False`` is the portable NumPy implementation.
+    """
+    if jit:
+        if JIT_KERNELS is None:
+            raise RuntimeError("numba is not available; jit kernels cannot be used")
+        return JIT_KERNELS
+    return NUMPY_KERNELS

@@ -56,6 +56,8 @@ from repro.hypergraph.validate import (
     MaximalityViolation,
     check_mis,
 )
+from repro.kernels import VALID_KERNELS, use_kernel
+from repro.kernels.dispatch import dense_capable
 from repro.qa.mutations import disjoint_union, relabel_vertices, shuffle_edge_order
 from repro.util.rng import SeedLike
 
@@ -77,7 +79,8 @@ class Failure:
     ``maximality``, ``reference``, ``oracle``, ``determinism``,
     ``canonicalisation``, ``edge-order``, ``relabel``,
     ``component-split``, ``component-merge``, ``certificate``,
-    ``exception``); ``solver`` is the subject under test.
+    ``backend-identity``, ``backend``, ``exception``); ``solver`` is the
+    subject under test.
     """
 
     solver: str
@@ -105,7 +108,19 @@ def _two_uniform(H: Hypergraph) -> bool:
     return all(len(e) == 2 for e in H.edges)
 
 
-#: The seven library solvers under differential test.
+def _forced_kernel(fn: Callable, kernel: str) -> Callable:
+    """Wrap a solver so every call runs under a pinned kernel backend."""
+
+    def solve(H: Hypergraph, *args, **kwargs):
+        with use_kernel(kernel):
+            return fn(H, *args, **kwargs)
+
+    return solve
+
+
+#: The seven library solvers under differential test, plus one pinned-backend
+#: BL subject per kernel (on dense-capable instances they exercise different
+#: engines; the ``backend`` metamorphic check requires them bit-identical).
 SOLVERS: tuple[SolverSpec, ...] = (
     SolverSpec("sbl", sbl, _always),
     SolverSpec("bl", beame_luby, _always),
@@ -114,6 +129,9 @@ SOLVERS: tuple[SolverSpec, ...] = (
     SolverSpec("permutation", permutation_bl, _always),
     SolverSpec("luby", luby_mis, _two_uniform),
     SolverSpec("linear", linear_hypergraph_mis, is_linear),
+    SolverSpec("bl-csr", _forced_kernel(beame_luby, "csr"), dense_capable),
+    SolverSpec("bl-bitset", _forced_kernel(beame_luby, "bitset"), dense_capable),
+    SolverSpec("bl-jit", _forced_kernel(beame_luby, "jit"), dense_capable),
 )
 
 _BY_NAME: Mapping[str, SolverSpec] = {s.name: s for s in SOLVERS}
@@ -226,6 +244,21 @@ def run_case(
         results[spec.name] = members
         failures += _validate(H, members, spec.name)
 
+    # Dispatch contract: every BL kernel backend is bit-identical per seed.
+    ref = results.get("bl-csr")
+    if ref is not None:
+        for name in ("bl", "bl-bitset", "bl-jit"):
+            other = results.get(name)
+            if other is not None and not np.array_equal(ref, other):
+                failures.append(
+                    Failure(
+                        name,
+                        "backend-identity",
+                        f"diverges from bl-csr: {other.tolist()[:6]} vs "
+                        f"{ref.tolist()[:6]}",
+                    )
+                )
+
     if oracle and len(failures) < max_failures:
         try:
             res = kuw_oracle(IndependenceOracle(H), seed=seed, trace=False)
@@ -281,6 +314,29 @@ def _metamorphic(
         )
     if done():
         return failures
+
+    # Backend invariance: pinning any kernel must reproduce the ambient
+    # dispatch result bit-for-bit (jit falls back to bitset without numba).
+    for kern in (k for k in VALID_KERNELS if k != "auto"):
+        out = _try(
+            failures,
+            focus,
+            "backend",
+            lambda k=kern: np.asarray(
+                _forced_kernel(focus.fn, k)(H, seed=seed, trace=False).independent_set,
+                dtype=np.intp,
+            ),
+        )
+        if out is not None and not np.array_equal(out, base):
+            failures.append(
+                Failure(
+                    focus.name,
+                    "backend",
+                    f"kernel={kern} diverges from ambient dispatch",
+                )
+            )
+        if done():
+            return failures
 
     # Edge-order independence: a shuffled presentation canonicalises to an
     # equal instance and must therefore solve identically.

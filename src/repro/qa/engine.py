@@ -195,6 +195,53 @@ def _handle_failure(
     return report
 
 
+def _case_battery(payload: tuple) -> list[Failure]:
+    """Rebuild fuzz case ``(seed, index)`` and run its differential battery.
+
+    Module-level so :meth:`ParallelRunner.map_tasks` can pickle it into
+    worker processes; the case is regenerated from its coordinates (pure,
+    a few hundred microseconds) instead of shipping the hypergraph over.
+    Runs under whatever tracer is ambient in the calling process — in a
+    worker that is the private memory-sink tracer the runner splices back.
+    """
+    seed, index, solvers, extra_solvers, metamorphic, oracle = payload
+    return _run_battery(
+        generate_case(seed, index), solvers, extra_solvers, metamorphic, oracle
+    )
+
+
+def _run_battery(
+    case: FuzzCase,
+    solvers: list[str] | None,
+    extra_solvers: Mapping[str, Callable] | None,
+    metamorphic: bool,
+    oracle: bool,
+) -> list[Failure]:
+    H = case.hypergraph
+    tracer = current_tracer()
+    with tracer.span(
+        "fuzz/case",
+        index=case.index,
+        family=case.family,
+        n=H.num_vertices,
+        m=H.num_edges,
+        dim=H.dimension,
+    ) as span:
+        failures = run_case(
+            H,
+            case.solver_seed,
+            solvers=solvers,
+            extra_solvers=extra_solvers,
+            focus_index=case.index,
+            metamorphic=metamorphic,
+            oracle=oracle,
+            certificate=case.certificate,
+        )
+        if tracer.enabled:
+            span.set(failures=len(failures), mutations=list(case.mutations))
+    return failures
+
+
 def run_fuzz(
     budget: Budget | str,
     seed: int = 0,
@@ -209,6 +256,7 @@ def run_fuzz(
     oracle: bool = True,
     start_index: int = 0,
     on_case: Callable[[FuzzCase, list[Failure]], None] | None = None,
+    workers: int | None = None,
 ) -> FuzzReport:
     """Run a differential fuzzing campaign.
 
@@ -233,6 +281,13 @@ def run_fuzz(
         First case index (resume a stream past known-clean prefixes).
     on_case:
         Observer hook called after each case with its failures.
+    workers:
+        Fan case batteries out over N worker processes via the shared
+        :class:`~repro.exec.runner.ParallelRunner` (``None``/``0`` =
+        in-process).  Case content, processing order and the failure
+        report are identical to serial for a case budget; a time budget
+        may overshoot by up to one dispatch chunk before it stops.
+        ``extra_solvers`` must be picklable to cross the pool boundary.
     """
     if isinstance(budget, str):
         budget = parse_budget(budget)
@@ -249,59 +304,82 @@ def run_fuzz(
             return True
         return False
 
-    with tracer.span("fuzz/run", seed=seed, budget=str(budget)) as run_span:
-        offset = 0
-        while not exhausted(offset):
-            case = generate_case(seed, start_index + offset)
-            H = case.hypergraph
-            with tracer.span(
-                "fuzz/case",
+    def fold(case: FuzzCase, failures: list[Failure]) -> bool:
+        """Account one completed case; True = stop (max failures hit)."""
+        if on_case is not None:
+            on_case(case, failures)
+        if not failures:
+            return False
+        obs_metrics.inc("qa/failing_cases")
+        if tracer.enabled:
+            tracer.emit(
+                "fuzz_failure",
                 index=case.index,
-                family=case.family,
-                n=H.num_vertices,
-                m=H.num_edges,
-                dim=H.dimension,
-            ) as span:
-                failures = run_case(
-                    H,
-                    case.solver_seed,
-                    solvers=solvers,
-                    extra_solvers=extra_solvers,
-                    focus_index=case.index,
-                    metamorphic=metamorphic,
-                    oracle=oracle,
-                    certificate=case.certificate,
-                )
-                if tracer.enabled:
-                    span.set(failures=len(failures), mutations=list(case.mutations))
-            obs_metrics.inc("qa/cases")
-            report.cases += 1
-            offset += 1
-            if on_case is not None:
-                on_case(case, failures)
-            if not failures:
-                continue
-            obs_metrics.inc("qa/failing_cases")
-            if tracer.enabled:
-                tracer.emit(
-                    "fuzz_failure",
-                    index=case.index,
-                    failures=[str(f) for f in failures],
-                )
-            report.failures.append(
-                _handle_failure(
-                    case,
-                    failures,
-                    out_path,
-                    extra_solvers,
-                    shrink_failures,
-                    max_shrink_evals,
-                    seed,
-                )
+                failures=[str(f) for f in failures],
             )
-            if len(report.failures) >= max_failures:
-                report.stop_reason = "max-failures"
-                break
+        report.failures.append(
+            _handle_failure(
+                case,
+                failures,
+                out_path,
+                extra_solvers,
+                shrink_failures,
+                max_shrink_evals,
+                seed,
+            )
+        )
+        if len(report.failures) >= max_failures:
+            report.stop_reason = "max-failures"
+            return True
+        return False
+
+    with tracer.span(
+        "fuzz/run", seed=seed, budget=str(budget), workers=workers or 0
+    ) as run_span:
+        offset = 0
+        if workers:
+            from repro.exec.runner import ParallelRunner
+
+            with ParallelRunner(workers) as runner:
+                # Chunked dispatch: enough cases in flight to keep every
+                # worker busy, small enough that a time budget or an early
+                # max-failures stop does not overrun by much.
+                chunk = max(2 * runner.workers, 4)
+                stop = False
+                while not stop and not exhausted(offset):
+                    size = chunk
+                    if budget.cases is not None:
+                        size = min(size, budget.cases - offset)
+                    indices = [start_index + offset + i for i in range(size)]
+                    batch = runner.map_tasks(
+                        _case_battery,
+                        [
+                            (seed, idx, solvers, extra_solvers, metamorphic, oracle)
+                            for idx in indices
+                        ],
+                        label="fuzz/chunk",
+                    )
+                    for index, failures in zip(indices, batch):
+                        obs_metrics.inc("qa/cases")
+                        report.cases += 1
+                        offset += 1
+                        if failures or on_case is not None:
+                            # The case itself stays in the worker; rebuild
+                            # it (pure in (seed, index)) only when needed.
+                            if fold(generate_case(seed, index), failures):
+                                stop = True
+                                break
+        else:
+            while not exhausted(offset):
+                case = generate_case(seed, start_index + offset)
+                failures = _run_battery(
+                    case, solvers, extra_solvers, metamorphic, oracle
+                )
+                obs_metrics.inc("qa/cases")
+                report.cases += 1
+                offset += 1
+                if fold(case, failures):
+                    break
         report.elapsed_s = time.monotonic() - t0
         if tracer.enabled:
             run_span.set(

@@ -180,6 +180,22 @@ def _build_boundary(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
     return H, None, {"n": n, "kind": kind}
 
 
+def _build_dense(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
+    """Dense-kernel bias: small universe, dimension ≤ 3, high edge density.
+
+    Every instance of this family routes through the dense (bitset/jit)
+    engines under ``auto`` dispatch, so the differential battery exercises
+    their cleanup machinery — duplicate collapse, containment discards,
+    singleton reds — far more often than the uniform family would.
+    """
+    n = int(rng.integers(6, 64))
+    d = int(rng.integers(2, 4))
+    cap = math.comb(n, d)
+    m = int(min(rng.integers(n, 4 * n + 1), cap))
+    H = uniform_hypergraph(n, m, d, seed=rng)
+    return H, None, {"n": n, "m": m, "d": d}
+
+
 def _build_degenerate(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
     shape = int(rng.integers(0, 5))
     if shape == 0:
@@ -208,8 +224,8 @@ def _build_degenerate(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]
 
 
 #: Family rotation — index ``i`` draws its instance from
-#: ``FAMILIES[i % len(FAMILIES)]``, so every window of 10 consecutive
-#: cases covers every family once.
+#: ``FAMILIES[i % len(FAMILIES)]``, so every window of ``len(FAMILIES)``
+#: consecutive cases covers every family once.
 FAMILIES: tuple[tuple[str, Callable], ...] = (
     ("uniform", _build_uniform),
     ("mixed", _build_mixed),
@@ -221,6 +237,7 @@ FAMILIES: tuple[tuple[str, Callable], ...] = (
     ("boundary", _build_boundary),
     ("degenerate", _build_degenerate),
     ("steiner", _build_steiner),
+    ("dense", _build_dense),
 )
 
 #: Mutations safe to apply when the case carries a planted certificate:

@@ -1,10 +1,19 @@
-"""A NumPy-backed fixed-universe bitset.
+"""A NumPy-backed fixed-universe bitset over packed uint64 words.
 
 Vertex subsets over a fixed universe ``{0, …, n-1}`` appear everywhere in
 the algorithms (marked sets, independent sets, removed vertices).  Python
-``set`` objects are flexible but slow and memory-hungry at scale; this bitset
-stores membership as a boolean NumPy array, giving O(1) membership tests,
-vectorised bulk updates, and cheap conversion to index arrays.
+``set`` objects are flexible but slow and memory-hungry at scale; this
+bitset packs membership into 64-bit words — 8× denser than the previous
+bool-byte array — so the set algebra (union, intersection, difference,
+subset/disjointness tests) runs word-parallel, 64 members per machine
+operation, and cardinality is a vectorised popcount
+(:func:`numpy.bitwise_count` where available, ``unpackbits`` otherwise).
+
+Semantics are unchanged from the bool-mask implementation: the same
+constructors, the same membership/iteration/index-extraction behaviour,
+``mask`` still yields the boolean view of the set (now materialised from
+the packed words on demand).  ``tests/util/test_bitset.py`` pins the API
+and the property tests pin packed-vs-bool-mask equivalence.
 
 Only the operations the algorithms need are implemented; the class is
 deliberately not a full :class:`collections.abc.MutableSet` to keep the hot
@@ -20,9 +29,29 @@ import numpy as np
 
 __all__ = ["Bitset"]
 
+_ONE = np.uint64(1)
+_SIX3 = np.uint64(63)
+
+#: numpy ≥ 2.0 ships a hardware popcount ufunc; older versions fall back
+#: to byte unpacking (same integers, more memory traffic).
+_bitwise_count = getattr(np, "bitwise_count", None)
+
+
+def _popcount(words: np.ndarray) -> int:
+    if _bitwise_count is not None:
+        return int(_bitwise_count(words).sum())
+    return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+def _as_index_array(members: Iterable[int] | np.ndarray) -> np.ndarray:
+    return np.asarray(
+        list(members) if not isinstance(members, np.ndarray) else members,
+        dtype=np.intp,
+    )
+
 
 class Bitset:
-    """A subset of ``{0, …, universe-1}`` stored as a boolean array.
+    """A subset of ``{0, …, universe-1}`` packed into uint64 words.
 
     Parameters
     ----------
@@ -42,128 +71,169 @@ class Bitset:
     3
     """
 
-    __slots__ = ("_mask",)
+    __slots__ = ("_words", "_n")
 
     def __init__(self, universe: int, members: Iterable[int] | None = None):
         if universe < 0:
             raise ValueError(f"universe size must be non-negative: {universe}")
-        self._mask = np.zeros(universe, dtype=bool)
+        self._n = int(universe)
+        self._words = np.zeros((self._n + 63) >> 6, dtype=np.uint64)
         if members is not None:
-            idx = np.asarray(list(members) if not isinstance(members, np.ndarray) else members, dtype=np.intp)
+            idx = _as_index_array(members)
             if idx.size:
                 if idx.min() < 0 or idx.max() >= universe:
                     raise IndexError("member outside universe")
-                self._mask[idx] = True
+                np.bitwise_or.at(
+                    self._words, idx >> 6, _ONE << (idx & 63).astype(np.uint64)
+                )
 
     # -- constructors -----------------------------------------------------
     @classmethod
+    def _from_words(cls, words: np.ndarray, universe: int) -> "Bitset":
+        """Wrap packed words (not copied; tail bits must be clear)."""
+        b = cls.__new__(cls)
+        b._words = words
+        b._n = universe
+        return b
+
+    @classmethod
     def from_mask(cls, mask: np.ndarray) -> "Bitset":
-        """Wrap an existing boolean array (copied)."""
-        b = cls(0)
-        b._mask = np.asarray(mask, dtype=bool).copy()
+        """Build from a boolean membership array (packed, not aliased)."""
+        m = np.asarray(mask, dtype=bool)
+        b = cls(int(m.size))
+        if m.size:
+            packed = np.packbits(m, bitorder="little")
+            target = b._words.view(np.uint8)
+            target[: packed.size] = packed
         return b
 
     @classmethod
     def full(cls, universe: int) -> "Bitset":
         """The complete set ``{0, …, universe-1}``."""
-        b = cls(0)
-        b._mask = np.ones(universe, dtype=bool)
+        b = cls(universe)
+        b._words[:] = ~np.uint64(0)
+        tail = universe & 63
+        if b._words.size and tail:
+            b._words[-1] = (_ONE << np.uint64(tail)) - _ONE
         return b
 
     # -- basic protocol ----------------------------------------------------
     @property
     def universe(self) -> int:
         """Size of the ground set."""
-        return int(self._mask.size)
+        return self._n
 
     @property
     def mask(self) -> np.ndarray:
-        """The underlying boolean array (read-only view)."""
-        view = self._mask.view()
-        view.flags.writeable = False
-        return view
+        """Membership as a read-only boolean array (unpacked on demand)."""
+        if self._n == 0:
+            out = np.zeros(0, dtype=bool)
+        else:
+            out = np.unpackbits(
+                self._words.view(np.uint8), count=self._n, bitorder="little"
+            ).astype(bool)
+        out.flags.writeable = False
+        return out
 
     def __contains__(self, v: int) -> bool:
-        return 0 <= v < self._mask.size and bool(self._mask[v])
+        return 0 <= v < self._n and bool(
+            (int(self._words[v >> 6]) >> (v & 63)) & 1
+        )
 
     def __len__(self) -> int:
-        return int(self._mask.sum())
+        return _popcount(self._words)
 
     def __iter__(self) -> Iterator[int]:
-        return iter(np.flatnonzero(self._mask).tolist())
+        return iter(self.indices().tolist())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Bitset):
             return NotImplemented
-        return self._mask.size == other._mask.size and bool((self._mask == other._mask).all())
+        return self._n == other._n and bool(
+            (self._words == other._words).all()
+        )
 
     def __hash__(self):  # pragma: no cover - mutable container
         raise TypeError("Bitset is unhashable (mutable)")
 
     def __repr__(self) -> str:
         n = len(self)
-        preview = np.flatnonzero(self._mask)[:8].tolist()
+        preview = self.indices()[:8].tolist()
         suffix = ", …" if n > 8 else ""
         return f"Bitset(universe={self.universe}, size={n}, members={preview}{suffix})"
 
     # -- mutation ----------------------------------------------------------
     def add(self, v: int) -> None:
         """Insert one element."""
-        self._mask[v] = True
+        if not 0 <= v < self._n:
+            raise IndexError("member outside universe")
+        self._words[v >> 6] |= _ONE << np.uint64(v & 63)
 
     def discard(self, v: int) -> None:
         """Remove one element if present."""
-        if 0 <= v < self._mask.size:
-            self._mask[v] = False
+        if 0 <= v < self._n:
+            self._words[v >> 6] &= ~(_ONE << np.uint64(v & 63))
 
     def update(self, members: Iterable[int] | np.ndarray) -> None:
-        """Bulk insert (vectorised)."""
-        idx = np.asarray(list(members) if not isinstance(members, np.ndarray) else members, dtype=np.intp)
+        """Bulk insert (vectorised scatter into the packed words)."""
+        idx = _as_index_array(members)
         if idx.size:
-            self._mask[idx] = True
+            if idx.min() < 0 or idx.max() >= self._n:
+                raise IndexError("member outside universe")
+            np.bitwise_or.at(
+                self._words, idx >> 6, _ONE << (idx & 63).astype(np.uint64)
+            )
 
     def difference_update(self, members: Iterable[int] | np.ndarray) -> None:
-        """Bulk remove (vectorised)."""
-        idx = np.asarray(list(members) if not isinstance(members, np.ndarray) else members, dtype=np.intp)
+        """Bulk remove (vectorised scatter into the packed words)."""
+        idx = _as_index_array(members)
         if idx.size:
-            self._mask[idx] = False
+            if idx.min() < 0 or idx.max() >= self._n:
+                raise IndexError("member outside universe")
+            np.bitwise_and.at(
+                self._words, idx >> 6, ~(_ONE << (idx & 63).astype(np.uint64))
+            )
 
     # -- set algebra ---------------------------------------------------------
     def _check_same_universe(self, other: "Bitset") -> None:
-        if self._mask.size != other._mask.size:
-            raise ValueError(
-                f"universe mismatch: {self._mask.size} vs {other._mask.size}"
-            )
+        if self._n != other._n:
+            raise ValueError(f"universe mismatch: {self._n} vs {other._n}")
 
     def union(self, other: "Bitset") -> "Bitset":
-        """Return ``self | other`` as a new bitset."""
+        """Return ``self | other`` as a new bitset (word-parallel)."""
         self._check_same_universe(other)
-        return Bitset.from_mask(self._mask | other._mask)
+        return Bitset._from_words(self._words | other._words, self._n)
 
     def intersection(self, other: "Bitset") -> "Bitset":
-        """Return ``self & other`` as a new bitset."""
+        """Return ``self & other`` as a new bitset (word-parallel)."""
         self._check_same_universe(other)
-        return Bitset.from_mask(self._mask & other._mask)
+        return Bitset._from_words(self._words & other._words, self._n)
 
     def difference(self, other: "Bitset") -> "Bitset":
-        """Return ``self - other`` as a new bitset."""
+        """Return ``self - other`` as a new bitset (word-parallel and-not)."""
         self._check_same_universe(other)
-        return Bitset.from_mask(self._mask & ~other._mask)
+        return Bitset._from_words(self._words & ~other._words, self._n)
 
     def issubset(self, other: "Bitset") -> bool:
         """``self ⊆ other``."""
         self._check_same_universe(other)
-        return bool((~self._mask | other._mask).all())
+        return not bool(np.any(self._words & ~other._words))
 
     def isdisjoint(self, other: "Bitset") -> bool:
         """``self ∩ other == ∅``."""
         self._check_same_universe(other)
-        return not bool((self._mask & other._mask).any())
+        return not bool(np.any(self._words & other._words))
 
     # -- conversions ---------------------------------------------------------
     def indices(self) -> np.ndarray:
-        """Members as a sorted ``intp`` index array."""
-        return np.flatnonzero(self._mask)
+        """Members as a sorted ``intp`` index array (bit extraction)."""
+        if self._n == 0:
+            return np.empty(0, dtype=np.intp)
+        return np.flatnonzero(
+            np.unpackbits(
+                self._words.view(np.uint8), count=self._n, bitorder="little"
+            )
+        )
 
     def to_set(self) -> set[int]:
         """Members as a Python ``set`` (for small sets / tests)."""
@@ -171,4 +241,4 @@ class Bitset:
 
     def copy(self) -> "Bitset":
         """Deep copy."""
-        return Bitset.from_mask(self._mask)
+        return Bitset._from_words(self._words.copy(), self._n)

@@ -107,6 +107,27 @@ class TestRunCells:
                 runner.run_cells(cells)
 
 
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestMapTasks:
+    def test_results_in_item_order(self):
+        with ParallelRunner(2) as runner:
+            assert runner.map_tasks(_square, list(range(8))) == [
+                i * i for i in range(8)
+            ]
+
+    def test_empty_items(self):
+        with ParallelRunner(1) as runner:
+            assert runner.map_tasks(_square, []) == []
+
+    def test_lambda_rejected_with_clear_error(self):
+        with ParallelRunner(1) as runner:
+            with pytest.raises(TypeError, match="picklable"):
+                runner.map_tasks(lambda x: x, [1])
+
+
 class TestLifecycle:
     def test_owned_pool_closed_on_exit(self):
         with ParallelRunner(1) as runner:

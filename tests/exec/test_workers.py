@@ -1,0 +1,86 @@
+"""resolve_workers: spec parsing and the measured ``auto`` floor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.exec.workers as workers_mod
+from repro.exec.workers import AUTO_SPEEDUP_FLOOR, bench_m02_path, resolve_workers
+
+
+def _bench(tmp_path, speedups):
+    path = tmp_path / "BENCH_m02.json"
+    path.write_text(json.dumps({"speedup_vs_serial": speedups}))
+    return path
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("spec", [None, 0, "", "0", " 0 "])
+    def test_in_process_specs(self, spec):
+        assert resolve_workers(spec) is None
+
+    @pytest.mark.parametrize("spec,want", [(3, 3), ("4", 4), (" 2 ", 2), (1, 1)])
+    def test_explicit_counts(self, spec, want):
+        assert resolve_workers(spec) == want
+
+    @pytest.mark.parametrize("spec", [-1, "-2"])
+    def test_negative_rejected(self, spec):
+        with pytest.raises(ValueError, match="non-negative"):
+            resolve_workers(spec)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="worker count or 'auto'"):
+            resolve_workers("lots")
+
+    def test_auto_is_case_insensitive(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 8)
+        bench = _bench(tmp_path, {"workers2": 2.0})
+        assert resolve_workers(" AUTO ", bench_path=bench) == 8
+
+
+class TestAutoFloor:
+    def test_fans_out_when_measured_speedup_clears_floor(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 6)
+        bench = _bench(tmp_path, {"workers1": 0.9, "workers2": 1.8})
+        assert resolve_workers("auto", bench_path=bench) == 6
+
+    def test_floored_to_in_process_when_overhead_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 6)
+        bench = _bench(tmp_path, {"workers2": AUTO_SPEEDUP_FLOOR - 0.01})
+        assert resolve_workers("auto", bench_path=bench) is None
+
+    def test_floor_is_inclusive(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 4)
+        bench = _bench(tmp_path, {"workers2": AUTO_SPEEDUP_FLOOR})
+        assert resolve_workers("auto", bench_path=bench) == 4
+
+    def test_missing_bench_is_optimistic(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 5)
+        assert resolve_workers("auto", bench_path=tmp_path / "absent.json") == 5
+
+    def test_corrupt_bench_is_optimistic(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 5)
+        path = tmp_path / "BENCH_m02.json"
+        path.write_text("{not json")
+        assert resolve_workers("auto", bench_path=path) == 5
+
+    def test_empty_speedup_table_is_optimistic(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 5)
+        bench = _bench(tmp_path, {})
+        assert resolve_workers("auto", bench_path=bench) == 5
+
+    def test_single_cpu_never_fans_out(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 1)
+        bench = _bench(tmp_path, {"workers2": 3.0})
+        assert resolve_workers("auto", bench_path=bench) is None
+
+
+class TestCommittedBench:
+    def test_committed_file_is_readable(self):
+        # The committed BENCH_m02.json must parse; 'auto' must resolve
+        # without raising whatever this machine looks like.
+        assert bench_m02_path().exists()
+        resolved = resolve_workers("auto")
+        assert resolved is None or resolved >= 1

@@ -1,0 +1,157 @@
+"""BitEdgeStore primitives pinned against plain-Python/CSR references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import mixed_dimension_hypergraph, uniform_hypergraph
+from repro.hypergraph import Hypergraph
+from repro.kernels.bitstore import BitEdgeStore, pack_mask, unpack_words
+
+RNG = np.random.default_rng(2024)
+
+
+def _dense_views(H: Hypergraph):
+    return BitEdgeStore.from_store(H.store, H.universe), [set(e) for e in H.edges]
+
+
+def _instances():
+    yield uniform_hypergraph(30, 60, 3, seed=1)
+    yield uniform_hypergraph(12, 30, 2, seed=2)
+    yield mixed_dimension_hypergraph(25, 50, (1, 2, 3), seed=3)
+    yield Hypergraph(5, [(0,), (1, 2), (0, 1, 2)])
+    yield Hypergraph(70, [(0, 64, 69), (1, 2)])  # spans a word boundary
+    yield Hypergraph(6, [])
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("H", list(_instances()), ids=lambda h: f"n{h.universe}m{h.num_edges}")
+    def test_round_trip_preserves_edges(self, H):
+        dense, _ = _dense_views(H)
+        assert dense.to_store().edge_tuples() == H.store.edge_tuples()
+
+    def test_block_is_padded_with_universe(self):
+        H = Hypergraph(5, [(0,), (1, 2, 3)])
+        dense, _ = _dense_views(H)
+        assert dense.block.shape == (2, 3)
+        assert dense.block[0].tolist() == [0, 5, 5]
+        assert dense.block[1].tolist() == [1, 2, 3]
+
+    @pytest.mark.parametrize("H", list(_instances()), ids=lambda h: f"n{h.universe}m{h.num_edges}")
+    def test_rows_match_edge_membership(self, H):
+        dense, edges = _dense_views(H)
+        rows = dense.rows
+        assert rows.shape == (H.num_edges, max(dense.words, 1))
+        for i, edge in enumerate(edges):
+            mask = unpack_words(rows[i], H.universe)
+            assert set(np.flatnonzero(mask)) == edge
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("n", [0, 1, 63, 64, 65, 127, 130])
+    def test_round_trip(self, n):
+        mask = RNG.random(n) < 0.4
+        assert np.array_equal(unpack_words(pack_mask(mask), n), mask)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("H", list(_instances()), ids=lambda h: f"n{h.universe}m{h.num_edges}")
+    def test_edge_mark_counts(self, H):
+        dense, edges = _dense_views(H)
+        marked = RNG.random(H.universe) < 0.5
+        want = [sum(marked[v] for v in e) for e in edges]
+        assert dense.edge_mark_counts(marked).tolist() == want
+
+    @pytest.mark.parametrize("H", list(_instances()), ids=lambda h: f"n{h.universe}m{h.num_edges}")
+    def test_fully_marked(self, H):
+        dense, edges = _dense_views(H)
+        marked = RNG.random(H.universe) < 0.6
+        want = [all(marked[v] for v in e) for e in edges]
+        assert dense.fully_marked(marked).tolist() == want
+
+    @pytest.mark.parametrize("H", list(_instances()), ids=lambda h: f"n{h.universe}m{h.num_edges}")
+    def test_union_of(self, H):
+        dense, edges = _dense_views(H)
+        pick = RNG.random(H.num_edges) < 0.5
+        want = set().union(*(e for e, p in zip(edges, pick) if p)) if pick.any() else set()
+        got = dense.union_of(pick)
+        assert set(np.flatnonzero(got)) == want
+        assert got.shape == (H.universe,)
+
+    @pytest.mark.parametrize("H", list(_instances()), ids=lambda h: f"n{h.universe}m{h.num_edges}")
+    def test_touching(self, H):
+        dense, edges = _dense_views(H)
+        hit = RNG.random(H.universe) < 0.3
+        want = [any(hit[v] for v in e) for e in edges]
+        assert dense.touching(hit).tolist() == want
+
+    def test_gather_pad_is_explicit(self):
+        H = Hypergraph(4, [(0,), (1, 2)])
+        dense, _ = _dense_views(H)
+        vals = np.array([10, 20, 30, 40])
+        got = dense.gather(vals, -1)
+        assert got[0].tolist() == [10, -1]
+        assert got[1].tolist() == [20, 30]
+
+    def test_singleton_vertices(self):
+        H = Hypergraph(8, [(3,), (3,), (5,), (0, 1), (2, 4, 6)])
+        dense, _ = _dense_views(H)
+        # canonical store may dedup; compare against its actual edges
+        want = sorted({e[0] for e in dense.to_store().edge_tuples() if len(e) == 1})
+        assert dense.singleton_vertices().tolist() == want
+
+    def test_singleton_vertices_empty(self):
+        dense, _ = _dense_views(Hypergraph(4, [(0, 1)]))
+        assert dense.singleton_vertices().size == 0
+
+
+class TestTrim:
+    def test_matches_set_semantics(self):
+        H = Hypergraph(10, [(0, 1, 2), (3, 4), (5, 6, 7)])
+        dense, edges = _dense_views(H)
+        drop = np.zeros(10, dtype=bool)
+        drop[[1, 4, 7]] = True
+        trimmed = dense.trim(drop)
+        want = [sorted(e - {1, 4, 7}) for e in edges]
+        got = [sorted(e) for e in trimmed.to_store().edge_tuples()]
+        assert got == want
+        assert trimmed.sizes.tolist() == [2, 1, 2]
+
+    def test_raises_when_an_edge_empties(self):
+        H = Hypergraph(4, [(0, 1), (2, 3)])
+        dense, _ = _dense_views(H)
+        drop = np.zeros(4, dtype=bool)
+        drop[[2, 3]] = True
+        with pytest.raises(ValueError, match="became empty"):
+            dense.trim(drop)
+
+    def test_noop_trim(self):
+        H = uniform_hypergraph(16, 20, 3, seed=5)
+        dense, _ = _dense_views(H)
+        trimmed = dense.trim(np.zeros(16, dtype=bool))
+        assert trimmed.to_store().edge_tuples() == H.store.edge_tuples()
+
+
+class TestSupersetMask:
+    def _brute(self, edges):
+        return [
+            any(j != i and s < e for j, s in enumerate(edges))
+            for i, e in enumerate(edges)
+        ]
+
+    def test_against_brute_force(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            n = 12
+            edges = []
+            for _ in range(14):
+                k = int(rng.integers(1, 4))
+                edges.append(tuple(sorted(rng.choice(n, size=k, replace=False).tolist())))
+            dense = BitEdgeStore.from_store(Hypergraph(n, edges).store, n)
+            canon = [set(e) for e in dense.to_store().edge_tuples()]
+            assert dense.superset_mask().tolist() == self._brute(canon)
+
+    def test_no_edges(self):
+        dense, _ = _dense_views(Hypergraph(4, []))
+        assert dense.superset_mask().size == 0

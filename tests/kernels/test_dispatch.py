@@ -1,0 +1,132 @@
+"""Shape-based backend dispatch: decisions, reasons, counters, overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import uniform_hypergraph
+from repro.hypergraph import Hypergraph
+from repro.kernels import DEFAULT_KERNEL, VALID_KERNELS, current_kernel, use_kernel
+from repro.kernels.bl_dense import DENSE_MAX_DIMENSION, DENSE_MAX_UNIVERSE
+from repro.kernels.dispatch import ShapeFeatures, dense_capable, select_backend
+from repro.kernels.jit import HAVE_NUMBA
+from repro.obs.metrics import isolated_registry
+
+DENSE_H = uniform_hypergraph(40, 80, 3, seed=0)
+SPARSE_H = Hypergraph(DENSE_MAX_UNIVERSE + 1, [(0, 1, 2)])
+WIDE_H = Hypergraph(10, [(0, 1, 2, 3)])  # dimension 4 > DENSE_MAX_DIMENSION
+
+
+class TestDenseCapable:
+    def test_small_low_dim_is_capable(self):
+        assert dense_capable(DENSE_H)
+
+    def test_universe_boundary(self):
+        at = Hypergraph(DENSE_MAX_UNIVERSE, [(0, 1)])
+        over = Hypergraph(DENSE_MAX_UNIVERSE + 1, [(0, 1)])
+        assert dense_capable(at)
+        assert not dense_capable(over)
+
+    def test_dimension_boundary(self):
+        at = Hypergraph(10, [tuple(range(DENSE_MAX_DIMENSION))])
+        assert dense_capable(at)
+        assert not dense_capable(WIDE_H)
+
+
+class TestSelectBackend:
+    def test_auto_picks_bitset_on_dense_shapes(self):
+        d = select_backend(DENSE_H, requested="auto")
+        assert (d.backend, d.reason) == ("bitset", "auto:shape-dense")
+        assert d.dense
+
+    def test_auto_picks_csr_on_sparse_shapes(self):
+        d = select_backend(SPARSE_H, requested="auto")
+        assert (d.backend, d.reason) == ("csr", "auto:shape-sparse")
+        assert not d.dense
+
+    def test_auto_never_selects_jit(self):
+        assert select_backend(DENSE_H, requested="auto").backend != "jit"
+
+    def test_forced_csr_wins_over_shape(self):
+        d = select_backend(DENSE_H, requested="csr")
+        assert (d.backend, d.reason) == ("csr", "forced:csr")
+
+    def test_forced_bitset(self):
+        d = select_backend(DENSE_H, requested="bitset")
+        assert (d.backend, d.reason) == ("bitset", "forced:bitset")
+
+    def test_forced_backend_on_unsupported_shape_degrades_to_csr(self):
+        d = select_backend(WIDE_H, requested="bitset")
+        assert (d.backend, d.reason) == ("csr", "unsupported-shape")
+
+    def test_jit_request(self):
+        d = select_backend(DENSE_H, requested="jit")
+        if HAVE_NUMBA:
+            assert (d.backend, d.reason) == ("jit", "forced:jit")
+        else:
+            assert (d.backend, d.reason) == ("bitset", "fallback:jit-unavailable")
+
+    def test_blockers_force_csr(self):
+        d = select_backend(DENSE_H, requested="bitset", blockers=("on_round",))
+        assert (d.backend, d.reason) == ("csr", "blocked:on_round")
+
+    def test_first_blocker_is_counted(self):
+        d = select_backend(DENSE_H, blockers=("tracer", "on_round"))
+        assert d.reason == "blocked:tracer"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            select_backend(DENSE_H, requested="fpga")
+
+
+class TestRequestSources:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert current_kernel() == DEFAULT_KERNEL == "auto"
+
+    def test_use_kernel_drives_dispatch(self):
+        with use_kernel("csr"):
+            assert select_backend(DENSE_H).reason == "forced:csr"
+        with use_kernel("bitset"):
+            assert select_backend(DENSE_H).backend == "bitset"
+
+    def test_env_var_drives_dispatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "csr")
+        assert select_backend(DENSE_H).reason == "forced:csr"
+
+    def test_use_kernel_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "csr")
+        with use_kernel("bitset"):
+            assert select_backend(DENSE_H).backend == "bitset"
+
+    def test_valid_kernels_are_exactly_the_contract(self):
+        assert VALID_KERNELS == ("auto", "csr", "bitset", "jit")
+
+
+class TestCounters:
+    def test_every_decision_is_counted(self):
+        with isolated_registry() as reg:
+            select_backend(DENSE_H, requested="auto")
+            select_backend(SPARSE_H, requested="auto")
+            select_backend(DENSE_H, requested="csr")
+            snap = reg.snapshot()
+        counters = snap["counters"]
+        assert counters["kernels/dispatch/bitset"] == 1
+        assert counters["kernels/dispatch/csr"] == 2
+        assert counters["kernels/dispatch_reason/auto:shape-dense"] == 1
+        assert counters["kernels/dispatch_reason/auto:shape-sparse"] == 1
+        assert counters["kernels/dispatch_reason/forced:csr"] == 1
+
+
+class TestShapeFeatures:
+    def test_of_reads_header_fields(self):
+        f = ShapeFeatures.of(DENSE_H)
+        assert f.n == DENSE_H.num_vertices
+        assert f.m == DENSE_H.num_edges
+        assert f.universe == DENSE_H.universe
+        assert f.dimension == DENSE_H.dimension
+        assert f.density == pytest.approx(f.m / f.n)
+
+    def test_empty_instance(self):
+        f = ShapeFeatures.of(Hypergraph(0))
+        assert (f.n, f.m, f.density) == (0, 0, 0.0)

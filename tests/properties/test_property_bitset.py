@@ -1,0 +1,137 @@
+"""Property tests: packed uint64 Bitset vs a plain set/bool-mask model.
+
+The packed rewrite (word-parallel ops, vectorised popcount) must be
+semantically indistinguishable from the original byte-mask version.  A
+seeded interpreter runs random operation sequences against both the
+:class:`Bitset` and a Python-``set`` model and compares every observable
+after every step — membership, length, iteration order, mask, indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.bitset import Bitset
+
+UNIVERSES = [0, 1, 7, 63, 64, 65, 127, 128, 200]
+
+
+def _check_equiv(b: Bitset, model: set[int], n: int) -> None:
+    assert len(b) == len(model)
+    assert sorted(b) == sorted(model)
+    assert b.indices().tolist() == sorted(model)
+    assert b.to_set() == model
+    mask = b.mask
+    assert mask.shape == (n,)
+    assert set(np.flatnonzero(mask)) == model
+    for v in list(model)[:5]:
+        assert v in b
+    assert n not in b  # one past the universe is never a member
+    assert -1 not in b
+
+
+def _random_subset(rng: np.random.Generator, n: int) -> list[int]:
+    if n == 0:
+        return []
+    k = int(rng.integers(0, n + 1))
+    return rng.choice(n, size=k, replace=False).tolist()
+
+
+@pytest.mark.parametrize("n", UNIVERSES)
+@pytest.mark.parametrize("trial", range(3))
+def test_operation_sequences_match_set_model(n, trial):
+    rng = np.random.default_rng(1000 * n + trial)
+    b = Bitset(n)
+    model: set[int] = set()
+    for _ in range(60):
+        op = int(rng.integers(0, 6))
+        if op == 0 and n:
+            v = int(rng.integers(0, n))
+            b.add(v)
+            model.add(v)
+        elif op == 1 and n:
+            v = int(rng.integers(0, n + 10))  # discard is out-of-range safe
+            b.discard(v)
+            model.discard(v)
+        elif op == 2:
+            vs = _random_subset(rng, n)
+            b.update(vs)
+            model.update(vs)
+        elif op == 3:
+            vs = _random_subset(rng, n)
+            b.difference_update(vs)
+            model.difference_update(vs)
+        elif op == 4:
+            other = _random_subset(rng, n)
+            ob = Bitset(n, other)
+            assert b.issubset(ob) == model.issubset(set(other))
+            assert b.isdisjoint(ob) == model.isdisjoint(set(other))
+        else:
+            other = _random_subset(rng, n)
+            ob = Bitset(n, other)
+            for got, want in (
+                (b.union(ob), model | set(other)),
+                (b.intersection(ob), model & set(other)),
+                (b.difference(ob), model - set(other)),
+            ):
+                assert got.to_set() == want
+                assert len(got) == len(want)
+        _check_equiv(b, model, n)
+
+
+@pytest.mark.parametrize("n", UNIVERSES)
+def test_mask_round_trip(n):
+    rng = np.random.default_rng(n)
+    mask = rng.random(n) < 0.5
+    b = Bitset.from_mask(mask)
+    assert np.array_equal(b.mask, mask)
+    assert len(b) == int(mask.sum())
+    # from_mask copies: mutating the source does not alias the bitset
+    if n:
+        mask[:] = True
+        assert len(b) != n or bool(mask.sum() == len(b))
+
+
+@pytest.mark.parametrize("n", UNIVERSES)
+def test_full_equals_every_vertex(n):
+    b = Bitset.full(n)
+    assert b.to_set() == set(range(n))
+    assert len(b) == n
+    # the tail bits beyond n stay zero: popcount over words is exact
+    assert b.indices().tolist() == list(range(n))
+
+
+def test_bool_mask_dtype_and_readonly():
+    b = Bitset(70, [0, 64, 69])
+    mask = b.mask
+    assert mask.dtype == bool
+    with pytest.raises(ValueError):
+        mask[0] = False
+
+
+def test_strict_bounds_match_old_semantics():
+    b = Bitset(5)
+    with pytest.raises(IndexError):
+        b.add(5)
+    with pytest.raises(IndexError):
+        b.update([0, 9])
+    with pytest.raises(IndexError):
+        Bitset(3, [3])
+    b.discard(99)  # silent, like set.discard
+
+
+def test_universe_mismatch_raises():
+    with pytest.raises(ValueError, match="universe mismatch"):
+        Bitset(4).union(Bitset(5))
+
+
+def test_equality_and_copy_semantics():
+    a = Bitset(40, [1, 5, 39])
+    c = a.copy()
+    assert a == c
+    c.add(2)
+    assert a != c
+    assert a != Bitset(41, [1, 5, 39])  # same members, different universe
+    with pytest.raises(TypeError):
+        hash(a)

@@ -15,9 +15,12 @@ from repro.qa.faults import (
 
 
 class TestApplicability:
-    def test_all_seven_on_a_graph(self, triangle):
+    def test_all_subjects_on_a_graph(self, triangle):
         names = {s.name for s in applicable_solvers(triangle)}
-        assert names == {"sbl", "bl", "kuw", "greedy", "permutation", "luby", "linear"}
+        assert names == {
+            "sbl", "bl", "kuw", "greedy", "permutation", "luby", "linear",
+            "bl-csr", "bl-bitset", "bl-jit",
+        }
 
     def test_luby_and_linear_drop_out(self, small_mixed):
         names = {s.name for s in applicable_solvers(small_mixed)}
@@ -89,12 +92,13 @@ class TestFaultDetection:
         # A path graph long enough that the scan order matters.
         H = Hypergraph(9, [(i, i + 1) for i in range(8)])
         flaky = nondeterministic()
-        # focus the extra solver: it is appended after the 7 applicable.
+        # focus the extra solver: it is appended after the 10 applicable
+        # (7 library solvers + 3 pinned-kernel BL subjects).
         failures = run_case(
             H,
             12,
             extra_solvers={"flaky": flaky},
-            focus_index=7,
+            focus_index=10,
             metamorphic=True,
             oracle=False,
         )

@@ -1,0 +1,70 @@
+"""run_fuzz on the shared ParallelRunner: parity with the serial engine."""
+
+from __future__ import annotations
+
+from repro.core import greedy_mis
+from repro.qa import run_fuzz
+
+
+def _buggy(H, seed=None, **kwargs):
+    """Module-level (picklable) fault: drops one vertex from greedy's MIS."""
+    res = greedy_mis(H, seed=seed, **kwargs)
+    if res.independent_set.size > 1:
+        object.__setattr__(res, "independent_set", res.independent_set[:-1])
+    return res
+
+
+def _report_key(report):
+    return (
+        report.cases,
+        report.stop_reason,
+        [
+            (c.index, c.description, [str(f) for f in c.failures])
+            for c in report.failures
+        ],
+    )
+
+
+class TestParity:
+    def test_clean_campaign_matches_serial(self):
+        serial = run_fuzz("15", seed=5)
+        parallel = run_fuzz("15", seed=5, workers=2)
+        assert serial.ok and parallel.ok
+        assert _report_key(serial) == _report_key(parallel)
+
+    def test_failing_campaign_matches_serial(self):
+        kwargs = dict(
+            seed=1,
+            extra_solvers={"buggy": _buggy},
+            max_failures=2,
+            shrink_failures=False,
+        )
+        serial = run_fuzz("10", **kwargs)
+        parallel = run_fuzz("10", workers=2, **kwargs)
+        assert serial.stop_reason == parallel.stop_reason == "max-failures"
+        assert _report_key(serial) == _report_key(parallel)
+
+    def test_worker_count_does_not_change_the_report(self):
+        keys = [
+            _report_key(run_fuzz("12", seed=9, workers=w)) for w in (None, 1, 3)
+        ]
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_start_index_respected(self):
+        serial = run_fuzz("6", seed=2, start_index=11)
+        parallel = run_fuzz("6", seed=2, start_index=11, workers=2)
+        assert _report_key(serial) == _report_key(parallel)
+
+    def test_reproducers_written_from_parallel_run(self, tmp_path):
+        report = run_fuzz(
+            "6",
+            seed=1,
+            extra_solvers={"buggy": _buggy},
+            out_dir=tmp_path,
+            max_failures=1,
+            shrink_failures=False,
+            workers=2,
+        )
+        assert not report.ok
+        (case,) = report.failures
+        assert case.reproducer is not None and case.reproducer.exists()
