@@ -18,6 +18,14 @@ the gate; entries that are new (present fresh, absent from the baseline)
 are reported but do not fail — commit a refreshed baseline with
 ``scripts/bench_smoke.py`` to start tracking them.
 
+Baselines record a normalized machine identity; the gate refuses to
+compare against a baseline from a different machine (exit 2, or
+``--allow-machine-mismatch`` to override) and warns when the baseline
+predates machine stamping.  Every gate run appends its fresh medians to
+``BENCH_history.jsonl``; when an m01 solver entry regresses, the entry is
+re-run once with telemetry into ``forensics_m01_<entry>.jsonl`` so the
+failure ships a span trace, not just a ratio.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_gate.py                  # both suites
@@ -39,11 +47,99 @@ import json
 import sys
 from pathlib import Path
 
-from bench_smoke import OUT_M02, REPO, run_benchmarks, run_benchmarks_m02
+from bench_smoke import (
+    OUT_M02,
+    REPO,
+    append_history,
+    machine_identity,
+    run_benchmarks,
+    run_benchmarks_m02,
+)
 
 DEFAULT_BASELINE = REPO / "BENCH_m01.json"
 DEFAULT_THRESHOLD = 1.25
 DEFAULT_IQR_MULT = 3.0
+
+#: m01 entry -> (kernel, solver attr on repro.core, extra kwargs) for the
+#: forensics re-run; non-solver entries (normalize, matvec, …) are skipped.
+FORENSIC_SOLVERS: dict[str, tuple[str, str, dict]] = {
+    "greedy": ("csr", "greedy_mis", {}),
+    "kuw": ("csr", "karp_upfal_wigderson", {"trace": False}),
+    "permutation": ("csr", "permutation_bl", {"trace": False}),
+    "bl": ("csr", "beame_luby", {"trace": False}),
+    "bl_bitset": ("bitset", "beame_luby", {"trace": False}),
+    "bl_jit": ("jit", "beame_luby", {"trace": False}),
+}
+
+
+def check_machine(baseline_doc: dict, baseline_path: Path, suite: str) -> str | None:
+    """Compare the baseline's recorded machine identity against this host.
+
+    Returns an error string when the identities differ (medians from two
+    machines are not comparable); ``None`` when they match or the baseline
+    predates machine stamping (warn-and-proceed — refresh the baseline to
+    start enforcing).
+    """
+    recorded = (baseline_doc.get("provenance") or {}).get("machine_id")
+    if recorded is None:
+        print(
+            f"[{suite}] warning: baseline {baseline_path.name} has no machine "
+            f"identity; cannot check comparability (refresh it with "
+            f"scripts/bench_smoke.py)",
+            file=sys.stderr,
+        )
+        return None
+    current = machine_identity()
+    if recorded != current:
+        return (
+            f"[{suite}] baseline {baseline_path.name} was recorded on a "
+            f"different machine:\n"
+            f"  baseline: {recorded}\n"
+            f"  current:  {current}\n"
+            f"medians are not comparable across machines — refresh the "
+            f"baseline with scripts/bench_smoke.py on this machine, or pass "
+            f"--allow-machine-mismatch to compare anyway"
+        )
+    return None
+
+
+def write_forensics_trace(entry: str, out_path: Path) -> bool:
+    """Re-run one regressed m01 solver entry with telemetry for triage.
+
+    Executes the same (instance, kernel, solver) combination the benchmark
+    measures, streaming spans to *out_path* — so a failing perf gate ships
+    a trace that ``repro trace summary|diff|flame`` can dissect instead of
+    a bare ratio.  Returns ``False`` (never raises) for non-solver entries
+    or when the re-run fails; forensics must not mask the gate verdict.
+    """
+    spec = FORENSIC_SOLVERS.get(entry)
+    if spec is None:
+        return False
+    kernel, fn_name, kwargs = spec
+    try:
+        from repro import core
+        from repro.generators import uniform_hypergraph
+        from repro.kernels import use_kernel
+        from repro.obs import JsonlSink, Tracer, isolated_registry, use_tracer
+
+        fn = getattr(core, fn_name)
+        # The m01 suite's fixed instance (benchmarks/bench_m01_solver_kernels.py).
+        H = uniform_hypergraph(400, 800, 3, seed=7)
+        with isolated_registry():
+            tracer = Tracer(JsonlSink(out_path))
+            try:
+                tracer.emit(
+                    "run", command="bench-forensics", entry=entry, kernel=kernel
+                )
+                with use_tracer(tracer), use_kernel(kernel):
+                    fn(H, seed=1, **kwargs)
+                tracer.flush_metrics()
+            finally:
+                tracer.close()
+        return True
+    except Exception as exc:  # noqa: BLE001 - forensics is best-effort
+        print(f"forensics re-run failed for {entry}: {exc}", file=sys.stderr)
+        return False
 
 
 def compare(
@@ -106,6 +202,9 @@ def _gate_suite(
     baseline_path: Path,
     threshold: float,
     iqr_mult: float,
+    *,
+    allow_machine_mismatch: bool = False,
+    forensics_dir: Path | None = None,
 ) -> tuple[dict | None, int]:
     """Run one suite's gate; returns ``(fresh_payload, exit_code)``."""
     if not baseline_path.exists():
@@ -116,12 +215,23 @@ def _gate_suite(
     if not baseline:
         print(f"baseline has no medians_ns: {baseline_path}", file=sys.stderr)
         return None, 2
+    machine_error = check_machine(baseline_doc, baseline_path, suite)
+    if machine_error is not None:
+        if not allow_machine_mismatch:
+            print(machine_error, file=sys.stderr)
+            return None, 2
+        print(
+            f"[{suite}] warning: comparing across machines "
+            f"(--allow-machine-mismatch)",
+            file=sys.stderr,
+        )
 
     try:
         payload = run_benchmarks() if suite == "m01" else run_benchmarks_m02()
     except RuntimeError as exc:
         print(exc, file=sys.stderr)
         return None, 1
+    append_history(suite, payload, kind="gate")
 
     lines, violations = compare(
         baseline,
@@ -140,6 +250,16 @@ def _gate_suite(
         print(f"\n[{suite}] FAIL: {len(violations)} entr(y/ies) regressed")
         for v in violations:
             print(f"  {v}")
+        if suite == "m01" and forensics_dir is not None:
+            forensics_dir.mkdir(parents=True, exist_ok=True)
+            for v in violations:
+                entry = v.split(":", 1)[0]
+                out = forensics_dir / f"forensics_m01_{entry}.jsonl"
+                if write_forensics_trace(entry, out):
+                    print(
+                        f"  forensics trace: {out} "
+                        f"(inspect with 'repro trace summary')"
+                    )
         return payload, 1
     print(f"[{suite}] perf gate passed\n")
     return payload, 0
@@ -178,6 +298,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the fresh payload(s) here (CI artifact / triage)",
     )
+    parser.add_argument(
+        "--allow-machine-mismatch",
+        action="store_true",
+        help="compare even when the baseline was recorded on a different "
+        "machine (medians are NOT comparable across machines; escape "
+        "hatch for triage only)",
+    )
+    parser.add_argument(
+        "--forensics-dir",
+        type=Path,
+        default=REPO,
+        help="where failing m01 entries drop their telemetry traces "
+        "(forensics_m01_<entry>.jsonl; default: repo root)",
+    )
     args = parser.parse_args(argv)
 
     if args.threshold <= 0:
@@ -193,7 +327,14 @@ def main(argv: list[str] | None = None) -> int:
     rc = 0
     for suite in suites:
         baseline_path = args.baseline or default_baselines[suite]
-        payload, suite_rc = _gate_suite(suite, baseline_path, args.threshold, args.iqr_mult)
+        payload, suite_rc = _gate_suite(
+            suite,
+            baseline_path,
+            args.threshold,
+            args.iqr_mult,
+            allow_machine_mismatch=args.allow_machine_mismatch,
+            forensics_dir=args.forensics_dir,
+        )
         if payload is not None:
             fresh[suite] = payload
         rc = max(rc, suite_rc)

@@ -19,6 +19,10 @@ and diff the medians:
     PYTHONPATH=src python scripts/bench_smoke.py            # both suites
     PYTHONPATH=src python scripts/bench_smoke.py --suite m01
 
+Every run also appends one provenance-stamped line per suite to
+``BENCH_history.jsonl`` (gitignored; CI uploads it as an artifact), the
+raw material ``scripts/bench_trend.py`` renders as perf trajectories.
+
 Exit status is non-zero if a benchmark run itself fails; the script does
 not enforce thresholds (the JSON is the record, review the diff).
 """
@@ -28,7 +32,9 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import platform
+import re
 import subprocess
 import sys
 import tempfile
@@ -38,13 +44,39 @@ REPO = Path(__file__).resolve().parent.parent
 BENCH = REPO / "benchmarks" / "bench_m01_solver_kernels.py"
 OUT = REPO / "BENCH_m01.json"
 OUT_M02 = REPO / "BENCH_m02.json"
+#: Append-only perf trajectory (gitignored; uploaded as a CI artifact).
+HISTORY = REPO / "BENCH_history.jsonl"
 
 #: pytest-benchmark warmup iterations for the m01 kernels.
 WARMUP_ITERATIONS = 5
 
 
+def machine_identity() -> str:
+    """A normalized id for *this* machine, stable across runs on it.
+
+    ``system-arch-cpumodel-Nc`` (lowercased, punctuation collapsed to
+    ``-``).  Benchmark medians are only comparable between runs that share
+    this id — ``bench_gate`` refuses cross-machine comparisons by default.
+    """
+    cpu = None
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        cpu = None
+    cpu = cpu or platform.processor() or "unknown-cpu"
+    cpu = re.sub(r"[^a-z0-9]+", "-", cpu.lower()).strip("-")
+    return (
+        f"{platform.system().lower()}-{platform.machine().lower()}"
+        f"-{cpu}-{os.cpu_count()}c"
+    )
+
+
 def _provenance() -> dict:
-    """Record where the numbers came from: commit, toolchain, time."""
+    """Record where the numbers came from: commit, toolchain, machine, time."""
     try:
         commit = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -61,10 +93,32 @@ def _provenance() -> dict:
         "git_commit": commit,
         "python": platform.python_version(),
         "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "machine_id": machine_identity(),
         "timestamp": datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds")
         .replace("+00:00", "Z"),
     }
+
+
+def append_history(
+    suite: str, payload: dict, *, history_path: Path = HISTORY, kind: str = "smoke"
+) -> None:
+    """Append one run's medians (+ provenance) to the perf-trajectory log.
+
+    One JSON object per line, append-only, so every bench run — smoke
+    refreshes and gate checks alike — leaves a data point that
+    ``scripts/bench_trend.py`` can plot against time/commits.
+    """
+    record = {
+        "suite": suite,
+        "kind": kind,
+        "provenance": payload.get("provenance"),
+        "medians_ns": payload.get("medians_ns"),
+        "iqr_ns": payload.get("iqr_ns"),
+    }
+    with open(history_path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, separators=(",", ":")) + "\n")
 
 
 def run_benchmarks(warmup_iterations: int = WARMUP_ITERATIONS) -> dict:
@@ -161,6 +215,7 @@ def main(argv: list[str] | None = None) -> int:
             print(exc, file=sys.stderr)
             return 1
         out.write_text(json.dumps(payload, indent=2) + "\n")
+        append_history(suite, payload, kind="smoke")
         print(f"[{suite}]")
         _print_payload(payload)
         print(f"wrote {out.relative_to(REPO)}\n")

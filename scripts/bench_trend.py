@@ -1,0 +1,136 @@
+"""Bench trend: render the perf trajectory recorded in BENCH_history.jsonl.
+
+Every ``bench_smoke``/``bench_gate`` run appends one provenance-stamped
+line per suite to ``BENCH_history.jsonl``.  This script turns that log
+into per-entry trajectories — a sparkline over runs plus first/last/best
+medians and the net drift — so a slow creep that never trips the gate's
+25% threshold in any single run is still visible across a week of runs::
+
+    PYTHONPATH=src python scripts/bench_trend.py
+    PYTHONPATH=src python scripts/bench_trend.py --suite m01 --entry bl_bitset
+    PYTHONPATH=src python scripts/bench_trend.py --history ci-artifact.jsonl
+
+Runs from other machines are excluded by default (their medians are not
+comparable; ``--all-machines`` includes them).  Exit status 1 when the
+history file is missing or holds no matching records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from bench_smoke import HISTORY, machine_identity
+
+
+def load_history(path: Path) -> list[dict]:
+    """Parse the history log, skipping damaged lines (crashed appends)."""
+    records: list[dict] = []
+    skipped = 0
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(doc, dict) and doc.get("medians_ns"):
+                records.append(doc)
+            else:
+                skipped += 1
+    if skipped:
+        print(f"warning: skipped {skipped} unparseable line(s)", file=sys.stderr)
+    return records
+
+
+def render_trend(
+    records: list[dict],
+    *,
+    suite: str | None = None,
+    entry: str | None = None,
+    width: int = 60,
+) -> str:
+    """Per-entry trajectory rows over the (filtered) history records."""
+    from repro.analysis.sparkline import trajectory
+
+    if suite is not None:
+        records = [r for r in records if r.get("suite") == suite]
+    series: dict[tuple[str, str], list[float]] = {}
+    for rec in records:
+        for name, ns in rec["medians_ns"].items():
+            if entry is not None and name != entry:
+                continue
+            series.setdefault((rec.get("suite", "?"), name), []).append(ns / 1e6)
+    if not series:
+        return ""
+    lines = [f"{len(records)} run(s) in history"]
+    for (rec_suite, name), vals in sorted(series.items()):
+        drift = (vals[-1] / vals[0] - 1) * 100 if vals[0] else 0.0
+        lines.append("")
+        lines.append(
+            f"[{rec_suite}] {name}: first {vals[0]:.3f} ms  last {vals[-1]:.3f} ms  "
+            f"best {min(vals):.3f} ms  drift {drift:+.1f}% over {len(vals)} run(s)"
+        )
+        lines.append(trajectory("ms", vals, width=width))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=HISTORY,
+        help="history file to render (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--suite", choices=["m01", "m02"], default=None, help="restrict to one suite"
+    )
+    parser.add_argument(
+        "--entry", default=None, help="restrict to one benchmark entry (e.g. bl_bitset)"
+    )
+    parser.add_argument("--width", type=int, default=60, help="sparkline width")
+    parser.add_argument(
+        "--all-machines",
+        action="store_true",
+        help="include runs recorded on other machines (not comparable!)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.history.exists():
+        print(
+            f"no history at {args.history} — run scripts/bench_smoke.py first",
+            file=sys.stderr,
+        )
+        return 1
+    records = load_history(args.history)
+    if not args.all_machines:
+        here = machine_identity()
+        mine = [
+            r
+            for r in records
+            if (r.get("provenance") or {}).get("machine_id") in (here, None)
+        ]
+        if len(mine) < len(records):
+            print(
+                f"excluded {len(records) - len(mine)} run(s) from other machines "
+                f"(--all-machines to include)",
+                file=sys.stderr,
+            )
+        records = mine
+    out = render_trend(
+        records, suite=args.suite, entry=args.entry, width=args.width
+    )
+    if not out:
+        print("history holds no matching records", file=sys.stderr)
+        return 1
+    print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

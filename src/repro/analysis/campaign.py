@@ -24,6 +24,7 @@ Example
 from __future__ import annotations
 
 import csv
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence, TextIO, Union
@@ -167,10 +168,21 @@ class Campaign:
                     si += 1
 
     def _run_serial(self, seed: SeedLike) -> list[RunRecord]:
+        from repro.obs.metrics import default_registry
+
+        # Maintain the same progress counters the parallel runner keeps, so
+        # a heartbeat reports liveness identically in both execution modes.
+        registry = default_registry()
+        total = len(self.instances) * len(self.algorithms) * self.repeats
+        registry.counter("exec/cells_scheduled").inc(total)
+        registry.gauge("exec/workers").set(1)
         records: list[RunRecord] = []
         for ispec, H, aspec, rep, cell_seed in self._grid(seed):
             machine = CountingMachine()
+            t0 = time.perf_counter_ns()
             res = aspec.run(H, cell_seed, machine)
+            registry.counter("exec/cell_wall_ns").inc(time.perf_counter_ns() - t0)
+            registry.counter("exec/cells_done").inc()
             if self.verify:
                 check_mis(H, res.independent_set)
             records.append(

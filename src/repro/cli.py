@@ -17,7 +17,10 @@ The subcommands mirror the library's workflow::
 composes with shell pipelines; everything else prints human-readable text.
 ``solve`` and ``experiment`` accept ``--telemetry PATH`` to stream a
 versioned JSONL span/metric event log (see docs/observability.md), which
-``trace summary`` / ``trace compare`` render.
+``trace summary`` / ``trace compare`` / ``trace diff`` / ``trace flame``
+render.  ``--profile HZ`` adds sampling-profiler events to the stream;
+``--heartbeat SEC`` and ``--metrics-out PATH`` publish campaign liveness
+gauges as OpenMetrics text.
 """
 
 from __future__ import annotations
@@ -110,30 +113,102 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 @contextlib.contextmanager
-def _telemetry(path: str, **run_attrs) -> Iterator[None]:
-    """Activate a file tracer as the ambient tracer for the enclosed run.
+def _telemetry(
+    path: str,
+    *,
+    profile_hz: float = 0.0,
+    heartbeat: float = 0.0,
+    metrics_out: str = "",
+    track_memory: bool = False,
+    **run_attrs,
+) -> Iterator[None]:
+    """Activate the observability stack for the enclosed run.
 
-    Opens a :class:`~repro.obs.events.JsonlSink` on *path*, emits a ``run``
-    preamble event carrying *run_attrs*, installs the tracer ambiently
-    (so library code picks it up via ``current_tracer()``) inside an
-    isolated metrics registry, and on exit flushes the metrics snapshot
-    and closes the sink.  With an empty *path* this is a no-op.
+    With *path*, opens a :class:`~repro.obs.events.JsonlSink` there, emits
+    a ``run`` preamble event carrying *run_attrs*, and installs the tracer
+    ambiently (so library code picks it up via ``current_tracer()``)
+    inside an isolated metrics registry; on exit the metrics snapshot is
+    flushed and the sink closed.  ``track_memory`` opts the tracer into
+    per-span allocation peaks.
+
+    *profile_hz* > 0 runs a :class:`~repro.obs.profile.SamplingProfiler`
+    over the run, its samples landing as a ``profile`` event on the
+    stream.  *heartbeat* > 0 starts a liveness thread flushing progress
+    gauges every beat.  *metrics_out* writes an OpenMetrics textfile —
+    each beat when a heartbeat runs, once at exit otherwise — and works
+    with or without a telemetry *path*.
+
+    With none of these requested this is a complete no-op.
     """
-    if not path:
+    if not path and not metrics_out:
         yield
         return
-    from repro.obs import JsonlSink, Tracer, isolated_registry, use_tracer
+    from repro.obs import (
+        NULL_TRACER,
+        Heartbeat,
+        JsonlSink,
+        SamplingProfiler,
+        Tracer,
+        isolated_registry,
+        use_tracer,
+    )
+    from repro.obs.export import render_openmetrics
 
-    with isolated_registry():
-        tracer = Tracer(JsonlSink(path))
+    with isolated_registry() as registry:
+        if path:
+            tracer = Tracer(JsonlSink(path), track_memory=track_memory)
+        else:
+            tracer = NULL_TRACER  # no event stream: metrics-only run
+        profiler = None
+        if profile_hz > 0:
+            if not path:
+                print(
+                    "--profile needs --telemetry PATH (samples land on the "
+                    "event stream); ignoring",
+                    file=sys.stderr,
+                )
+            else:
+                profiler = SamplingProfiler(profile_hz, tracer=tracer)
+        labels = (
+            {"command": str(run_attrs["command"])} if "command" in run_attrs else None
+        )
+        beat = None
+        if heartbeat > 0:
+            beat = Heartbeat(
+                heartbeat,
+                registry=registry,
+                tracer=tracer,
+                textfile=metrics_out or None,
+                labels=labels,
+            )
         try:
-            tracer.emit("run", **run_attrs)
+            if tracer.enabled:
+                tracer.emit("run", **run_attrs)
+            if profiler is not None:
+                profiler.start()
+            if beat is not None:
+                beat.start()
             with use_tracer(tracer):
                 yield
-            tracer.flush_metrics()
         finally:
+            if beat is not None:
+                beat.stop()  # final beat rewrites the textfile
+            if profiler is not None and profiler.running:
+                profiler.stop()  # emits the profile event before close
+            if tracer.enabled:
+                tracer.flush_metrics()
             tracer.close()
-    print(f"telemetry written to {path}", file=sys.stderr)
+            if metrics_out and beat is None:
+                from pathlib import Path
+
+                Path(metrics_out).write_text(
+                    render_openmetrics(registry.snapshot(), labels=labels),
+                    encoding="utf-8",
+                )
+    if path:
+        print(f"telemetry written to {path}", file=sys.stderr)
+    if metrics_out:
+        print(f"metrics written to {metrics_out}", file=sys.stderr)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -149,6 +224,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         kwargs["machine"] = machine
     with _telemetry(
         args.telemetry,
+        profile_hz=args.profile,
+        track_memory=args.track_memory,
         command="solve",
         instance=str(args.instance),
         algorithm=args.algorithm,
@@ -209,6 +286,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     workers = resolve_workers(args.workers)
     with _telemetry(
         args.telemetry,
+        profile_hz=args.profile,
+        heartbeat=args.heartbeat,
+        metrics_out=args.metrics_out,
         command="campaign",
         sizes=ns,
         algorithms=algo_names,
@@ -254,6 +334,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     eid = args.experiment_id.upper()
     with _telemetry(
         args.telemetry,
+        profile_hz=args.profile,
+        heartbeat=args.heartbeat,
+        metrics_out=args.metrics_out,
         command="experiment",
         experiment=eid,
         scale=args.scale,
@@ -280,6 +363,8 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
     )
     with _telemetry(
         args.telemetry,
+        heartbeat=args.heartbeat,
+        metrics_out=args.metrics_out,
         command="fuzz-run",
         budget=str(budget),
         seed=args.seed,
@@ -380,9 +465,38 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_compare(args: argparse.Namespace) -> int:
-    from repro.obs.inspector import render_compare
+    from repro.obs.inspector import TraceError, render_compare
 
-    print(render_compare(args.path_a, args.path_b))
+    try:
+        print(render_compare(args.path_a, args.path_b))
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs.inspector import TraceError, render_diff
+
+    try:
+        print(render_diff(args.path_a, args.path_b, top=args.top))
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace_flame(args: argparse.Namespace) -> int:
+    from repro.obs.profile import render_flame, write_speedscope
+
+    try:
+        if args.speedscope:
+            n = write_speedscope(args.path, args.speedscope)
+            print(f"wrote {n} samples to {args.speedscope}", file=sys.stderr)
+        print(render_flame(args.path, limit=args.limit))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -430,6 +544,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream span/metric events to this JSONL file (see 'repro trace')",
     )
+    s.add_argument(
+        "--profile",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="sample the solver stack at HZ while it runs (needs --telemetry; "
+        "render with 'repro trace flame')",
+    )
+    s.add_argument(
+        "--track-memory",
+        action="store_true",
+        help="record per-span allocation peaks via tracemalloc (slower)",
+    )
     s.set_defaults(func=_cmd_solve)
 
     k = sub.add_parser("campaign", help="sweep a uniform-hypergraph grid over algorithms")
@@ -453,6 +580,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream span/metric events to this JSONL file (see 'repro trace')",
     )
+    k.add_argument(
+        "--profile",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="sample the parent-process stack at HZ (needs --telemetry)",
+    )
+    k.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="flush progress/ETA/utilization gauges every SEC seconds",
+    )
+    k.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="PATH",
+        help="write an OpenMetrics textfile (each heartbeat, or once at exit)",
+    )
     k.set_defaults(func=_cmd_campaign)
 
     c = sub.add_parser("check", help="validate a claimed MIS")
@@ -469,6 +616,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="PATH",
         help="stream span/metric events to this JSONL file (see 'repro trace')",
+    )
+    e.add_argument(
+        "--profile",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="sample the experiment stack at HZ (needs --telemetry)",
+    )
+    e.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="flush progress/ETA/utilization gauges every SEC seconds",
+    )
+    e.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="PATH",
+        help="write an OpenMetrics textfile (each heartbeat, or once at exit)",
     )
     e.add_argument(
         "--workers",
@@ -519,6 +686,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream span/metric events to this JSONL file (see 'repro trace')",
     )
+    fr.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="flush progress/ETA/utilization gauges every SEC seconds",
+    )
+    fr.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="PATH",
+        help="write an OpenMetrics textfile (each heartbeat, or once at exit)",
+    )
     fr.set_defaults(func=_cmd_fuzz_run)
     fp = fsub.add_parser("replay", help="replay reproducer file(s)")
     fp.add_argument("path", help="a .npz reproducer or a directory of them")
@@ -543,6 +723,25 @@ def build_parser() -> argparse.ArgumentParser:
     tc.add_argument("path_a")
     tc.add_argument("path_b")
     tc.set_defaults(func=_cmd_trace_compare)
+    td = tsub.add_parser(
+        "diff", help="structural span-tree diff ranked by wall-time regression"
+    )
+    td.add_argument("path_a", help="baseline trace")
+    td.add_argument("path_b", help="candidate trace")
+    td.add_argument(
+        "--top", type=int, default=0, help="show only the N largest deltas (0 = all)"
+    )
+    td.set_defaults(func=_cmd_trace_diff)
+    tf = tsub.add_parser("flame", help="render profile samples as folded stacks")
+    tf.add_argument("path", help="telemetry JSONL with profile events (--profile)")
+    tf.add_argument("--limit", type=int, default=40, help="rows per section")
+    tf.add_argument(
+        "--speedscope",
+        default="",
+        metavar="OUT",
+        help="also write speedscope-compatible JSON to OUT",
+    )
+    tf.set_defaults(func=_cmd_trace_flame)
 
     return parser
 

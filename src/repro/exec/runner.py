@@ -144,7 +144,10 @@ class ParallelRunner:
             return []
         _check_picklable(cells)
         tracer = current_tracer()
-        capture = bool(tracer.enabled)
+        capture = _capture_config(tracer)
+        registry = default_registry()
+        registry.counter("exec/cells_scheduled").inc(len(cells))
+        registry.gauge("exec/workers").set(self.workers)
         with ExitStack() as stack:
             arena = stack.enter_context(ShmArena())
             payloads = []
@@ -156,8 +159,14 @@ class ParallelRunner:
             with tracer.span(
                 "exec/run_cells", cells=len(cells), workers=self.workers
             ) as span:
-                raw = list(self._pool.map(_run_cell, payloads))
-                results = [self._absorb(r, tracer, span) for r in raw]
+                # Stream-consume the (order-preserving) map so the progress
+                # counters advance as results land — that's what a heartbeat
+                # thread reads for liveness — instead of jumping at the end.
+                results = []
+                for r in self._pool.map(_run_cell, payloads):
+                    registry.counter("exec/cells_done").inc()
+                    registry.counter("exec/cell_wall_ns").inc(r["wall_ns"])
+                    results.append(self._absorb(r, tracer, span))
         obs_metrics.inc("exec/cells_run", len(results))
         return results
 
@@ -188,14 +197,18 @@ class ParallelRunner:
                 f"boundaries): {exc}"
             ) from exc
         tracer = current_tracer()
-        capture = bool(tracer.enabled)
+        capture = _capture_config(tracer)
+        registry = default_registry()
+        registry.counter("exec/tasks_scheduled").inc(len(items))
+        registry.gauge("exec/workers").set(self.workers)
         payloads = [(i, fn, item, capture) for i, item in enumerate(items)]
         with tracer.span(label, tasks=len(items), workers=self.workers) as span:
-            raw = list(self._pool.map(_run_task, payloads))
             results = []
-            for r in raw:
+            for r in self._pool.map(_run_task, payloads):
+                registry.counter("exec/tasks_done").inc()
+                registry.counter("exec/task_wall_ns").inc(r["wall_ns"])
                 if r["metrics"] is not None:
-                    default_registry().merge_snapshot(r["metrics"])
+                    registry.merge_snapshot(r["metrics"])
                 if r["events"]:
                     _replay_events(tracer, r["events"], parent_id=span.span_id)
                 results.append(r["result"])
@@ -290,7 +303,29 @@ def _replay_events(
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
-def _run_cell(payload: tuple[int, Cell, Any, bool]) -> dict[str, Any]:
+def _capture_config(tracer: Any) -> dict[str, Any] | None:
+    """Telemetry-capture config shipped to workers (``None`` = no capture).
+
+    A dict rather than a bool so attribution options (today: per-span
+    allocation tracking) cross the process boundary with the payload.
+    """
+    if not tracer.enabled:
+        return None
+    return {"track_memory": bool(getattr(tracer, "track_memory", False))}
+
+
+def _worker_tracer(capture: dict[str, Any] | None, registry: Any) -> tuple[Any, Any]:
+    """Build the per-worker (sink, tracer) pair for one cell/task."""
+    if capture is None:
+        return None, NULL_TRACER
+    sink = MemorySink()
+    tracer = Tracer(
+        sink, registry=registry, track_memory=capture.get("track_memory", False)
+    )
+    return sink, tracer
+
+
+def _run_cell(payload: tuple[int, Cell, Any, Any]) -> dict[str, Any]:
     """Execute one cell in a worker process.
 
     Runs under an isolated metrics registry and (when the parent captures
@@ -302,14 +337,19 @@ def _run_cell(payload: tuple[int, Cell, Any, bool]) -> dict[str, Any]:
     index, cell, instance, capture = payload
     with isolated_registry() as registry:
         H = shm.attach(instance) if isinstance(instance, InstanceHandle) else instance
-        sink = MemorySink() if capture else None
-        tracer = Tracer(sink, registry=registry) if capture else NULL_TRACER
+        sink, tracer = _worker_tracer(capture, registry)
         machine = CountingMachine()
-        with use_tracer(tracer):  # type: ignore[arg-type]
-            t0 = time.perf_counter_ns()
-            with tracer.span("exec/cell", machine=machine, index=index, label=cell.label):
-                res = cell.fn(H, cell.seed, machine=machine, **cell.options)
-            wall_ns = time.perf_counter_ns() - t0
+        try:
+            with use_tracer(tracer):  # type: ignore[arg-type]
+                t0 = time.perf_counter_ns()
+                with tracer.span(
+                    "exec/cell", machine=machine, index=index, label=cell.label
+                ):
+                    res = cell.fn(H, cell.seed, machine=machine, **cell.options)
+                wall_ns = time.perf_counter_ns() - t0
+        finally:
+            if sink is not None:
+                tracer.close()  # release GC hook / owned tracemalloc
         if cell.verify:
             res.verify(H)
         machine_summary = (
@@ -336,7 +376,7 @@ def _run_cell(payload: tuple[int, Cell, Any, bool]) -> dict[str, Any]:
         }
 
 
-def _run_task(payload: tuple[int, Callable[[Any], Any], Any, bool]) -> dict[str, Any]:
+def _run_task(payload: tuple[int, Callable[[Any], Any], Any, Any]) -> dict[str, Any]:
     """Execute one generic task in a worker process.
 
     Same isolation discipline as :func:`_run_cell` — private registry,
@@ -345,13 +385,19 @@ def _run_task(payload: tuple[int, Callable[[Any], Any], Any, bool]) -> dict[str,
     """
     index, fn, item, capture = payload
     with isolated_registry() as registry:
-        sink = MemorySink() if capture else None
-        tracer = Tracer(sink, registry=registry) if capture else NULL_TRACER
-        with use_tracer(tracer):  # type: ignore[arg-type]
-            result = fn(item)
+        sink, tracer = _worker_tracer(capture, registry)
+        try:
+            with use_tracer(tracer):  # type: ignore[arg-type]
+                t0 = time.perf_counter_ns()
+                result = fn(item)
+                wall_ns = time.perf_counter_ns() - t0
+        finally:
+            if sink is not None:
+                tracer.close()
         return {
             "index": index,
             "result": result,
+            "wall_ns": wall_ns,
             "metrics": registry.snapshot(),
             "events": sink.events if sink is not None else [],
         }

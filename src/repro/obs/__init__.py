@@ -3,7 +3,8 @@
 The observability layer the experiment and service surfaces share:
 
 * :mod:`repro.obs.tracer` — nested **spans** (`solver → phase → round`)
-  capturing wall-time (``perf_counter_ns``), PRAM depth/work deltas from a
+  capturing wall-time (``perf_counter_ns``), thread CPU time, GC pauses,
+  optional allocation peaks, PRAM depth/work deltas from a
   :class:`~repro.pram.machine.CountingMachine`, and n/m shrinkage.  A
   disabled tracer is a shared no-op object, so instrumented hot paths cost
   nothing when telemetry is off.
@@ -12,14 +13,22 @@ The observability layer the experiment and service surfaces share:
 * :mod:`repro.obs.events` — the versioned **JSONL sink**: every span close
   and metric flush appends one JSON line, so long campaigns stream
   telemetry instead of buffering it.
+* :mod:`repro.obs.profile` — span-scoped **sampling profiler** plus the
+  ``repro trace flame`` / speedscope renderers.
+* :mod:`repro.obs.export` — **OpenMetrics** text rendering (and a minimal
+  parser) for registry snapshots.
+* :mod:`repro.obs.heartbeat` — periodic campaign **liveness** gauges
+  (progress, throughput, ETA, worker utilization).
 * :mod:`repro.obs.inspector` — offline span-tree reconstruction and the
-  ``repro trace summary|compare`` renderers.
+  ``repro trace summary|compare|diff`` renderers.
 
 Everything here depends only on the standard library and NumPy — the
 solvers import :mod:`repro.obs` but never the other way around.
 """
 
 from repro.obs.events import EVENT_VERSION, JsonlSink, MemorySink, read_events
+from repro.obs.export import parse_openmetrics, render_openmetrics
+from repro.obs.heartbeat import Heartbeat
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -28,13 +37,26 @@ from repro.obs.metrics import (
     default_registry,
     isolated_registry,
 )
-from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, current_tracer, use_tracer
+from repro.obs.profile import SamplingProfiler
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    gc_watch,
+    use_tracer,
+)
 
 __all__ = [
     "EVENT_VERSION",
     "JsonlSink",
     "MemorySink",
     "read_events",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "Heartbeat",
+    "SamplingProfiler",
     "Counter",
     "Gauge",
     "Histogram",
@@ -47,4 +69,5 @@ __all__ = [
     "NULL_TRACER",
     "current_tracer",
     "use_tracer",
+    "gc_watch",
 ]

@@ -20,8 +20,9 @@ owns the full-fidelity result format).
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
-from typing import Any, Iterator, TextIO, Union
+from typing import Any, Callable, Iterator, TextIO, Union
 
 import numpy as np
 
@@ -80,7 +81,9 @@ class JsonlSink:
         open text file object (borrowed; :meth:`close` leaves it open).
 
     Every :meth:`emit` writes one line and flushes, so the stream on disk
-    is always a valid prefix of the run's telemetry.
+    is always a valid prefix of the run's telemetry.  Emission is
+    lock-serialised: a heartbeat thread can flush metrics events while
+    the run thread emits spans without interleaving bytes mid-line.
     """
 
     def __init__(self, target: Union[str, Path, TextIO]):
@@ -90,16 +93,19 @@ class JsonlSink:
         else:
             self._fp = target
             self._owns = False
+        self._lock = threading.Lock()
         self.events_emitted = 0
 
     def emit(self, event: dict[str, Any]) -> None:
         """Append one versioned event line (raises if the sink is closed)."""
-        if self._fp is None:
-            raise RuntimeError("sink already closed")
         doc = {"v": EVENT_VERSION, **to_jsonable(event)}
-        self._fp.write(json.dumps(doc, separators=(",", ":")) + "\n")
-        self._fp.flush()
-        self.events_emitted += 1
+        line = json.dumps(doc, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fp is None:
+                raise RuntimeError("sink already closed")
+            self._fp.write(line)
+            self._fp.flush()
+            self.events_emitted += 1
 
     def close(self) -> None:
         """Close the underlying file if owned (idempotent)."""
@@ -144,8 +150,21 @@ class MemorySink:
         self.close()
 
 
-def iter_events(fp_or_path: Union[str, Path, TextIO]) -> Iterator[dict[str, Any]]:
-    """Yield decoded events from a JSONL stream, rejecting unknown versions."""
+def iter_events(
+    fp_or_path: Union[str, Path, TextIO],
+    *,
+    errors: str = "raise",
+    on_bad_line: Callable[[int, str], None] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield decoded events from a JSONL stream, rejecting unknown versions.
+
+    ``errors="skip"`` tolerates damaged streams — the truncated last line
+    of a crashed run, a foreign version tag — by skipping bad lines
+    instead of raising; each skip calls ``on_bad_line(lineno, reason)``
+    so the caller can count and surface what was dropped.
+    """
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip': {errors!r}")
     if isinstance(fp_or_path, (str, Path)):
         fp: TextIO = open(fp_or_path, "r", encoding="utf-8")
         owns = True
@@ -156,19 +175,33 @@ def iter_events(fp_or_path: Union[str, Path, TextIO]) -> Iterator[dict[str, Any]
         for lineno, line in enumerate(fp, start=1):
             if not line.strip():
                 continue
-            doc = json.loads(line)
-            version = doc.get("v")
-            if version != EVENT_VERSION:
-                raise ValueError(
-                    f"line {lineno}: unsupported event version {version!r} "
-                    f"(this reader supports {EVENT_VERSION})"
-                )
+            try:
+                doc = json.loads(line)
+                if not isinstance(doc, dict):
+                    raise ValueError(f"event is not an object: {doc!r:.60}")
+                version = doc.get("v")
+                if version != EVENT_VERSION:
+                    raise ValueError(
+                        f"unsupported event version {version!r} "
+                        f"(this reader supports {EVENT_VERSION})"
+                    )
+            except ValueError as exc:
+                if errors == "skip":
+                    if on_bad_line is not None:
+                        on_bad_line(lineno, str(exc))
+                    continue
+                raise ValueError(f"line {lineno}: {exc}") from None
             yield from_jsonable(doc)
     finally:
         if owns:
             fp.close()
 
 
-def read_events(fp_or_path: Union[str, Path, TextIO]) -> list[dict[str, Any]]:
+def read_events(
+    fp_or_path: Union[str, Path, TextIO],
+    *,
+    errors: str = "raise",
+    on_bad_line: Callable[[int, str], None] | None = None,
+) -> list[dict[str, Any]]:
     """All events of a JSONL stream as a list (see :func:`iter_events`)."""
-    return list(iter_events(fp_or_path))
+    return list(iter_events(fp_or_path, errors=errors, on_bad_line=on_bad_line))

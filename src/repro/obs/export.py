@@ -1,0 +1,185 @@
+"""OpenMetrics / Prometheus text-format export of metrics snapshots.
+
+:func:`render_openmetrics` turns a :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>` into the OpenMetrics text
+exposition format, so a campaign heartbeat can drop a scrape-ready
+textfile next to its telemetry stream (node-exporter textfile collector,
+``curl``-able solve server, CI smoke checks)::
+
+    # TYPE repro_solver_vertices_committed counter
+    repro_solver_vertices_committed_total 155
+    # TYPE repro_exec_cells_per_s gauge
+    repro_exec_cells_per_s 431.7
+    # EOF
+
+Mapping rules (the snapshot's three kinds):
+
+* **counters** → ``counter`` families, sample name suffixed ``_total``;
+* **gauges** → ``gauge`` families (``None``-valued gauges are skipped);
+* **histograms** → a ``summary`` family carrying ``_count``/``_sum``
+  plus two gauge families ``<name>_min``/``<name>_max`` (the snapshot
+  keeps exact min/max instead of quantiles).
+
+Metric names are sanitised (``/`` and every other non-``[a-zA-Z0-9_:]``
+byte becomes ``_``) and prefixed (default ``repro``).
+
+:func:`parse_openmetrics` is the deliberately minimal reader used by the
+round-trip tests and the CI smoke step: families, labels and values come
+back; exotic features (exemplars, native histograms) are out of scope
+and unparseable lines raise.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["render_openmetrics", "parse_openmetrics", "OpenMetricsDoc", "metric_name"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>\S+))?$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str, *, prefix: str = "repro") -> str:
+    """Sanitise a registry metric name into an OpenMetrics family name."""
+    base = _NAME_OK.sub("_", name)
+    if prefix:
+        base = f"{_NAME_OK.sub('_', prefix)}_{base}"
+    if not re.match(r"[a-zA-Z_:]", base):
+        base = f"_{base}"
+    return base
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_openmetrics(
+    snapshot: Mapping[str, Any],
+    *,
+    prefix: str = "repro",
+    labels: Mapping[str, str] | None = None,
+) -> str:
+    """Render a metrics snapshot as OpenMetrics text (ends with ``# EOF``).
+
+    *labels* are attached to every sample — the heartbeat stamps e.g.
+    ``{"command": "campaign"}`` so multiple runs can share a scrape
+    target without name collisions.
+    """
+    lab = _labels_text(labels)
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        base = metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base}_total{lab} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        base = metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base}{lab} {_fmt(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        base = metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count{lab} {_fmt(hist['count'])}")
+        lines.append(f"{base}_sum{lab} {_fmt(hist['sum'])}")
+        for bound in ("min", "max"):
+            if hist.get(bound) is not None:
+                lines.append(f"# TYPE {base}_{bound} gauge")
+                lines.append(f"{base}_{bound}{lab} {_fmt(hist[bound])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class OpenMetricsDoc:
+    """Parsed exposition text: family types plus flat samples."""
+
+    families: dict[str, str] = field(default_factory=dict)
+    #: ``(sample_name, ((label, value), ...))`` → value
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+
+    def value(self, name: str, **labels: str) -> float:
+        """The value of one sample (KeyError if absent)."""
+        return self.samples[(name, tuple(sorted(labels.items())))]
+
+    def names(self) -> set[str]:
+        return {name for name, _ in self.samples}
+
+
+def parse_openmetrics(text: str) -> OpenMetricsDoc:
+    """Parse OpenMetrics text; raises ``ValueError`` on malformed input.
+
+    Checks what the round-trip needs: every sample line parses (name,
+    optional labels, float value), ``# TYPE`` metadata is collected, and
+    the stream is terminated by ``# EOF``.
+    """
+    doc = OpenMetricsDoc()
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                doc.families[parts[2]] = parts[3]
+            continue  # HELP/UNIT/comments: ignored
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        labels: dict[str, str] = {}
+        if m.group("labels"):
+            consumed = 0
+            for lm in _LABEL.finditer(m.group("labels")):
+                labels[lm.group(1)] = (
+                    lm.group(2)
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                consumed += 1
+            if consumed == 0:
+                raise ValueError(f"line {lineno}: unparseable labels: {line!r}")
+        try:
+            value = float(m.group("value"))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad value: {line!r}") from exc
+        doc.samples[(m.group("name"), tuple(sorted(labels.items())))] = value
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    return doc

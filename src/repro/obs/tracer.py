@@ -10,6 +10,16 @@ A span is one timed region of a run — ``sbl/solve``, ``sbl/outer_round``,
 On close the span captures
 
 * **wall-time** via ``time.perf_counter_ns``,
+* **CPU time** via ``time.thread_time_ns`` — the thread's actual
+  compute, so a span that waited (GC, page faults, a sleeping worker)
+  shows ``cpu_ns`` well under ``wall_ns``,
+* **GC pauses** that fired inside the span (count and pause nanoseconds,
+  accumulated by a process-wide ``gc.callbacks`` hook that is installed
+  only while an enabled tracer exists),
+* **allocation deltas** (net bytes and peak-above-entry) when the tracer
+  was built with ``track_memory=True`` — backed by :mod:`tracemalloc`,
+  with child peaks folded into their parents so a parent's peak is never
+  below a child's,
 * **PRAM depth/work deltas** read off the *machine*'s ``depth``/``work``
   attributes (a :class:`~repro.pram.machine.CountingMachine`; a
   :class:`~repro.pram.machine.NullMachine` contributes nothing), and
@@ -23,7 +33,8 @@ solver → phase → round structure without the call sites threading ids.
 shared no-op span whose ``__enter__``/``__exit__``/``set`` do nothing —
 no allocation, no clock read — which is what preserves the vectorised
 kernel wins when telemetry is off (guard with ``tracer.enabled`` before
-computing anything expensive purely for telemetry).
+computing anything expensive purely for telemetry).  The GC hook and
+tracemalloc are likewise only ever touched by enabled tracers.
 
 Solvers resolve their tracer as ``tracer if tracer is not None else
 current_tracer()``: an *ambient* tracer installed with
@@ -34,7 +45,9 @@ signatures.
 
 from __future__ import annotations
 
+import gc
 import time
+import tracemalloc
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -48,15 +61,57 @@ __all__ = [
     "NULL_TRACER",
     "current_tracer",
     "use_tracer",
+    "gc_watch",
 ]
+
+
+class _GcWatch:
+    """Process-wide GC pause accumulator (one ``gc.callbacks`` hook).
+
+    Installed refcounted by enabled tracers; spans read the running
+    totals at open/close and record the deltas.  The callback itself is
+    two attribute writes per collection — negligible next to the
+    collection it measures — and is removed again when the last tracer
+    holding it closes.
+    """
+
+    __slots__ = ("collections", "pause_ns", "_refs", "_t0")
+
+    def __init__(self) -> None:
+        self.collections = 0
+        self.pause_ns = 0
+        self._refs = 0
+        self._t0 = 0
+
+    def _callback(self, phase: str, info: dict[str, Any]) -> None:
+        if phase == "start":
+            self._t0 = time.perf_counter_ns()
+        else:
+            self.collections += 1
+            self.pause_ns += time.perf_counter_ns() - self._t0
+
+    def acquire(self) -> None:
+        if self._refs == 0 and self._callback not in gc.callbacks:
+            gc.callbacks.append(self._callback)
+        self._refs += 1
+
+    def release(self) -> None:
+        self._refs = max(0, self._refs - 1)
+        if self._refs == 0 and self._callback in gc.callbacks:
+            gc.callbacks.remove(self._callback)
+
+
+#: The module-level GC watcher enabled tracers share.
+gc_watch = _GcWatch()
 
 
 class Span:
     """One open telemetry region (created by :meth:`Tracer.span`).
 
-    After ``__exit__`` the measured ``wall_ns`` and, when a counting
-    machine was attached, ``pram`` (``{"depth": …, "work": …}``) are
-    available on the object.
+    After ``__exit__`` the measured ``wall_ns``, ``cpu_ns`` and, when
+    present, ``pram`` (``{"depth": …, "work": …}``), ``gc_pauses``
+    (``{"count": …, "pause_ns": …}``) and ``mem`` (``{"net": …,
+    "peak": …}`` bytes) are available on the object.
     """
 
     __slots__ = (
@@ -65,10 +120,17 @@ class Span:
         "span_id",
         "parent_id",
         "wall_ns",
+        "cpu_ns",
         "pram",
+        "gc_pauses",
+        "mem",
         "_tracer",
         "_machine",
         "_t0",
+        "_cpu0",
+        "_gc0",
+        "_mem0",
+        "_peak",
         "_depth0",
         "_work0",
     )
@@ -81,8 +143,15 @@ class Span:
         self.span_id: int = -1
         self.parent_id: int | None = None
         self.wall_ns: int = 0
+        self.cpu_ns: int = 0
         self.pram: dict[str, int] | None = None
+        self.gc_pauses: dict[str, int] | None = None
+        self.mem: dict[str, int] | None = None
         self._t0 = 0
+        self._cpu0 = 0
+        self._gc0 = (0, 0)
+        self._mem0: int | None = None
+        self._peak: int = 0
         self._depth0: int | None = None
         self._work0: int | None = None
 
@@ -97,18 +166,41 @@ class Span:
         if depth is not None:
             self._depth0 = depth
             self._work0 = machine.work
+        if self._tracer.track_memory and tracemalloc.is_tracing():
+            cur, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            self._mem0 = cur
+            self._peak = cur
+        self._gc0 = (gc_watch.collections, gc_watch.pause_ns)
+        self._cpu0 = time.thread_time_ns()
         self._t0 = self._tracer._clock()
         return self
 
     def __exit__(self, *exc) -> None:
         self.wall_ns = self._tracer._clock() - self._t0
+        self.cpu_ns = time.thread_time_ns() - self._cpu0
+        gc_count = gc_watch.collections - self._gc0[0]
+        if gc_count:
+            self.gc_pauses = {
+                "count": gc_count,
+                "pause_ns": gc_watch.pause_ns - self._gc0[1],
+            }
         if self._depth0 is not None:
             machine = self._machine
             self.pram = {
                 "depth": machine.depth - self._depth0,
                 "work": machine.work - self._work0,
             }
+        peak = None
+        if self._mem0 is not None and tracemalloc.is_tracing():
+            cur, peak = tracemalloc.get_traced_memory()
+            peak = max(self._peak, peak)
+            self.mem = {"net": cur - self._mem0, "peak": max(0, peak - self._mem0)}
+            tracemalloc.reset_peak()
         self._tracer._close(self)
+        if peak is not None:
+            # after the pop: fold this span's absolute peak into its parent
+            self._tracer._fold_peak(peak)
 
 
 class _NullSpan:
@@ -121,7 +213,10 @@ class _NullSpan:
     span_id = -1
     parent_id = None
     wall_ns = 0
+    cpu_ns = 0
     pram = None
+    gc_pauses = None
+    mem = None
 
     def set(self, **attrs: Any) -> None:
         pass
@@ -144,6 +239,7 @@ class NullTracer:
     """
 
     enabled = False
+    track_memory = False
 
     def span(self, name: str, *, machine: Any = None, **attrs: Any) -> _NullSpan:  # noqa: D102
         return _NULL_SPAN
@@ -171,6 +267,11 @@ class Tracer:
     registry:
         Metrics registry :meth:`flush_metrics` snapshots (defaults to the
         ambient default registry at flush time).
+    track_memory:
+        Opt in to per-span allocation tracking.  Starts :mod:`tracemalloc`
+        if it is not already tracing (and stops it again on :meth:`close`
+        if this tracer started it).  Tracing multiplies allocation cost,
+        so this is off by default and never touched when disabled.
     clock:
         Nanosecond clock (injectable for tests).
     """
@@ -182,13 +283,21 @@ class Tracer:
         sink: JsonlSink,
         *,
         registry: MetricsRegistry | None = None,
+        track_memory: bool = False,
         clock=time.perf_counter_ns,
     ):
         self.sink = sink
         self.registry = registry
+        self.track_memory = bool(track_memory)
         self._clock = clock
-        self._stack: list[int] = []
+        self._stack: list[Span] = []
         self._next_id = 1
+        self._owns_tracemalloc = False
+        if self.track_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+        gc_watch.acquire()
+        self._watching_gc = True
 
     def span(self, name: str, *, machine: Any = None, **attrs: Any) -> Span:
         """Open a new span; use as a context manager."""
@@ -197,7 +306,8 @@ class Tracer:
     @property
     def current_span_id(self) -> int | None:
         """Id of the innermost open span (``None`` outside any span)."""
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1].span_id if stack else None
 
     def reserve_ids(self, count: int) -> int:
         """Reserve *count* span ids; returns the offset to add to ``1…count``.
@@ -215,25 +325,37 @@ class Tracer:
     def _open(self, span: Span) -> None:
         span.span_id = self._next_id
         self._next_id += 1
-        span.parent_id = self._stack[-1] if self._stack else None
-        self._stack.append(span.span_id)
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        self._stack.append(span)
+
+    def _fold_peak(self, peak: int) -> None:
+        """Fold a closing child's absolute peak into its parent span."""
+        for parent in reversed(self._stack):
+            if parent._mem0 is not None:
+                parent._peak = max(parent._peak, peak)
+                return
 
     def _close(self, span: Span) -> None:
         # Robust to exceptions unwinding several spans at once: pop back
         # to (and including) this span rather than assuming perfect LIFO.
         while self._stack:
-            if self._stack.pop() == span.span_id:
+            if self._stack.pop() is span:
                 break
         event: dict[str, Any] = {
             "type": "span",
             "id": span.span_id,
             "name": span.name,
             "wall_ns": span.wall_ns,
+            "cpu_ns": span.cpu_ns,
         }
         if span.parent_id is not None:
             event["parent"] = span.parent_id
         if span.pram is not None:
             event["pram"] = span.pram
+        if span.gc_pauses is not None:
+            event["gc"] = span.gc_pauses
+        if span.mem is not None:
+            event["mem"] = span.mem
         if span.attrs:
             event["attrs"] = span.attrs
         self.sink.emit(event)
@@ -249,7 +371,13 @@ class Tracer:
         self.sink.emit({"type": "metrics", "metrics": reg.snapshot()})
 
     def close(self) -> None:
-        """Close the underlying sink."""
+        """Close the underlying sink and release resource hooks (idempotent)."""
+        if self._watching_gc:
+            gc_watch.release()
+            self._watching_gc = False
+        if self._owns_tracemalloc:
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
         self.sink.close()
 
 

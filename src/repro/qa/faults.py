@@ -10,10 +10,16 @@ must replay the failure deterministically.
 The wrappers mimic the library solver signature (``fn(H, seed=None,
 **kwargs) -> MISResult``) so they plug into
 :func:`repro.qa.differential.run_case` via ``extra_solvers``.
+
+:func:`slow_phase` is the *performance* twin: results stay correct but a
+planted busy-spin burns CPU inside a named span, giving the regression
+forensics (``repro trace diff``, the sampling profiler) a known culprit
+they must convict.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -21,11 +27,13 @@ import numpy as np
 from repro.core import greedy_mis
 from repro.core.result import MISResult
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs.tracer import current_tracer
 
 __all__ = [
     "drop_maximality_above",
     "break_independence_above",
     "nondeterministic",
+    "slow_phase",
 ]
 
 
@@ -78,6 +86,48 @@ def break_independence_above(
         if H.num_edges > max_edges:
             forced = np.union1d(members, np.asarray(H.edges[0], dtype=np.intp))
             return _rewrap(result, forced, f"greedy[break-ind>{max_edges}]")
+        return result
+
+    return solver
+
+
+def _planted_hot_frame(deadline_ns: int) -> int:
+    """Busy-spin until *deadline_ns* — the frame a sampling profiler must name.
+
+    A real spin (not ``time.sleep``) so the planted slowdown shows up in
+    CPU attribution and stack samples alike; the loop body does trivial
+    arithmetic to stay in this Python frame.
+    """
+    spins = 0
+    while time.perf_counter_ns() < deadline_ns:
+        spins += 1
+    return spins
+
+
+def slow_phase(
+    delay_s: float,
+    base: Callable = greedy_mis,
+    *,
+    span: str = "planted/slow_phase",
+) -> Callable[..., MISResult]:
+    """A solver that burns ``delay_s`` of CPU inside its own named span.
+
+    The *performance* fault twin of the correctness wrappers above: the
+    result is bit-identical to the base solver's, but every call opens a
+    span named *span* on the ambient tracer and busy-spins inside
+    :func:`_planted_hot_frame`.  Regression forensics must convict it —
+    ``repro trace diff`` against an unwrapped baseline ranks the planted
+    span as the top wall-time regression, and the profiler's flame output
+    names the spinning frame.
+    """
+    if delay_s < 0:
+        raise ValueError(f"delay must be non-negative: {delay_s}")
+
+    def solver(H: Hypergraph, seed=None, **kwargs) -> MISResult:
+        result = base(H, seed=seed, **kwargs)
+        tracer = current_tracer()
+        with tracer.span(span, delay_s=delay_s):
+            _planted_hot_frame(time.perf_counter_ns() + int(delay_s * 1e9))
         return result
 
     return solver

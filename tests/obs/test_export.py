@@ -1,0 +1,122 @@
+"""OpenMetrics rendering and the minimal round-trip parser."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.export import (
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestMetricName:
+    def test_slashes_become_underscores_with_prefix(self):
+        assert metric_name("exec/cells_done") == "repro_exec_cells_done"
+
+    def test_custom_prefix_and_empty_prefix(self):
+        assert metric_name("a/b", prefix="x") == "x_a_b"
+        assert metric_name("a/b", prefix="") == "a_b"
+
+    def test_leading_digit_is_guarded(self):
+        assert metric_name("9lives", prefix="")[0] == "_"
+
+
+class TestRender:
+    def test_counter_gauge_histogram_families(self):
+        reg = MetricsRegistry()
+        reg.counter("solver/runs").inc(3)
+        reg.gauge("exec/workers").set(4)
+        reg.histogram("solver/wall_ms").observe(10.0)
+        reg.histogram("solver/wall_ms").observe(30.0)
+        text = render_openmetrics(reg.snapshot())
+        assert "# TYPE repro_solver_runs counter" in text
+        assert "repro_solver_runs_total 3" in text
+        assert "repro_exec_workers 4" in text
+        assert "repro_solver_wall_ms_count 2" in text
+        assert "repro_solver_wall_ms_sum 40.0" in text
+        assert "repro_solver_wall_ms_min 10.0" in text
+        assert "repro_solver_wall_ms_max 30.0" in text
+        assert text.endswith("# EOF\n")
+
+    def test_unset_gauge_is_skipped(self):
+        reg = MetricsRegistry()
+        reg.gauge("maybe")  # never .set()
+        text = render_openmetrics(reg.snapshot())
+        assert "maybe" not in text
+
+    def test_labels_attach_to_every_sample(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        text = render_openmetrics(reg.snapshot(), labels={"command": "campaign"})
+        assert 'repro_c_total{command="campaign"} 1' in text
+        assert 'repro_g{command="campaign"} 1' in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        text = render_openmetrics(
+            reg.snapshot(), labels={"path": 'a"b\\c\nd'}
+        )
+        doc = parse_openmetrics(text)
+        assert doc.value("repro_c_total", path='a"b\\c\nd') == 1.0
+
+    def test_nonfinite_values_render_openmetrics_style(self):
+        reg = MetricsRegistry()
+        reg.gauge("inf").set(float("inf"))
+        reg.gauge("ninf").set(float("-inf"))
+        reg.gauge("nan").set(float("nan"))
+        text = render_openmetrics(reg.snapshot())
+        assert "repro_inf +Inf" in text
+        assert "repro_ninf -Inf" in text
+        assert "repro_nan NaN" in text
+
+
+class TestRoundTrip:
+    def test_registry_snapshot_survives_render_parse(self):
+        reg = MetricsRegistry()
+        reg.counter("exec/cells_done").inc(42)
+        reg.gauge("exec/cells_per_s").set(431.7)
+        reg.gauge("exec/eta_s").set(-1.0)
+        reg.histogram("cell/wall_ms").observe(5.5)
+        text = render_openmetrics(reg.snapshot(), labels={"command": "campaign"})
+        doc = parse_openmetrics(text)
+        assert doc.value("repro_exec_cells_done_total", command="campaign") == 42.0
+        assert doc.value("repro_exec_cells_per_s", command="campaign") == 431.7
+        assert doc.value("repro_exec_eta_s", command="campaign") == -1.0
+        assert doc.value("repro_cell_wall_ms_count", command="campaign") == 1.0
+        assert doc.families["repro_exec_cells_done"] == "counter"
+        assert doc.families["repro_cell_wall_ms"] == "summary"
+
+    def test_nan_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("nan").set(float("nan"))
+        doc = parse_openmetrics(render_openmetrics(reg.snapshot()))
+        assert math.isnan(doc.value("repro_nan"))
+
+
+class TestParserRejects:
+    def test_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("repro_x 1\n")
+
+    def test_content_after_eof(self):
+        with pytest.raises(ValueError, match="after # EOF"):
+            parse_openmetrics("# EOF\nrepro_x 1\n")
+
+    def test_unparseable_sample_line(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_openmetrics("!!! not a sample\n# EOF\n")
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError, match="bad value"):
+            parse_openmetrics("repro_x hello\n# EOF\n")
+
+    def test_names_helper(self):
+        doc = parse_openmetrics("repro_a 1\nrepro_b 2\n# EOF\n")
+        assert doc.names() == {"repro_a", "repro_b"}

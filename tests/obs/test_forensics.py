@@ -1,0 +1,225 @@
+"""Regression forensics: trace diff, planted slowdowns, damaged streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import beame_luby
+from repro.generators import uniform_hypergraph
+from repro.obs.events import JsonlSink
+from repro.obs.inspector import (
+    TraceError,
+    load_trace,
+    render_compare,
+    render_diff,
+    render_summary,
+)
+from repro.obs.profile import SamplingProfiler, render_flame
+from repro.obs.tracer import Tracer, use_tracer
+from repro.qa.faults import slow_phase
+
+
+def _ms(x: float) -> int:
+    return int(x * 1e6)
+
+
+def _write_tree(path, spans):
+    """Write span events; ``spans`` is (id, parent, name, wall_ms, cpu_ms)."""
+    with JsonlSink(path) as sink:
+        for span_id, parent, name, wall, cpu in spans:
+            event = {
+                "type": "span",
+                "id": span_id,
+                "name": name,
+                "wall_ns": _ms(wall),
+                "cpu_ns": _ms(cpu),
+            }
+            if parent is not None:
+                event["parent"] = parent
+            sink.emit(event)
+    return path
+
+
+class TestDiffSynthetic:
+    def _pair(self, tmp_path):
+        a = _write_tree(
+            tmp_path / "a.jsonl",
+            [
+                (2, 1, "phase/mark", 5.0, 4.0),
+                (3, 1, "phase/cleanup", 5.0, 5.0),
+                (1, None, "solve", 12.0, 10.0),
+            ],
+        )
+        b = _write_tree(
+            tmp_path / "b.jsonl",
+            [
+                (2, 1, "phase/mark", 5.0, 4.0),
+                (3, 1, "phase/cleanup", 30.0, 28.0),
+                (1, None, "solve", 37.0, 33.0),
+            ],
+        )
+        return a, b
+
+    def test_regressed_path_ranks_first(self, tmp_path):
+        out = render_diff(*self._pair(tmp_path))
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        # rows[0] is the header, rows[1] the separator; rows[2] the top rank
+        assert "solve>phase/cleanup" in rows[2]
+        assert "+25.000" in rows[2]
+        assert "6.00x" in rows[2]
+
+    def test_unchanged_path_shows_unit_ratio(self, tmp_path):
+        out = render_diff(*self._pair(tmp_path))
+        mark_row = next(line for line in out.splitlines() if "phase/mark" in line)
+        assert "1.00x" in mark_row
+
+    def test_path_only_in_b_is_new(self, tmp_path):
+        a = _write_tree(tmp_path / "a.jsonl", [(1, None, "solve", 10.0, 9.0)])
+        b = _write_tree(
+            tmp_path / "b.jsonl",
+            [(2, 1, "planted/slow", 50.0, 49.0), (1, None, "solve", 60.0, 58.0)],
+        )
+        out = render_diff(a, b)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert "planted/slow" in rows[2] and "new" in rows[2]
+
+    def test_same_name_under_different_parents_stays_distinct(self, tmp_path):
+        spans = [
+            (2, 1, "round", 3.0, 3.0),
+            (1, None, "outer", 4.0, 4.0),
+            (4, 3, "round", 9.0, 9.0),
+            (3, None, "inner", 10.0, 10.0),
+        ]
+        a = _write_tree(tmp_path / "a.jsonl", spans)
+        b = _write_tree(tmp_path / "b.jsonl", spans)
+        out = render_diff(a, b)
+        assert "outer>round" in out and "inner>round" in out
+
+    def test_top_limits_rows_keeping_largest_deltas(self, tmp_path):
+        out = render_diff(*self._pair(tmp_path), top=1)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert len(rows) == 3  # header + separator + 1 data row
+        assert "phase/cleanup" in rows[2]
+
+    def test_disjoint_structures_raise(self, tmp_path):
+        a = _write_tree(tmp_path / "a.jsonl", [(1, None, "x", 1.0, 1.0)])
+        b = _write_tree(tmp_path / "b.jsonl", [(1, None, "y", 1.0, 1.0)])
+        with pytest.raises(TraceError, match="no span paths"):
+            render_diff(a, b)
+
+
+class TestPlantedSlowdown:
+    """The acceptance demo: forensics must convict a planted perf fault."""
+
+    def _trace(self, path, fn, H, *, profile_hz=0.0):
+        tracer = Tracer(JsonlSink(path))
+        profiler = (
+            SamplingProfiler(profile_hz, tracer=tracer) if profile_hz else None
+        )
+        with use_tracer(tracer):
+            if profiler is not None:
+                profiler.start()
+            result = fn(H, seed=3)
+            if profiler is not None:
+                profiler.stop()
+        tracer.close()
+        return result
+
+    def test_diff_convicts_planted_span_and_flame_names_frame(self, tmp_path):
+        H = uniform_hypergraph(60, 120, 3, seed=2)
+        slow = slow_phase(0.15, base=beame_luby)
+        base_path = tmp_path / "base.jsonl"
+        slow_path = tmp_path / "slow.jsonl"
+        res_a = self._trace(base_path, beame_luby, H)
+        res_b = self._trace(slow_path, slow, H, profile_hz=400.0)
+        # the fault is performance-only: results stay bit-identical
+        assert np.array_equal(res_a.independent_set, res_b.independent_set)
+
+        out = render_diff(base_path, slow_path)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert "planted/slow_phase" in rows[2]  # top wall-time regression
+
+        flame = render_flame(slow_path)
+        assert "_planted_hot_frame" in flame
+        assert "planted/slow_phase" in flame  # span attribution names it too
+
+    def test_zero_delay_solver_is_equivalent(self):
+        H = uniform_hypergraph(40, 80, 3, seed=1)
+        wrapped = slow_phase(0.0)
+        plain_greedy = wrapped(H, seed=5)
+        assert plain_greedy.independent_set.size > 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            slow_phase(-1.0)
+
+
+class TestDamagedStreams:
+    def _trace_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        with tracer.span("solve"):
+            with tracer.span("round"):
+                pass
+        tracer.close()
+        return path
+
+    def test_truncated_last_line_is_skipped_and_counted(self, tmp_path):
+        path = self._trace_file(tmp_path)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"type": "span", "id": 99, "name": "trunc')  # crashed writer
+        doc = load_trace(path)
+        assert len(doc.skipped) == 1
+        assert {s.name for s in doc.spans} == {"solve", "round"}
+        out = render_summary(path)
+        assert "skipped 1 unparseable line(s)" in out
+        assert "solve" in out
+
+    def test_foreign_version_line_is_skipped(self, tmp_path):
+        path = self._trace_file(tmp_path)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"v": 999, "type": "span", "id": 9, "name": "x", "wall_ns": 1}\n')
+        doc = load_trace(path)
+        assert len(doc.skipped) == 1
+        assert "version" in doc.skipped[0][1]
+
+    def test_empty_file_renders_without_crash(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert "no spans recorded" in render_summary(path)
+
+    def test_all_garbage_file_reports_every_line(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n[1, 2]\n")
+        doc = load_trace(path)
+        assert len(doc.skipped) == 2
+
+    def test_compare_requires_shared_names(self, tmp_path):
+        a = _write_tree(tmp_path / "a.jsonl", [(1, None, "x", 1.0, 1.0)])
+        b = _write_tree(tmp_path / "b.jsonl", [(1, None, "y", 1.0, 1.0)])
+        with pytest.raises(TraceError, match="no span names"):
+            render_compare(a, b)
+
+    def test_diff_surfaces_skipped_lines_of_either_side(self, tmp_path):
+        a = self._trace_file(tmp_path)
+        b = tmp_path / "b.jsonl"
+        b.write_text(a.read_text() + "garbage line\n")
+        out = render_diff(a, b)
+        assert "[B] warning: skipped 1" in out
+
+
+def test_slow_phase_span_carries_cpu_attribution(tmp_path):
+    """The busy-spin burns CPU, not just wall — attribution must show it."""
+    H = uniform_hypergraph(30, 60, 3, seed=0)
+    path = tmp_path / "run.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    with use_tracer(tracer):
+        slow_phase(0.05)(H, seed=1)
+    tracer.close()
+    doc = load_trace(path)
+    planted = next(s for s in doc.spans if s.name == "planted/slow_phase")
+    assert planted.wall_ns >= int(0.05e9)
+    assert planted.cpu_ns is not None
+    # a sleep would have ~0 CPU; the spin's CPU time tracks its wall time
+    assert planted.cpu_ns > planted.wall_ns * 0.5

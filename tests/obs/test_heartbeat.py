@@ -1,0 +1,136 @@
+"""Heartbeat: liveness gauges from executor counters, textfile export."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import JsonlSink
+from repro.obs.export import parse_openmetrics
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _registry(done=0, scheduled=0, busy_ns=0, workers=None):
+    reg = MetricsRegistry()
+    if done:
+        reg.counter("exec/cells_done").inc(done)
+    if scheduled:
+        reg.counter("exec/cells_scheduled").inc(scheduled)
+    if busy_ns:
+        reg.counter("exec/cell_wall_ns").inc(busy_ns)
+    if workers is not None:
+        reg.gauge("exec/workers").set(workers)
+    return reg
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestBeat:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            Heartbeat(0)
+
+    def test_gauges_from_counters(self):
+        clock = FakeClock()
+        reg = _registry(scheduled=100, workers=4)
+        hb = Heartbeat(1.0, registry=reg, clock=clock)
+        hb._last_t = clock.t
+        # 10 cells and 20 worker·seconds of cell wall in 10s on 4 workers
+        reg.counter("exec/cells_done").inc(10)
+        reg.counter("exec/cell_wall_ns").inc(int(20e9))
+        clock.t += 10.0
+        gauges = hb.beat()
+        assert gauges["exec/cells_total"] == 100.0
+        assert gauges["exec/cells_per_s"] == pytest.approx(1.0)
+        assert gauges["exec/eta_s"] == pytest.approx(90.0)
+        assert gauges["exec/worker_utilization"] == pytest.approx(0.5)
+        assert reg.gauge("exec/cells_per_s").value == pytest.approx(1.0)
+        assert reg.counter("obs/heartbeats").value == 1
+
+    def test_rate_is_per_beat_not_cumulative(self):
+        clock = FakeClock()
+        reg = _registry(scheduled=10, workers=1)
+        hb = Heartbeat(1.0, registry=reg, clock=clock)
+        hb._last_t = clock.t
+        reg.counter("exec/cells_done").inc(5)
+        clock.t += 5.0
+        assert hb.beat()["exec/cells_per_s"] == pytest.approx(1.0)
+        # no further progress: rate drops to zero, ETA becomes unknown (-1)
+        clock.t += 5.0
+        gauges = hb.beat()
+        assert gauges["exec/cells_per_s"] == pytest.approx(0.0)
+        assert gauges["exec/eta_s"] == -1.0
+
+    def test_finished_grid_has_zero_eta(self):
+        clock = FakeClock()
+        reg = _registry(scheduled=4, workers=1)
+        hb = Heartbeat(1.0, registry=reg, clock=clock)
+        hb._last_t = clock.t
+        reg.counter("exec/cells_done").inc(4)
+        clock.t += 2.0
+        assert hb.beat()["exec/eta_s"] == 0.0
+
+    def test_tasks_twins_count_toward_progress(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        reg.counter("exec/tasks_scheduled").inc(8)
+        reg.counter("exec/tasks_done").inc(2)
+        hb = Heartbeat(1.0, registry=reg, clock=clock)
+        hb._last_t = clock.t
+        clock.t += 1.0
+        gauges = hb.beat()
+        assert gauges["exec/cells_total"] == 8.0
+        assert gauges["exec/cells_per_s"] == pytest.approx(2.0)
+
+    def test_utilization_clamped_to_unit_interval(self):
+        clock = FakeClock()
+        reg = _registry(scheduled=1, workers=1)
+        hb = Heartbeat(1.0, registry=reg, clock=clock)
+        hb._last_t = clock.t
+        reg.counter("exec/cell_wall_ns").inc(int(100e9))  # impossible: 100s busy in 1s
+        clock.t += 1.0
+        assert hb.beat()["exec/worker_utilization"] == 1.0
+
+
+class TestPublication:
+    def test_beat_flushes_metrics_event_to_tracer(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        reg = _registry(scheduled=2, workers=1)
+        hb = Heartbeat(1.0, registry=reg, tracer=tracer, clock=FakeClock())
+        hb._last_t = 100.0
+        hb.beat()
+        buf.seek(0)
+        events = [json.loads(line) for line in buf if line.strip()]
+        assert any(e.get("type") == "metrics" for e in events)
+
+    def test_textfile_is_valid_openmetrics(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        reg = _registry(done=3, scheduled=10, workers=2)
+        hb = Heartbeat(1.0, registry=reg, textfile=out, clock=FakeClock())
+        hb._last_t = 100.0
+        hb.beat()
+        doc = parse_openmetrics(out.read_text())
+        assert doc.value("repro_exec_cells_done_total") == 3.0
+        assert doc.value("repro_exec_cells_total") == 10.0
+        assert not out.with_name(out.name + ".tmp").exists()
+
+    def test_thread_lifecycle_and_final_beat(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        reg = _registry(done=1, scheduled=1, workers=1)
+        # long interval: the thread alone would never beat during the test,
+        # so the textfile below proves stop() emits a final beat.
+        with Heartbeat(60.0, registry=reg, textfile=out):
+            pass
+        assert parse_openmetrics(out.read_text()).value("repro_exec_cells_total") == 1.0
+        assert reg.counter("obs/heartbeats").value >= 1

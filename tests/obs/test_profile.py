@@ -1,0 +1,144 @@
+"""Sampling profiler: capture, span attribution, rendering, zero-impact."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import beame_luby
+from repro.generators import uniform_hypergraph
+from repro.obs.events import JsonlSink
+from repro.obs.profile import (
+    SamplingProfiler,
+    _merge_profiles,
+    folded_stacks,
+    render_flame,
+    write_speedscope,
+)
+from repro.obs.tracer import Tracer, use_tracer
+
+
+def _spin_here(deadline: float) -> int:
+    """A named frame the sampler must observe."""
+    spins = 0
+    while time.perf_counter() < deadline:
+        spins += 1
+    return spins
+
+
+def _profiled_spin(hz: float = 400.0, seconds: float = 0.15) -> dict:
+    with SamplingProfiler(hz) as prof:
+        _spin_here(time.perf_counter() + seconds)
+    return prof.stop()  # idempotent: thread already joined, returns event
+
+
+class TestCapture:
+    def test_samples_name_the_hot_frame(self):
+        event = _profiled_spin()
+        assert event["type"] == "profile"
+        assert event["samples"] > 0
+        names = {name for name, _file, _line in event["frames"]}
+        assert "_spin_here" in names
+
+    def test_frame_table_is_interned(self):
+        event = _profiled_spin()
+        for st in event["stacks"]:
+            for idx in st["f"]:
+                assert 0 <= idx < len(event["frames"])
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SamplingProfiler(0)
+
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(50).start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                prof.start()
+        finally:
+            prof.stop()
+
+
+class TestSpanAttribution:
+    def test_samples_carry_open_span_id_and_event_lands_on_stream(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with use_tracer(tracer):
+            with SamplingProfiler(400.0, tracer=tracer):
+                with tracer.span("hot/phase") as span:
+                    _spin_here(time.perf_counter() + 0.15)
+        buf.seek(0)
+        events = [json.loads(line) for line in buf if line.strip()]
+        profiles = [e for e in events if e.get("type") == "profile"]
+        assert len(profiles) == 1
+        spans_hit = {st.get("span") for st in profiles[0]["stacks"]}
+        assert span.span_id in spans_hit
+
+
+class TestRendering:
+    def _trace_with_profile(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        with use_tracer(tracer):
+            with SamplingProfiler(400.0, tracer=tracer):
+                with tracer.span("hot/phase"):
+                    _spin_here(time.perf_counter() + 0.15)
+        tracer.close()
+        return path
+
+    def test_folded_stacks_join_frame_names(self):
+        event = _profiled_spin()
+        folded = folded_stacks(event)
+        assert sum(folded.values()) == event["samples"]
+        assert any("_spin_here" in key for key in folded)
+
+    def test_render_flame_names_frame_and_span(self, tmp_path):
+        out = render_flame(self._trace_with_profile(tmp_path))
+        assert "_spin_here" in out
+        assert "hot/phase" in out
+        assert "hot frames" in out and "samples by span" in out
+
+    def test_render_flame_without_profile_events_errors(self, tmp_path):
+        path = tmp_path / "plain.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        with tracer.span("a"):
+            pass
+        tracer.close()
+        with pytest.raises(ValueError, match="no profile events"):
+            render_flame(path)
+
+    def test_speedscope_export_is_schema_shaped(self, tmp_path):
+        trace = self._trace_with_profile(tmp_path)
+        out = tmp_path / "prof.speedscope.json"
+        n = write_speedscope(trace, out)
+        doc = json.loads(out.read_text())
+        assert n > 0
+        assert doc["$schema"].endswith("file-format-schema.json")
+        prof = doc["profiles"][0]
+        assert prof["type"] == "sampled"
+        assert len(prof["samples"]) == len(prof["weights"])
+        for sample in prof["samples"]:
+            for idx in sample:
+                assert 0 <= idx < len(doc["shared"]["frames"])
+
+    def test_merge_reinterns_frames_across_events(self):
+        a = _profiled_spin(seconds=0.05)
+        b = _profiled_spin(seconds=0.05)
+        merged = _merge_profiles([a, b])
+        assert merged["samples"] == a["samples"] + b["samples"]
+        names = {name for name, _f, _l in merged["frames"]}
+        assert "_spin_here" in names
+
+
+class TestSolverEquivalence:
+    def test_profiling_does_not_change_solver_output(self):
+        H = uniform_hypergraph(80, 160, 3, seed=5)
+        plain = beame_luby(H, seed=9)
+        with SamplingProfiler(200.0):
+            profiled = beame_luby(H, seed=9)
+        assert np.array_equal(plain.independent_set, profiled.independent_set)
+        assert plain.num_rounds == profiled.num_rounds

@@ -169,3 +169,121 @@ class TestFlushMetrics:
         buf.seek(0)
         (event,) = [e for e in read_events(buf) if e["type"] == "metrics"]
         assert event["metrics"]["counters"] == {"solver/vertices_committed": 12}
+
+
+class TestResourceAttribution:
+    def test_every_span_event_carries_cpu_ns(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(50_000))
+        for event in _span_events(buf):
+            assert event["cpu_ns"] >= 0
+
+    def test_nested_cpu_is_monotone_outer_covers_inner(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                sum(range(200_000))  # measurable CPU inside the inner span
+        assert inner.cpu_ns > 0
+        assert outer.cpu_ns >= inner.cpu_ns
+
+    def test_cpu_does_not_count_sleep(self):
+        import time
+
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("nap") as span:
+            time.sleep(0.05)
+        assert span.wall_ns >= int(0.05e9)
+        assert span.cpu_ns < span.wall_ns // 2
+
+    def test_gc_pauses_attributed_to_span(self):
+        import gc
+
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("collecting") as span:
+            gc.collect()
+        assert span.gc_pauses is not None
+        assert span.gc_pauses["count"] >= 1
+        assert span.gc_pauses["pause_ns"] >= 0
+        (event,) = _span_events(buf)
+        assert event["gc"]["count"] >= 1
+
+    def test_no_gc_no_gc_key(self):
+        import gc
+
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        gc.disable()
+        try:
+            with tracer.span("quiet"):
+                pass
+        finally:
+            gc.enable()
+        (event,) = _span_events(buf)
+        assert "gc" not in event
+
+    def test_gc_hook_released_on_close(self):
+        import gc
+
+        from repro.obs.tracer import gc_watch
+
+        before = gc_watch._refs
+        tracer = Tracer(JsonlSink(io.StringIO()))
+        assert gc_watch._refs == before + 1
+        assert gc_watch._callback in gc.callbacks
+        tracer.close()
+        assert gc_watch._refs == before
+
+    def test_memory_tracking_is_opt_in(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("a"):
+            pass
+        (event,) = _span_events(buf)
+        assert "mem" not in event
+        tracer.close()
+
+    def test_memory_peak_and_net_recorded(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf), track_memory=True)
+        try:
+            with tracer.span("alloc") as span:
+                blob = [bytearray(256) for _ in range(2000)]
+                del blob
+            assert span.mem is not None
+            assert span.mem["peak"] >= 2000 * 256
+            assert span.mem["net"] < span.mem["peak"]
+        finally:
+            tracer.close()
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()  # owned tracing stopped on close
+
+    def test_child_peak_folds_into_parent(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf), track_memory=True)
+        try:
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    blob = bytearray(1_000_000)
+                    del blob
+            assert inner.mem["peak"] >= 1_000_000
+            # the child's high-water mark happened inside the parent too
+            assert outer.mem["peak"] >= inner.mem["peak"]
+        finally:
+            tracer.close()
+
+    def test_null_tracer_has_zero_cost_fields(self):
+        span = NULL_TRACER.span("anything")
+        assert span.cpu_ns == 0
+        assert span.gc_pauses is None
+        assert span.mem is None
+        assert NULL_TRACER.track_memory is False

@@ -89,3 +89,111 @@ def test_committed_baseline_is_parseable(name):
     assert doc["medians_ns"]
     assert all(isinstance(v, int) for v in doc["medians_ns"].values())
     assert set(doc["iqr_ns"]) == set(doc["medians_ns"])
+
+
+@pytest.mark.parametrize("name", ["BENCH_m01.json", "BENCH_m02.json"])
+def test_committed_baseline_records_machine_identity(name):
+    import json
+
+    baseline = Path(__file__).resolve().parent.parent / name
+    prov = json.loads(baseline.read_text())["provenance"]
+    assert isinstance(prov["cpu_count"], int) and prov["cpu_count"] >= 1
+    assert prov["machine_id"]
+
+
+class TestMachineGuard:
+    def _doc(self, machine_id):
+        prov = {"machine_id": machine_id} if machine_id is not None else {}
+        return {"medians_ns": {"kuw": 1000}, "provenance": prov}
+
+    def test_same_machine_passes(self, capsys):
+        from bench_gate import check_machine
+        from bench_smoke import machine_identity
+
+        doc = self._doc(machine_identity())
+        assert check_machine(doc, Path("BENCH_m01.json"), "m01") is None
+        assert capsys.readouterr().err == ""
+
+    def test_different_machine_is_an_error_naming_both(self):
+        from bench_gate import check_machine
+
+        err = check_machine(self._doc("linux-arm64-apple-m9-64c"), Path("b.json"), "m01")
+        assert err is not None
+        assert "linux-arm64-apple-m9-64c" in err
+        assert "--allow-machine-mismatch" in err
+
+    def test_unstamped_baseline_warns_and_proceeds(self, capsys):
+        from bench_gate import check_machine
+
+        assert check_machine(self._doc(None), Path("old.json"), "m01") is None
+        assert "no machine identity" in capsys.readouterr().err
+
+
+class TestMachineIdentity:
+    def test_is_normalized_and_stable(self):
+        from bench_smoke import machine_identity
+
+        a, b = machine_identity(), machine_identity()
+        assert a == b
+        assert a == a.lower()
+        assert " " not in a
+        assert a.endswith("c")
+
+
+class TestHistory:
+    def test_append_and_trend_round_trip(self, tmp_path, capsys):
+        from bench_smoke import append_history, machine_identity
+        from bench_trend import load_history, render_trend
+
+        history = tmp_path / "hist.jsonl"
+        prov = {"machine_id": machine_identity(), "timestamp": "t"}
+        for median in (1000_000, 1100_000, 900_000):
+            append_history(
+                "m01",
+                {"provenance": prov, "medians_ns": {"bl": median}, "iqr_ns": {"bl": 1}},
+                history_path=history,
+            )
+        history.write_text(history.read_text() + "not json\n")  # damaged tail
+        records = load_history(history)
+        assert len(records) == 3
+        assert "skipped 1" in capsys.readouterr().err
+        out = render_trend(records, suite="m01", entry="bl")
+        assert "3 run(s)" in out
+        assert "drift -10.0%" in out
+
+    def test_trend_filters_by_suite_and_entry(self):
+        from bench_trend import render_trend
+
+        records = [
+            {"suite": "m01", "medians_ns": {"bl": 1}, "provenance": {}},
+            {"suite": "m02", "medians_ns": {"campaign_serial": 2}, "provenance": {}},
+        ]
+        out = render_trend(records, suite="m02")
+        assert "campaign_serial" in out and "bl" not in out
+        assert render_trend(records, suite="m01", entry="nope") == ""
+
+    def test_forensic_solver_map_covers_committed_solver_entries(self):
+        import json
+
+        from bench_gate import FORENSIC_SOLVERS
+
+        baseline = Path(__file__).resolve().parent.parent / "BENCH_m01.json"
+        entries = set(json.loads(baseline.read_text())["medians_ns"])
+        # every solver entry in the baseline has a forensics recipe
+        assert {"bl", "bl_bitset", "kuw", "permutation", "greedy"} <= entries
+        assert {"bl", "bl_bitset", "kuw", "permutation", "greedy"} <= set(
+            FORENSIC_SOLVERS
+        )
+
+    def test_forensics_trace_is_inspectable(self, tmp_path):
+        from bench_gate import write_forensics_trace
+
+        from repro.obs.inspector import load_trace
+
+        out = tmp_path / "forensics_m01_greedy.jsonl"
+        assert write_forensics_trace("greedy", out) is True
+        doc = load_trace(out)
+        assert doc.run["entry"] == "greedy"
+        assert doc.spans  # the solver emitted spans under the tracer
+        assert write_forensics_trace("normalize", tmp_path / "x.jsonl") is False
+

@@ -202,12 +202,90 @@ class TestTelemetry:
 
     def test_trace_compare(self, instance, tmp_path, capsys):
         a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
-        main(["solve", str(instance), "--algorithm", "bl", "--telemetry", str(a)])
-        main(["solve", str(instance), "--algorithm", "kuw", "--telemetry", str(b)])
+        main(["solve", str(instance), "--algorithm", "bl", "--seed", "1",
+              "--telemetry", str(a)])
+        main(["solve", str(instance), "--algorithm", "bl", "--seed", "2",
+              "--telemetry", str(b)])
         capsys.readouterr()
         assert main(["trace", "compare", str(a), str(b)]) == 0
         out = capsys.readouterr().out
-        assert "Δ wall" in out and "kuw/solve" in out
+        assert "Δ wall" in out and "bl/solve" in out
+
+    def test_trace_compare_disjoint_spans_fails_cleanly(
+        self, instance, tmp_path, capsys
+    ):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["solve", str(instance), "--algorithm", "bl", "--telemetry", str(a)])
+        main(["solve", str(instance), "--algorithm", "kuw", "--telemetry", str(b)])
+        capsys.readouterr()
+        assert main(["trace", "compare", str(a), str(b)]) == 1
+        err = capsys.readouterr().err
+        assert "no span names" in err
+
+    def test_trace_diff(self, instance, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["solve", str(instance), "--algorithm", "bl", "--seed", "1",
+              "--telemetry", str(a)])
+        main(["solve", str(instance), "--algorithm", "bl", "--seed", "2",
+              "--telemetry", str(b)])
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Δself ms" in out and "bl/solve" in out
+
+    def test_trace_diff_disjoint_fails_cleanly(self, instance, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["solve", str(instance), "--algorithm", "bl", "--telemetry", str(a)])
+        main(["solve", str(instance), "--algorithm", "kuw", "--telemetry", str(b)])
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        assert "no span paths" in capsys.readouterr().err
+
+    def test_solve_profile_and_trace_flame(self, instance, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        speedscope = tmp_path / "prof.json"
+        rc = main(["solve", str(instance), "--algorithm", "bl",
+                   "--telemetry", str(path), "--profile", "300"])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["trace", "flame", str(path),
+                     "--speedscope", str(speedscope)]) == 0
+        out = capsys.readouterr().out
+        assert "samples by span" in out
+        assert json.loads(speedscope.read_text())["profiles"]
+
+    def test_trace_flame_without_profile_fails_cleanly(
+        self, instance, tmp_path, capsys
+    ):
+        path = tmp_path / "run.jsonl"
+        main(["solve", str(instance), "--algorithm", "bl", "--telemetry", str(path)])
+        capsys.readouterr()
+        assert main(["trace", "flame", str(path)]) == 1
+        assert "no profile events" in capsys.readouterr().err
+
+    def test_campaign_heartbeat_and_metrics_out(self, tmp_path, capsys):
+        from repro.obs.export import parse_openmetrics
+
+        prom = tmp_path / "campaign.prom"
+        rc = main(["campaign", "--sizes", "40", "--repeats", "2",
+                   "--heartbeat", "0.05", "--metrics-out", str(prom)])
+        assert rc == 0
+        doc = parse_openmetrics(prom.read_text())
+        assert doc.value("repro_exec_cells_done_total", command="campaign") == 6.0
+        assert doc.value("repro_exec_cells_total", command="campaign") == 6.0
+        assert doc.value("repro_exec_eta_s", command="campaign") == 0.0
+
+    def test_metrics_out_without_heartbeat_writes_final_snapshot(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.export import parse_openmetrics
+
+        prom = tmp_path / "campaign.prom"
+        rc = main(["campaign", "--sizes", "40", "--repeats", "1",
+                   "--metrics-out", str(prom)])
+        assert rc == 0
+        doc = parse_openmetrics(prom.read_text())
+        assert doc.value("repro_exec_cells_done_total", command="campaign") == 3.0
 
 
 class TestExperiment:
