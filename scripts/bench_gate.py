@@ -49,11 +49,13 @@ from pathlib import Path
 
 from bench_smoke import (
     OUT_M02,
+    OUT_M03,
     REPO,
     append_history,
     machine_identity,
     run_benchmarks,
     run_benchmarks_m02,
+    run_benchmarks_m03,
 )
 
 DEFAULT_BASELINE = REPO / "BENCH_m01.json"
@@ -226,8 +228,13 @@ def _gate_suite(
             file=sys.stderr,
         )
 
+    runners = {
+        "m01": run_benchmarks,
+        "m02": run_benchmarks_m02,
+        "m03": run_benchmarks_m03,
+    }
     try:
-        payload = run_benchmarks() if suite == "m01" else run_benchmarks_m02()
+        payload = runners[suite]()
     except RuntimeError as exc:
         print(exc, file=sys.stderr)
         return None, 1
@@ -269,9 +276,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=["m01", "m02", "both"],
-        default="both",
-        help="which suite(s) to gate (default: both)",
+        choices=["m01", "m02", "m03", "all", "both"],
+        default="all",
+        help="which suite(s) to gate ('both' = m01+m02, kept for "
+        "compatibility; default: all)",
     )
     parser.add_argument(
         "--baseline",
@@ -317,12 +325,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.threshold <= 0:
         print(f"threshold must be positive: {args.threshold}", file=sys.stderr)
         return 2
-    suites = ["m01", "m02"] if args.suite == "both" else [args.suite]
+    if args.suite == "all":
+        suites = ["m01", "m02", "m03"]
+    elif args.suite == "both":
+        suites = ["m01", "m02"]
+    else:
+        suites = [args.suite]
     if args.baseline is not None and len(suites) > 1:
-        print("--baseline requires --suite m01 or m02", file=sys.stderr)
+        print("--baseline requires a single --suite", file=sys.stderr)
         return 2
 
-    default_baselines = {"m01": DEFAULT_BASELINE, "m02": OUT_M02}
+    default_baselines = {"m01": DEFAULT_BASELINE, "m02": OUT_M02, "m03": OUT_M03}
     fresh: dict[str, dict] = {}
     rc = 0
     for suite in suites:

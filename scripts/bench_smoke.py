@@ -1,6 +1,6 @@
 """Bench smoke: run the benchmark suites and record medians + IQR.
 
-Two suites, one JSON baseline each at the repo root:
+Three suites, one JSON baseline each at the repo root:
 
 * **m01** — the solver-kernel micro-benchmarks
   (``benchmarks/bench_m01_solver_kernels.py`` via pytest-benchmark, with
@@ -9,6 +9,9 @@ Two suites, one JSON baseline each at the repo root:
 * **m02** — campaign throughput serial vs the parallel executor
   (``benchmarks/bench_m02_campaign_throughput.py``, plain wall-clock
   timing) → ``BENCH_m02.json``.
+* **m03** — solve-service throughput and tail latency per request path
+  (``benchmarks/bench_m03_service.py``, a live server driven over its
+  unix socket) → ``BENCH_m03.json``.
 
 Both payloads carry ``medians_ns`` and ``iqr_ns`` per entry; the IQR is
 what lets ``scripts/bench_gate.py`` distinguish a real regression from
@@ -44,6 +47,7 @@ REPO = Path(__file__).resolve().parent.parent
 BENCH = REPO / "benchmarks" / "bench_m01_solver_kernels.py"
 OUT = REPO / "BENCH_m01.json"
 OUT_M02 = REPO / "BENCH_m02.json"
+OUT_M03 = REPO / "BENCH_m03.json"
 #: Append-only perf trajectory (gitignored; uploaded as a CI artifact).
 HISTORY = REPO / "BENCH_history.jsonl"
 
@@ -180,10 +184,23 @@ def run_benchmarks_m02() -> dict:
     return payload
 
 
+def run_benchmarks_m03() -> dict:
+    """Run the m03 solve-service benchmark and return the payload."""
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    try:
+        from bench_m03_service import run_m03
+    finally:
+        sys.path.pop(0)
+    payload = run_m03()
+    payload["provenance"] = _provenance()
+    return payload
+
+
 #: suite name -> (runner, baseline path)
 SUITES = {
     "m01": (run_benchmarks, OUT),
     "m02": (run_benchmarks_m02, OUT_M02),
+    "m03": (run_benchmarks_m03, OUT_M03),
 }
 
 

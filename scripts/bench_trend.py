@@ -88,7 +88,10 @@ def main(argv: list[str] | None = None) -> int:
         help="history file to render (default: %(default)s)",
     )
     parser.add_argument(
-        "--suite", choices=["m01", "m02"], default=None, help="restrict to one suite"
+        "--suite",
+        choices=["m01", "m02", "m03"],
+        default=None,
+        help="restrict to one suite",
     )
     parser.add_argument(
         "--entry", default=None, help="restrict to one benchmark entry (e.g. bl_bitset)"

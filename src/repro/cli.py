@@ -12,6 +12,8 @@ The subcommands mirror the library's workflow::
     python -m repro fuzz run --budget 60s --seed 0
     python -m repro fuzz replay tests/regressions
     python -m repro fuzz shrink inst.txt --seed 0 -o tests/regressions
+    python -m repro serve --socket repro.sock --workers auto --heartbeat 5
+    python -m repro client solve inst.txt --algorithm bl --seed 7
 
 ``solve`` prints a JSON document (set, rounds, optional PRAM costs) so it
 composes with shell pipelines; everything else prints human-readable text.
@@ -120,6 +122,7 @@ def _telemetry(
     heartbeat: float = 0.0,
     metrics_out: str = "",
     track_memory: bool = False,
+    extra_gauges: Callable[[], dict] | None = None,
     **run_attrs,
 ) -> Iterator[None]:
     """Activate the observability stack for the enclosed run.
@@ -134,9 +137,12 @@ def _telemetry(
     *profile_hz* > 0 runs a :class:`~repro.obs.profile.SamplingProfiler`
     over the run, its samples landing as a ``profile`` event on the
     stream.  *heartbeat* > 0 starts a liveness thread flushing progress
-    gauges every beat.  *metrics_out* writes an OpenMetrics textfile —
-    each beat when a heartbeat runs, once at exit otherwise — and works
-    with or without a telemetry *path*.
+    gauges every beat; *extra_gauges* (a callable returning name→value)
+    is polled on each beat so long-running commands — ``serve`` — can
+    publish their own gauges through the same textfile.  *metrics_out*
+    writes an OpenMetrics textfile — each beat when a heartbeat runs,
+    once at exit otherwise — and works with or without a telemetry
+    *path*.
 
     With none of these requested this is a complete no-op.
     """
@@ -180,6 +186,7 @@ def _telemetry(
                 tracer=tracer,
                 textfile=metrics_out or None,
                 labels=labels,
+                extra=extra_gauges,
             )
         try:
             if tracer.enabled:
@@ -201,6 +208,10 @@ def _telemetry(
             if metrics_out and beat is None:
                 from pathlib import Path
 
+                if extra_gauges is not None:
+                    with contextlib.suppress(Exception):
+                        for name, value in extra_gauges().items():
+                            registry.gauge(name).set(float(value))
                 Path(metrics_out).write_text(
                     render_openmetrics(registry.snapshot(), labels=labels),
                     encoding="utf-8",
@@ -454,6 +465,127 @@ def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
         args.out,
     )
     print(f"reproducer written to {out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import ServerConfig, SolveServer
+
+    workers = resolve_workers(args.workers)
+    http = None
+    if args.http:
+        host, _, port = args.http.rpartition(":")
+        http = (host or "127.0.0.1", int(port))
+    config = ServerConfig(
+        socket_path=args.socket,
+        http=http,
+        workers=workers,
+        batch_window_ms=args.batch_window,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+        default_deadline_ms=args.deadline or None,
+        verify=not args.no_verify,
+    )
+    # The heartbeat polls the server's liveness gauges each beat; the
+    # server only exists once the loop is running, hence the late binding.
+    holder: dict[str, SolveServer] = {}
+
+    def _gauges() -> dict:
+        server = holder.get("server")
+        return server.liveness_gauges() if server is not None else {}
+
+    async def _main() -> None:
+        server = SolveServer(config)
+        holder["server"] = server
+        await server.start()
+        endpoints = str(args.socket)
+        if http is not None:
+            endpoints += f" and http://{http[0]}:{server.http_port}"
+        print(f"serving on {endpoints} (workers={workers or 0})", file=sys.stderr)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+
+    with _telemetry(
+        args.telemetry,
+        heartbeat=args.heartbeat,
+        metrics_out=args.metrics_out,
+        extra_gauges=_gauges,
+        command="serve",
+        socket=str(args.socket),
+        workers=workers or 0,
+    ):
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_client_solve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError, SolveClient
+
+    if not args.instance and not args.content_hash:
+        print("need an instance path or --content-hash", file=sys.stderr)
+        return 2
+    H = load(args.instance) if args.instance else None
+    try:
+        with SolveClient(args.socket, timeout=args.timeout) as client:
+            response = client.solve(
+                H,
+                algorithm=args.algorithm,
+                seed=args.seed,
+                content_hash=args.content_hash or None,
+                deadline_ms=args.deadline or None,
+                request_id=args.id or None,
+            )
+    except (ConnectionError, FileNotFoundError, OSError) as exc:
+        print(f"cannot reach server at {args.socket}: {exc}", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        json.dump(exc.response, sys.stdout, indent=2 if args.pretty else None)
+        print()
+        return 1
+    json.dump(response, sys.stdout, indent=2 if args.pretty else None)
+    print()
+    return 0
+
+
+def _cmd_client_ping(args: argparse.Namespace) -> int:
+    from repro.service import SolveClient
+
+    try:
+        with SolveClient(args.socket, timeout=args.timeout) as client:
+            ok = client.ping()
+    except (ConnectionError, FileNotFoundError, OSError) as exc:
+        print(f"cannot reach server at {args.socket}: {exc}", file=sys.stderr)
+        return 1
+    print("pong" if ok else "no pong")
+    return 0 if ok else 1
+
+
+def _cmd_client_stats(args: argparse.Namespace) -> int:
+    from repro.service import SolveClient
+
+    try:
+        with SolveClient(args.socket, timeout=args.timeout) as client:
+            stats = client.stats()
+    except (ConnectionError, FileNotFoundError, OSError) as exc:
+        print(f"cannot reach server at {args.socket}: {exc}", file=sys.stderr)
+        return 1
+    json.dump(stats, sys.stdout, indent=2)
+    print()
     return 0
 
 
@@ -712,6 +844,97 @@ def build_parser() -> argparse.ArgumentParser:
     fs.add_argument("--max-evals", type=int, default=2000, help="predicate eval budget")
     fs.add_argument("-o", "--out", default="tests/regressions", help="output directory")
     fs.set_defaults(func=_cmd_fuzz_shrink)
+
+    v = sub.add_parser("serve", help="run the MIS solve service (unix socket + optional HTTP)")
+    v.add_argument("--socket", default="repro.sock", help="unix socket path to bind")
+    v.add_argument(
+        "--http",
+        default="",
+        metavar="HOST:PORT",
+        help="also serve HTTP/1.1 (POST /solve, GET /metrics, GET /healthz); "
+        "port 0 picks a free port",
+    )
+    v.add_argument(
+        "--workers",
+        default="0",
+        help="solve batches on N worker processes (0 = in-process, 'auto' = "
+        "cpu count floored by the measured dispatch overhead in BENCH_m02.json)",
+    )
+    v.add_argument(
+        "--batch-window",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batch gathering window in milliseconds",
+    )
+    v.add_argument("--max-batch", type=int, default=32, help="max cells per batch")
+    v.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="admission bound on pending requests (excess is rejected)",
+    )
+    v.add_argument("--cache-size", type=int, default=1024, help="LRU result-cache capacity")
+    v.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="default per-request deadline (0 = none); requests still queued "
+        "past it are expired instead of solved",
+    )
+    v.add_argument(
+        "--no-verify", action="store_true", help="skip server-side MIS verification"
+    )
+    v.add_argument(
+        "--telemetry",
+        default="",
+        metavar="PATH",
+        help="stream span/metric events to this JSONL file (see 'repro trace')",
+    )
+    v.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="flush service gauges (queue depth, batch occupancy, cache hit "
+        "rate, latency p50/p99) every SEC seconds",
+    )
+    v.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="PATH",
+        help="write an OpenMetrics textfile (each heartbeat, or once at exit)",
+    )
+    v.set_defaults(func=_cmd_serve)
+
+    cl = sub.add_parser("client", help="talk to a running solve service")
+    clsub = cl.add_subparsers(dest="client_command", required=True)
+    cs = clsub.add_parser("solve", help="submit one solve request")
+    cs.add_argument("instance", nargs="?", default="", help="instance file (optional "
+                    "when the server already holds it — use --content-hash)")
+    cs.add_argument("--socket", default="repro.sock", help="server unix socket path")
+    cs.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="sbl")
+    cs.add_argument("--seed", type=int, default=0)
+    cs.add_argument(
+        "--content-hash",
+        default="",
+        help="refer to an instance the server already holds instead of sending it",
+    )
+    cs.add_argument("--deadline", type=float, default=0.0, metavar="MS",
+                    help="per-request deadline in milliseconds")
+    cs.add_argument("--id", default="", help="request id echoed in the response")
+    cs.add_argument("--timeout", type=float, default=30.0, help="socket timeout (s)")
+    cs.add_argument("--pretty", action="store_true", help="indent the JSON output")
+    cs.set_defaults(func=_cmd_client_solve)
+    cp = clsub.add_parser("ping", help="liveness round-trip")
+    cp.add_argument("--socket", default="repro.sock")
+    cp.add_argument("--timeout", type=float, default=5.0)
+    cp.set_defaults(func=_cmd_client_ping)
+    ct = clsub.add_parser("stats", help="print the server's stats snapshot")
+    ct.add_argument("--socket", default="repro.sock")
+    ct.add_argument("--timeout", type=float, default=5.0)
+    ct.set_defaults(func=_cmd_client_stats)
 
     t = sub.add_parser("trace", help="inspect telemetry JSONL streams")
     tsub = t.add_subparsers(dest="trace_command", required=True)

@@ -18,6 +18,8 @@ Pools and runners hold OS processes and shared-memory blocks: always use
 them as context managers or call ``close()``.
 """
 
+from repro.exec.aio import AsyncBatchExecutor, CellOutcome
+from repro.exec.benchfile import BenchBaseline, BenchSchemaError, load_baseline
 from repro.exec.pool import WorkerPool, default_mp_context
 from repro.exec.runner import Cell, CellResult, ParallelRunner, current_runner, use_runner
 from repro.exec.shm import InstanceHandle, ShmArena, attach, detach_all
@@ -25,7 +27,11 @@ from repro.exec.workers import AUTO_SPEEDUP_FLOOR, resolve_workers
 
 __all__ = [
     "AUTO_SPEEDUP_FLOOR",
+    "AsyncBatchExecutor",
+    "BenchBaseline",
+    "BenchSchemaError",
     "Cell",
+    "CellOutcome",
     "CellResult",
     "InstanceHandle",
     "ParallelRunner",
@@ -35,6 +41,7 @@ __all__ = [
     "current_runner",
     "default_mp_context",
     "detach_all",
+    "load_baseline",
     "resolve_workers",
     "use_runner",
 ]

@@ -1,0 +1,121 @@
+"""Schema-checked loading of the committed ``BENCH_*.json`` baselines.
+
+Two independent consumers read the benchmark baselines at runtime —
+``--workers auto`` resolution (:mod:`repro.exec.workers` reads the
+``speedup_vs_serial`` table of ``BENCH_m02.json``) and the solve service
+(:mod:`repro.service.server` reports the measured dispatch context in its
+``stats`` op).  Each used to hand-roll its own ``json.loads`` + key
+plucking, which is how a baseline refresh once silently broke ``--workers
+auto``: the key path changed, every lookup raised ``KeyError``, and the
+broad ``except`` treated the committed file as absent.
+
+This module is the single loader both go through.  :func:`load_baseline`
+validates the *shape* of the document — ``medians_ns`` present and
+numeric, ``speedup_vs_serial`` (when required) a non-empty mapping of
+name → number — and raises :class:`BenchSchemaError` with the offending
+key named, so a stale or refactored baseline is a loud, testable event
+instead of a silent behaviour change.  I/O and JSON errors raise their
+natural exceptions (``OSError`` / ``json.JSONDecodeError``); callers that
+want to degrade gracefully catch those three explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["BenchSchemaError", "BenchBaseline", "load_baseline"]
+
+
+class BenchSchemaError(ValueError):
+    """A baseline file parsed as JSON but does not have the expected shape."""
+
+
+@dataclass(frozen=True)
+class BenchBaseline:
+    """One validated ``BENCH_*.json`` document.
+
+    ``medians_ns`` / ``iqr_ns`` are the per-entry statistics the perf gate
+    compares; ``speedup_vs_serial`` is the dispatch-overhead table (only
+    the m02 campaign-throughput baseline records it); ``provenance`` is
+    the machine/commit stamp; ``raw`` is the full document for consumers
+    that need suite-specific extras.
+    """
+
+    path: Path
+    medians_ns: dict[str, float]
+    iqr_ns: dict[str, float] = field(default_factory=dict)
+    speedup_vs_serial: dict[str, float] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
+    raw: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def machine_id(self) -> str | None:
+        """The recording machine's normalized identity, when stamped."""
+        value = self.provenance.get("machine_id")
+        return str(value) if value is not None else None
+
+    def best_speedup(self) -> float | None:
+        """Max recorded ``speedup_vs_serial`` (``None`` when not recorded)."""
+        if not self.speedup_vs_serial:
+            return None
+        return max(self.speedup_vs_serial.values())
+
+
+def _numeric_table(doc: Mapping[str, Any], key: str, *, path: Path) -> dict[str, float]:
+    """Validate ``doc[key]`` as a ``{name: number}`` mapping (missing = {})."""
+    table = doc.get(key)
+    if table is None:
+        return {}
+    if not isinstance(table, Mapping):
+        raise BenchSchemaError(
+            f"{path.name}: {key!r} must be a mapping, got {type(table).__name__}"
+        )
+    out: dict[str, float] = {}
+    for name, value in table.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise BenchSchemaError(
+                f"{path.name}: {key}[{name!r}] must be a number, got {value!r}"
+            )
+        out[str(name)] = float(value)
+    return out
+
+
+def load_baseline(
+    path: Path | str, *, require_speedups: bool = False
+) -> BenchBaseline:
+    """Load and shape-check one benchmark baseline file.
+
+    Raises ``OSError`` when the file is unreadable, ``json.JSONDecodeError``
+    when it is not JSON, and :class:`BenchSchemaError` when the document
+    does not carry the expected tables.  With ``require_speedups`` the
+    ``speedup_vs_serial`` table must be present and non-empty (what
+    ``--workers auto`` needs from the m02 baseline).
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(doc, Mapping):
+        raise BenchSchemaError(f"{path.name}: top level must be an object")
+    medians = _numeric_table(doc, "medians_ns", path=path)
+    if not medians:
+        raise BenchSchemaError(f"{path.name}: missing or empty 'medians_ns' table")
+    iqr = _numeric_table(doc, "iqr_ns", path=path)
+    speedups = _numeric_table(doc, "speedup_vs_serial", path=path)
+    if require_speedups and not speedups:
+        raise BenchSchemaError(
+            f"{path.name}: missing or empty 'speedup_vs_serial' table "
+            f"(required by --workers auto; refresh with scripts/bench_smoke.py)"
+        )
+    provenance = doc.get("provenance") or {}
+    if not isinstance(provenance, Mapping):
+        raise BenchSchemaError(f"{path.name}: 'provenance' must be a mapping")
+    return BenchBaseline(
+        path=path,
+        medians_ns=medians,
+        iqr_ns=iqr,
+        speedup_vs_serial=speedups,
+        provenance=dict(provenance),
+        raw=dict(doc),
+    )

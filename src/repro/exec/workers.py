@@ -12,7 +12,12 @@ measurement as a floor: if the best recorded speedup never cleared
 resolves to in-process execution instead.
 
 A missing or unreadable benchmark file falls back to plain
-``os.cpu_count()`` (optimistic: no evidence against parallelism).
+``os.cpu_count()`` (optimistic: no evidence against parallelism) — but a
+file that *parses* and fails the schema check is counted on the
+``exec/bench_m02_schema_error`` metric, so a baseline refresh that breaks
+the contract is visible instead of silently optimistic.  The file goes
+through :func:`repro.exec.benchfile.load_baseline`, the same
+schema-checked loader the solve service uses.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import os
 from pathlib import Path
 from typing import Union
 
+from repro.exec.benchfile import BenchSchemaError, load_baseline
 from repro.obs import metrics as obs_metrics
 
 __all__ = ["AUTO_SPEEDUP_FLOOR", "bench_m02_path", "resolve_workers"]
@@ -42,16 +48,19 @@ def bench_m02_path() -> Path:
 def _best_measured_speedup(path: Path) -> float | None:
     """Best ``speedup_vs_serial`` recorded in BENCH_m02.json, or ``None``.
 
-    ``None`` means "no usable measurement" (file absent, unparsable, or
-    the speedup table missing/empty) — callers treat that as optimistic.
+    ``None`` means "no usable measurement" — callers treat that as
+    optimistic.  A file that exists but fails the schema check bumps
+    ``exec/bench_m02_schema_error`` before falling back, so a bad baseline
+    refresh never silently changes ``auto`` behaviour again.
     """
     try:
-        doc = json.loads(path.read_text())
-        table = doc["speedup_vs_serial"]
-        speedups = [float(v) for v in table.values()]
-    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        baseline = load_baseline(path, require_speedups=True)
+    except (OSError, json.JSONDecodeError):
         return None
-    return max(speedups) if speedups else None
+    except BenchSchemaError:
+        obs_metrics.inc("exec/bench_m02_schema_error")
+        return None
+    return baseline.best_speedup()
 
 
 def _auto_workers(bench_path: Path | None) -> int | None:

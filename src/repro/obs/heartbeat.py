@@ -30,7 +30,7 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Callable, Mapping, Union
 
 from repro.obs.export import render_openmetrics
 from repro.obs.metrics import MetricsRegistry, default_registry
@@ -57,6 +57,15 @@ class Heartbeat:
         OpenMetrics rendering of the registry snapshot.
     labels:
         Extra labels stamped on every exported sample.
+    extra:
+        Optional callable returning ``{gauge_name: value}``; invoked at
+        the top of every beat and each pair written as a gauge before the
+        snapshot is published.  This is how a subsystem with its own
+        derived liveness numbers (the solve service's queue depth, batch
+        occupancy, cache hit rate and latency percentiles) rides the
+        existing heartbeat/OpenMetrics path instead of growing a second
+        exporter.  Exceptions from the hook are swallowed — liveness
+        reporting must never take down the run it reports on.
     """
 
     def __init__(
@@ -67,6 +76,7 @@ class Heartbeat:
         tracer: Any = None,
         textfile: Union[str, Path, None] = None,
         labels: dict[str, str] | None = None,
+        extra: Callable[[], Mapping[str, float]] | None = None,
         clock=time.monotonic,
     ):
         if interval <= 0:
@@ -76,6 +86,7 @@ class Heartbeat:
         self.tracer = tracer
         self.textfile = Path(textfile) if textfile is not None else None
         self.labels = labels
+        self.extra = extra
         self.beats = 0
         self._clock = clock
         self._stop_event = threading.Event()
@@ -120,6 +131,12 @@ class Heartbeat:
 
     def beat(self) -> dict[str, float]:
         """Compute and publish the liveness gauges; returns them as a dict."""
+        if self.extra is not None:
+            try:
+                for name, value in self.extra().items():
+                    self.registry.gauge(name).set(float(value))
+            except Exception:  # noqa: BLE001 - liveness must not kill the run
+                self.registry.counter("obs/heartbeat_extra_errors").inc()
         now = self._clock()
         dt = max(1e-9, now - (self._last_t if self._last_t is not None else now))
         done = self._counter("exec/cells_done") + self._counter("exec/tasks_done")

@@ -46,6 +46,7 @@ signatures.
 from __future__ import annotations
 
 import gc
+import threading
 import time
 import tracemalloc
 from contextlib import contextmanager
@@ -244,6 +245,16 @@ class NullTracer:
     def span(self, name: str, *, machine: Any = None, **attrs: Any) -> _NullSpan:  # noqa: D102
         return _NULL_SPAN
 
+    def record_span(
+        self,
+        name: str,
+        wall_ns: int,
+        *,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> int:  # noqa: D102
+        return -1
+
     def flush_metrics(self, registry: MetricsRegistry | None = None) -> None:  # noqa: D102
         pass
 
@@ -292,6 +303,7 @@ class Tracer:
         self._clock = clock
         self._stack: list[Span] = []
         self._next_id = 1
+        self._id_lock = threading.Lock()
         self._owns_tracemalloc = False
         if self.track_memory and not tracemalloc.is_tracing():
             tracemalloc.start()
@@ -317,14 +329,52 @@ class Tracer:
         ``i`` to ``reserve_ids(max_foreign_id) + i`` keeps ids unique
         without coordinating id allocation across processes.
         """
-        base = self._next_id - 1
-        self._next_id += max(0, int(count))
+        with self._id_lock:
+            base = self._next_id - 1
+            self._next_id += max(0, int(count))
         return base
+
+    def record_span(
+        self,
+        name: str,
+        wall_ns: int,
+        *,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> int:
+        """Emit a completed span measured by the caller; returns its id.
+
+        The context-manager form assumes strict LIFO nesting on one
+        thread, which the asyncio solve service cannot provide: its
+        request lifetimes interleave freely on the event loop.  The
+        service measures each request's wall-time itself and records the
+        finished span here — id allocation is lock-guarded so event-loop
+        requests and dispatch-thread spans never collide, and ``parent_id``
+        (typically the long-lived root span of the run) keeps the offline
+        tree connected.
+        """
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        event: dict[str, Any] = {
+            "type": "span",
+            "id": span_id,
+            "name": name,
+            "wall_ns": int(wall_ns),
+            "cpu_ns": 0,
+        }
+        if parent_id is not None:
+            event["parent"] = parent_id
+        if attrs:
+            event["attrs"] = attrs
+        self.sink.emit(event)
+        return span_id
 
     # -- internal span lifecycle ----------------------------------------
     def _open(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
+        with self._id_lock:
+            span.span_id = self._next_id
+            self._next_id += 1
         span.parent_id = self._stack[-1].span_id if self._stack else None
         self._stack.append(span)
 

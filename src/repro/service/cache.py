@@ -1,0 +1,83 @@
+"""The LRU result cache: repeat solves answered without touching a solver.
+
+Results are tiny (an independent set over a few thousand vertices) next
+to the work of producing them, and service traffic is heavily repetitive
+by construction — the same benchmark instances, the same seeds.  The
+cache keys on the full determinism triple ``(content_hash, algorithm,
+seed)``: solvers are bit-reproducible per seed, so a cached payload *is*
+the payload a fresh solve would produce, and serving it changes latency
+only.
+
+Plain ``OrderedDict`` LRU, single-threaded by design (every access
+happens on the server's event loop).  Counters land on the ambient
+metrics registry (``service/cache_hits`` / ``_misses`` / ``_evictions``)
+and are mirrored as attributes for the ``stats`` op and tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU of solve-result payloads.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached results; 0 disables caching entirely
+        (every ``get`` misses, ``put`` is a no-op).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0: {capacity}")
+        self.capacity = int(capacity)
+        self._data: OrderedDict[Hashable, Mapping[str, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Mapping[str, Any] | None:
+        """The cached payload for *key* (refreshing its recency), or ``None``."""
+        payload = self._data.get(key)
+        if payload is None:
+            self.misses += 1
+            obs_metrics.inc("service/cache_misses")
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        obs_metrics.inc("service/cache_hits")
+        return payload
+
+    def put(self, key: Hashable, payload: Mapping[str, Any]) -> None:
+        """Insert/refresh *key*; evicts least-recently-used past capacity."""
+        if self.capacity == 0:
+            return
+        self._data[key] = payload
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            obs_metrics.inc("service/cache_evictions")
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups so far (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def keys(self) -> list[Hashable]:
+        """Current keys, least-recently-used first (tests/debugging)."""
+        return list(self._data.keys())

@@ -1,0 +1,121 @@
+"""load_baseline: schema validation, and the stale-schema regression.
+
+The regression class at the bottom is the reason this module exists: a
+baseline refresh that changes the document shape must degrade ``--workers
+auto`` *loudly* (metric bump + optimistic fallback), never silently.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.exec.workers as workers_mod
+from repro.exec.benchfile import BenchSchemaError, load_baseline
+from repro.exec.workers import resolve_workers
+from repro.obs import metrics
+
+_VALID = {
+    "medians_ns": {"campaign_serial": 1_000_000, "workers2": 480_000},
+    "iqr_ns": {"campaign_serial": 10_000},
+    "speedup_vs_serial": {"workers2": 2.1, "workers4": 1.4},
+    "provenance": {"machine_id": "test-box", "commit": "abc"},
+}
+
+
+def _write(tmp_path, doc, name="BENCH_m02.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc) if not isinstance(doc, str) else doc)
+    return path
+
+
+class TestLoadBaseline:
+    def test_valid_document(self, tmp_path):
+        baseline = load_baseline(_write(tmp_path, _VALID))
+        assert baseline.medians_ns == {"campaign_serial": 1_000_000.0, "workers2": 480_000.0}
+        assert baseline.iqr_ns == {"campaign_serial": 10_000.0}
+        assert baseline.best_speedup() == 2.1
+        assert baseline.machine_id == "test-box"
+        assert baseline.raw["provenance"]["commit"] == "abc"
+
+    def test_missing_medians(self, tmp_path):
+        doc = {k: v for k, v in _VALID.items() if k != "medians_ns"}
+        with pytest.raises(BenchSchemaError, match="medians_ns"):
+            load_baseline(_write(tmp_path, doc))
+
+    def test_empty_medians(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="medians_ns"):
+            load_baseline(_write(tmp_path, {**_VALID, "medians_ns": {}}))
+
+    @pytest.mark.parametrize("table", [[1, 2], "fast", 3])
+    def test_non_mapping_table(self, tmp_path, table):
+        with pytest.raises(BenchSchemaError, match="must be a mapping"):
+            load_baseline(_write(tmp_path, {**_VALID, "iqr_ns": table}))
+
+    @pytest.mark.parametrize("value", ["1e6", None, [1], True])
+    def test_non_numeric_entry(self, tmp_path, value):
+        doc = {**_VALID, "medians_ns": {"campaign_serial": value}}
+        with pytest.raises(BenchSchemaError, match="must be a number"):
+            load_baseline(_write(tmp_path, doc))
+
+    def test_top_level_must_be_object(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="top level"):
+            load_baseline(_write(tmp_path, "[1, 2, 3]"))
+
+    def test_bad_provenance(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="provenance"):
+            load_baseline(_write(tmp_path, {**_VALID, "provenance": "me"}))
+
+    def test_speedups_optional_by_default(self, tmp_path):
+        doc = {"medians_ns": {"x": 1}}
+        baseline = load_baseline(_write(tmp_path, doc))
+        assert baseline.speedup_vs_serial == {}
+        assert baseline.best_speedup() is None
+
+    def test_require_speedups(self, tmp_path):
+        doc = {"medians_ns": {"x": 1}}
+        with pytest.raises(BenchSchemaError, match="speedup_vs_serial"):
+            load_baseline(_write(tmp_path, doc), require_speedups=True)
+
+    def test_io_and_json_errors_keep_their_types(self, tmp_path):
+        with pytest.raises(OSError):
+            load_baseline(tmp_path / "absent.json")
+        with pytest.raises(json.JSONDecodeError):
+            load_baseline(_write(tmp_path, "{broken"))
+
+
+class TestStaleSchemaRegression:
+    """A refreshed-but-wrong baseline must fail loudly, not silently.
+
+    This is the exact incident the shared loader exists for: the file
+    parses as JSON, ``--workers auto`` falls back to optimistic cpu_count
+    — and the ``exec/bench_m02_schema_error`` counter records that the
+    committed baseline is unusable.
+    """
+
+    def test_stale_shape_is_optimistic_but_counted(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 4)
+        # the pre-refresh shape: a bare speedup table, no medians_ns
+        stale = _write(tmp_path, {"speedup_vs_serial": {"workers2": 0.5}})
+        with metrics.isolated_registry() as registry:
+            assert resolve_workers("auto", bench_path=stale) == 4
+            counters = registry.snapshot()["counters"]
+        assert counters["exec/bench_m02_schema_error"] == 1
+
+    def test_unreadable_file_is_not_a_schema_error(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 4)
+        corrupt = _write(tmp_path, "{not json")
+        with metrics.isolated_registry() as registry:
+            assert resolve_workers("auto", bench_path=corrupt) == 4
+            assert resolve_workers("auto", bench_path=tmp_path / "absent.json") == 4
+            counters = registry.snapshot()["counters"]
+        assert "exec/bench_m02_schema_error" not in counters
+
+    def test_valid_low_speedup_still_floors(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 4)
+        doc = {"medians_ns": {"x": 1}, "speedup_vs_serial": {"workers2": 0.8}}
+        with metrics.isolated_registry() as registry:
+            assert resolve_workers("auto", bench_path=_write(tmp_path, doc)) is None
+            counters = registry.snapshot()["counters"]
+        assert "exec/bench_m02_schema_error" not in counters

@@ -11,8 +11,14 @@ from repro.exec.workers import AUTO_SPEEDUP_FLOOR, bench_m02_path, resolve_worke
 
 
 def _bench(tmp_path, speedups):
+    # A schema-valid baseline: the shared loader requires medians_ns; the
+    # speedup table is what the auto floor actually reads.
     path = tmp_path / "BENCH_m02.json"
-    path.write_text(json.dumps({"speedup_vs_serial": speedups}))
+    medians = {"campaign_serial": 1_000_000}
+    medians.update({name: 500_000 for name in speedups})
+    path.write_text(
+        json.dumps({"medians_ns": medians, "speedup_vs_serial": speedups})
+    )
     return path
 
 

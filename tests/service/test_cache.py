@@ -1,0 +1,79 @@
+"""ResultCache: LRU bound, recency, counters, disabled mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics
+from repro.service.cache import ResultCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("k") is None
+        cache.put("k", {"mis_size": 3})
+        assert cache.get("k") == {"mis_size": 3}
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_zero_before_lookups(self):
+        assert ResultCache(4).hit_rate == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ResultCache(-1)
+
+    def test_contains_and_len(self):
+        cache = ResultCache(4)
+        cache.put("a", {})
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+
+class TestLRU:
+    def test_eviction_respects_bound(self):
+        cache = ResultCache(2)
+        for i in range(5):
+            cache.put(i, {"n": i})
+        assert len(cache) == 2
+        assert cache.evictions == 3
+        assert cache.keys() == [3, 4]
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put("a", {})
+        cache.put("b", {})
+        cache.get("a")  # a is now most recent; c must evict b
+        cache.put("c", {})
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put("a", {})
+        cache.put("b", {})
+        cache.put("a", {"v": 2})  # refresh, not insert
+        cache.put("c", {})
+        assert cache.keys() == ["a", "c"]
+        assert cache.get("a") == {"v": 2}
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        cache.put("k", {})
+        assert cache.get("k") is None
+        assert len(cache) == 0
+        assert cache.evictions == 0
+
+
+class TestCounters:
+    def test_metrics_mirror_attributes(self):
+        with metrics.isolated_registry() as registry:
+            cache = ResultCache(1)
+            cache.get("k")
+            cache.put("k", {})
+            cache.get("k")
+            cache.put("other", {})  # evicts k
+            counters = registry.snapshot()["counters"]
+        assert counters["service/cache_misses"] == cache.misses == 1
+        assert counters["service/cache_hits"] == cache.hits == 1
+        assert counters["service/cache_evictions"] == cache.evictions == 1

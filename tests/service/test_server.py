@@ -1,0 +1,325 @@
+"""SolveServer end to end: coalescing, cache, overload, failure isolation.
+
+Every test hosts a real server on a background thread (:class:`ServerThread`)
+and talks to it over the unix socket — the same transport production
+clients use.  Concurrency (for the coalescing and admission tests) comes
+from :func:`run_load`, which pipelines requests across connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+import pytest
+
+from repro.core import beame_luby, greedy_mis
+from repro.generators import uniform_hypergraph
+from repro.hypergraph.hio import dump as hio_dump
+from repro.service import (
+    ServerConfig,
+    ServerThread,
+    ServiceError,
+    SolveClient,
+    encode_instance,
+    run_load,
+)
+
+_H1 = uniform_hypergraph(40, 80, 3, seed=5)
+_H2 = uniform_hypergraph(25, 50, 3, seed=6)
+
+
+def _boom(H, seed, machine=None, **options):
+    """A served 'solver' that always fails (failure-isolation tests)."""
+    raise RuntimeError("boom")
+
+
+def _config(tmp_path, **over) -> ServerConfig:
+    defaults = dict(socket_path=tmp_path / "repro.sock", batch_window_ms=5.0)
+    defaults.update(over)
+    return ServerConfig(**defaults)
+
+
+def _solve_doc(H, algorithm="bl", seed=0, req_id=None, **extra):
+    doc = {"op": "solve", "algorithm": algorithm, "seed": seed, "instance": encode_instance(H)}
+    if req_id is not None:
+        doc["id"] = req_id
+    doc.update(extra)
+    return doc
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_cost_one_solve(self, tmp_path):
+        # A generous window so all eight duplicates land in one cell.
+        config = _config(tmp_path, batch_window_ms=60.0)
+        docs = [_solve_doc(_H1, "bl", 3, req_id=f"r{i}") for i in range(8)]
+        with ServerThread(config) as handle:
+            report = asyncio.run(run_load(config.socket_path, docs, connections=8))
+            with SolveClient(config.socket_path) as client:
+                stats = client.stats()
+        assert report.ok == 8 and report.errors == 0
+        assert report.coalesced == 7  # all but the cell-creating request
+        assert stats["solved_cells"] == 1
+        # every response carries the byte-identical payload of a direct solve
+        direct = beame_luby(_H1, 3)
+        for response in report.responses:
+            assert response["mis_size"] == direct.size
+            assert response["independent_set"] == direct.independent_set.tolist()
+            assert response["num_rounds"] == direct.num_rounds
+        assert handle.server is not None
+
+    def test_repeat_request_is_a_cache_hit(self, tmp_path):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            with SolveClient(config.socket_path) as client:
+                first = client.solve(_H1, algorithm="bl", seed=9)
+                again = client.solve(_H1, algorithm="bl", seed=9)
+                by_hash = client.solve(
+                    algorithm="bl", seed=9, content_hash=_H1.content_hash()
+                )
+                stats = client.stats()
+        assert first["cached"] is False
+        assert again["cached"] is True and by_hash["cached"] is True
+        for key in ("mis_size", "independent_set", "num_rounds"):
+            assert again[key] == first[key] == by_hash[key]
+        assert stats["solved_cells"] == 1
+        assert stats["cache"]["hits"] == 2
+
+    def test_different_seeds_are_different_cells(self, tmp_path):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            with SolveClient(config.socket_path) as client:
+                a = client.solve(_H1, algorithm="bl", seed=1)
+                b = client.solve(_H1, algorithm="bl", seed=2)
+                stats = client.stats()
+        assert a["cached"] is False and b["cached"] is False
+        assert stats["solved_cells"] == 2
+
+
+class TestCacheEviction:
+    def test_lru_bound_holds_under_distinct_cells(self, tmp_path):
+        config = _config(tmp_path, cache_size=2)
+        with ServerThread(config):
+            with SolveClient(config.socket_path) as client:
+                for seed in (0, 1, 2):
+                    client.solve(_H1, algorithm="greedy", seed=seed)
+                stats = client.stats()
+                # seed 0 was evicted (LRU); seed 2 is still resident
+                refetch_old = client.solve(_H1, algorithm="greedy", seed=0)
+                refetch_new = client.solve(_H1, algorithm="greedy", seed=2)
+        assert stats["cache"]["size"] == 2
+        assert stats["cache"]["evictions"] == 1
+        assert refetch_old["cached"] is False
+        assert refetch_new["cached"] is True
+
+
+class TestOverload:
+    def test_deadline_expires_before_dispatch(self, tmp_path):
+        # The batch window dwarfs the deadline, so the request must be
+        # answered 'expired' without ever reaching a solver.
+        config = _config(tmp_path, batch_window_ms=300.0)
+        with ServerThread(config):
+            with SolveClient(config.socket_path) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.solve(_H1, algorithm="bl", seed=0, deadline_ms=25)
+                stats = client.stats()
+        assert excinfo.value.status == "expired"
+        assert stats["solved_cells"] == 0
+
+    def test_admission_rejects_past_queue_limit(self, tmp_path):
+        config = _config(tmp_path, batch_window_ms=300.0, queue_limit=1)
+        docs = [_solve_doc(_H1, "bl", seed, req_id=f"q{seed}") for seed in range(4)]
+        with ServerThread(config):
+            report = asyncio.run(run_load(config.socket_path, docs, connections=4))
+        assert report.ok >= 1
+        assert report.rejected >= 1
+        assert report.ok + report.rejected == 4
+        rejected = [r for r in report.responses if r["status"] == "rejected"]
+        assert all(r.get("retry") is True for r in rejected)
+
+    def test_duplicates_coalesce_even_at_the_bound(self, tmp_path):
+        config = _config(tmp_path, batch_window_ms=120.0, queue_limit=1)
+        docs = [_solve_doc(_H1, "bl", 5, req_id=f"d{i}") for i in range(4)]
+        with ServerThread(config):
+            report = asyncio.run(run_load(config.socket_path, docs, connections=4))
+        assert report.ok == 4 and report.rejected == 0
+        assert report.coalesced == 3
+
+
+class TestFailureIsolation:
+    def test_crashing_solver_fails_only_its_request(self, tmp_path):
+        algorithms = {"bl": beame_luby, "greedy": greedy_mis, "boom": _boom}
+        config = _config(tmp_path, batch_window_ms=60.0, algorithms=algorithms)
+        docs = [
+            _solve_doc(_H1, "boom", 0, req_id="bad"),
+            _solve_doc(_H1, "bl", 0, req_id="good"),
+        ]
+        with ServerThread(config):
+            report = asyncio.run(run_load(config.socket_path, docs, connections=2))
+            # the server survives the failed cell and keeps solving
+            with SolveClient(config.socket_path) as client:
+                after = client.solve(_H1, algorithm="bl", seed=1)
+        assert report.ok == 1 and report.errors == 1
+        failed = next(r for r in report.responses if r["status"] == "error")
+        assert failed["id"] == "bad"
+        assert "RuntimeError" in failed["error"]
+        assert after["mis_size"] == beame_luby(_H1, 1).size
+
+
+class TestProtocolSurface:
+    def test_bad_requests_and_ops(self, tmp_path):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            with SolveClient(config.socket_path) as client:
+                assert client.ping() is True
+
+                with pytest.raises(ServiceError) as bad_algo:
+                    client.solve(_H1, algorithm="nope", seed=0)
+
+                response = client.request(
+                    {"op": "solve", "algorithm": "nope", "instance": encode_instance(_H1)}
+                )
+                assert response["status"] == "bad_request"
+                assert "unknown algorithm" in response["error"]
+
+                response = client.request(
+                    {"op": "solve", "algorithm": "bl", "content_hash": "deadbeef"}
+                )
+                assert response["status"] == "bad_request"
+                assert "unknown content_hash" in response["error"]
+
+                response = client.request({"op": "wat"})
+                assert response["status"] == "bad_request"
+
+                # a non-JSON line gets an answer instead of a dropped connection
+                client._sock.sendall(b"{this is not json\n")
+                line = client._rfile.readline()
+                garbage = json.loads(line)
+                assert garbage["status"] == "bad_request"
+
+                stats = client.stats()
+        assert bad_algo.value.status == "bad_request"
+        assert stats["requests"] >= 3
+        assert {"cache", "queue", "batch", "gauges", "bench_m02"} <= stats.keys()
+        assert stats["bench_m02"].get("best_speedup_vs_serial") is not None
+
+    def test_gauges_present_in_stats(self, tmp_path):
+        config = _config(tmp_path)
+        with ServerThread(config):
+            with SolveClient(config.socket_path) as client:
+                client.solve(_H2, algorithm="greedy", seed=0)
+                gauges = client.stats()["gauges"]
+        for name in (
+            "service/queue_depth",
+            "service/cache_hit_rate",
+            "service/latency_p50_ms",
+            "service/batch_occupancy",
+        ):
+            assert name in gauges
+
+
+class TestPoolMode:
+    def test_worker_pool_results_match_direct_solve(self, tmp_path):
+        config = _config(tmp_path, workers=1)
+        with ServerThread(config):
+            with SolveClient(config.socket_path) as client:
+                r1 = client.solve(_H1, algorithm="bl", seed=4)
+                r2 = client.solve(_H2, algorithm="greedy", seed=4)
+                stats = client.stats()
+        assert stats["workers"] == 1
+        assert stats["instances"] == 2
+        d1 = beame_luby(_H1, 4)
+        d2 = greedy_mis(_H2, 4)
+        assert r1["independent_set"] == d1.independent_set.tolist()
+        assert r2["independent_set"] == d2.independent_set.tolist()
+
+
+class TestHttpTransport:
+    def test_solve_metrics_healthz(self, tmp_path):
+        config = _config(tmp_path, http=("127.0.0.1", 0))
+        with ServerThread(config) as handle:
+            assert handle.server is not None
+            port = handle.server.http_port
+            assert port
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            body = json.dumps(_solve_doc(_H1, "bl", 7, req_id="h1"))
+            conn.request("POST", "/solve", body=body)
+            solved = json.loads(conn.getresponse().read())
+            conn.close()
+            assert solved["status"] == "ok"
+            assert solved["id"] == "h1"
+            assert solved["mis_size"] == beame_luby(_H1, 7).size
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().read() == b"ok\n"
+            conn.close()
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            conn.request("GET", "/metrics")
+            metrics_text = conn.getresponse().read().decode("utf-8")
+            conn.close()
+            assert "repro_service_requests_total" in metrics_text
+            assert 'command="serve"' in metrics_text
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            conn.request("GET", "/nope")
+            assert conn.getresponse().status == 404
+            conn.close()
+
+    def test_error_statuses_map_to_http_codes(self, tmp_path):
+        config = _config(tmp_path, http=("127.0.0.1", 0))
+        with ServerThread(config) as handle:
+            assert handle.server is not None
+            port = handle.server.http_port
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            conn.request("POST", "/solve", body=json.dumps({"algorithm": "nope"}))
+            response = conn.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["status"] == "bad_request"
+            conn.close()
+
+
+class TestCLI:
+    def test_client_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = _config(tmp_path)
+        instance_file = tmp_path / "inst.hio"
+        with instance_file.open("w", encoding="utf-8") as fp:
+            hio_dump(_H1, fp)
+        sock = str(config.socket_path)
+        with ServerThread(config):
+            assert main(["client", "ping", "--socket", sock]) == 0
+            assert "pong" in capsys.readouterr().out
+
+            rc = main(
+                [
+                    "client",
+                    "solve",
+                    str(instance_file),
+                    "--socket",
+                    sock,
+                    "--algorithm",
+                    "bl",
+                    "--seed",
+                    "2",
+                ]
+            )
+            assert rc == 0
+            response = json.loads(capsys.readouterr().out)
+            assert response["status"] == "ok"
+            assert response["mis_size"] == beame_luby(_H1, 2).size
+
+            assert main(["client", "stats", "--socket", sock]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["requests"] >= 1
+
+    def test_client_against_absent_server(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["client", "ping", "--socket", str(tmp_path / "absent.sock")])
+        assert rc == 1
+        assert "cannot reach server" in capsys.readouterr().err
