@@ -11,11 +11,20 @@ the historical ``bl``/``kuw``/``permutation``/``greedy`` entries are the
 CSR path, ``bl_bitset`` is the dense engine (acceptance floor: ≥ 10×
 the ``bl`` median), and ``bl_jit`` exists only where numba is installed
 (the with-numba CI leg).
+
+The widened dense envelope adds two fenced pairs beyond the old
+``dimension ≤ 3`` / ``universe ≤ 2048`` ceiling: ``bl_wide`` /
+``bl_wide_bitset`` (universe 4096, the big-universe scalar path) and
+``bl_dim4`` / ``bl_dim4_bitset`` (dimension 4, the frontier engine) —
+acceptance floor ≥ 3× for each dense entry over its CSR twin.  ``sbl``
+runs under ``auto`` dispatch, so it measures the real routed path
+including the dense engines its reduced instances now reach.
 """
 
 import pytest
 
 from repro.core import beame_luby, greedy_mis, karp_upfal_wigderson, permutation_bl
+from repro.core import sbl as sbl_solver
 from repro.generators import uniform_hypergraph
 from repro.hypergraph import check_mis
 from repro.hypergraph.degrees import degree_profile
@@ -24,11 +33,25 @@ from repro.kernels import use_kernel
 from repro.kernels.jit import HAVE_NUMBA
 
 N, M, D = 400, 800, 3
+#: Beyond the old dense ceiling: universe 4096 (was ≤ 2048) …
+N_WIDE, M_WIDE = 4096, 8192
+#: … and dimension 4 (was ≤ 3).
+N_D4, M_D4, D4 = 400, 600, 4
 
 
 @pytest.fixture(scope="module")
 def instance():
     return uniform_hypergraph(N, M, D, seed=7)
+
+
+@pytest.fixture(scope="module")
+def wide_instance():
+    return uniform_hypergraph(N_WIDE, M_WIDE, 3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def dim4_instance():
+    return uniform_hypergraph(N_D4, M_D4, D4, seed=7)
 
 
 def _forced(kernel, fn, *args, **kwargs):
@@ -70,6 +93,39 @@ def test_kernel_bl_bitset(benchmark, instance):
 @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
 def test_kernel_bl_jit(benchmark, instance):
     res = benchmark(lambda: _forced("jit", beame_luby, instance, seed=1, trace=False))
+    check_mis(instance, res.independent_set)
+
+
+def test_kernel_bl_wide(benchmark, wide_instance):
+    res = benchmark(
+        lambda: _forced("csr", beame_luby, wide_instance, seed=1, trace=False)
+    )
+    check_mis(wide_instance, res.independent_set)
+
+
+def test_kernel_bl_wide_bitset(benchmark, wide_instance):
+    res = benchmark(
+        lambda: _forced("bitset", beame_luby, wide_instance, seed=1, trace=False)
+    )
+    check_mis(wide_instance, res.independent_set)
+
+
+def test_kernel_bl_dim4(benchmark, dim4_instance):
+    res = benchmark(
+        lambda: _forced("csr", beame_luby, dim4_instance, seed=1, trace=False)
+    )
+    check_mis(dim4_instance, res.independent_set)
+
+
+def test_kernel_bl_dim4_bitset(benchmark, dim4_instance):
+    res = benchmark(
+        lambda: _forced("bitset", beame_luby, dim4_instance, seed=1, trace=False)
+    )
+    check_mis(dim4_instance, res.independent_set)
+
+
+def test_kernel_sbl(benchmark, instance):
+    res = benchmark(lambda: _forced("auto", sbl_solver, instance, seed=1))
     check_mis(instance, res.independent_set)
 
 

@@ -37,13 +37,17 @@ import datetime
 import json
 import os
 import platform
-import re
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+# Re-exported for historical importers (scripts/bench_gate.py and tests);
+# the definition lives in the package so the kernel cost model shares it.
+from repro.util.hostid import machine_identity  # noqa: E402
 BENCH = REPO / "benchmarks" / "bench_m01_solver_kernels.py"
 OUT = REPO / "BENCH_m01.json"
 OUT_M02 = REPO / "BENCH_m02.json"
@@ -53,30 +57,6 @@ HISTORY = REPO / "BENCH_history.jsonl"
 
 #: pytest-benchmark warmup iterations for the m01 kernels.
 WARMUP_ITERATIONS = 5
-
-
-def machine_identity() -> str:
-    """A normalized id for *this* machine, stable across runs on it.
-
-    ``system-arch-cpumodel-Nc`` (lowercased, punctuation collapsed to
-    ``-``).  Benchmark medians are only comparable between runs that share
-    this id — ``bench_gate`` refuses cross-machine comparisons by default.
-    """
-    cpu = None
-    try:
-        with open("/proc/cpuinfo", encoding="utf-8") as f:
-            for line in f:
-                if line.lower().startswith("model name"):
-                    cpu = line.split(":", 1)[1].strip()
-                    break
-    except OSError:
-        cpu = None
-    cpu = cpu or platform.processor() or "unknown-cpu"
-    cpu = re.sub(r"[^a-z0-9]+", "-", cpu.lower()).strip("-")
-    return (
-        f"{platform.system().lower()}-{platform.machine().lower()}"
-        f"-{cpu}-{os.cpu_count()}c"
-    )
 
 
 def _provenance() -> dict:

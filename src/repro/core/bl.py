@@ -33,6 +33,7 @@ from repro.hypergraph.degrees import DeltaTracker, degree_profile
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.ops import normalize, normalize_after_trim, trim_vertices
 from repro.kernels.bl_dense import beame_luby_dense
+from repro.kernels.bl_frontier import beame_luby_frontier
 from repro.kernels.bl_scalar import beame_luby_scalar
 from repro.kernels.dispatch import select_backend
 from repro.kernels.jit import row_kernels
@@ -243,26 +244,30 @@ def beame_luby(
     with trc.span(
         "bl/solve", machine=mach, n=H.num_vertices, m=H.num_edges, dim=H.dimension
     ) as span:
-        # Shape dispatch: the dense engine covers the plain solve; anything
-        # holding CSR structures out to the caller (an explicit execution
-        # backend, a per-round hook, per-round tracer spans) pins CSR.
+        # Shape dispatch: the dense engines cover the plain solve (and emit
+        # the same per-round spans); anything holding CSR structures out to
+        # the caller (an explicit execution backend, a per-round hook) pins
+        # CSR.
         blockers: list[str] = []
         if backend is not None:
             blockers.append("backend")
         if on_round is not None:
             blockers.append("on_round")
-        if trc.enabled:
-            blockers.append("tracer")
         decision = select_backend(H, blockers=tuple(blockers))
         if decision.backend == "jit":
             result = beame_luby_dense(
                 H, seed, mach, recompute_probability, marking_probability,
-                max_rounds, trace, kern=row_kernels(True),
+                max_rounds, trace, kern=row_kernels(True), trc=trc,
+            )
+        elif decision.dense and H.dimension > 3:
+            result = beame_luby_frontier(
+                H, seed, mach, recompute_probability, marking_probability,
+                max_rounds, trace, trc=trc,
             )
         elif decision.dense:
             result = beame_luby_scalar(
                 H, seed, mach, recompute_probability, marking_probability,
-                max_rounds, trace,
+                max_rounds, trace, trc=trc,
             )
         else:
             result = _beame_luby(

@@ -138,7 +138,7 @@ def sbl(
         "sbl/solve", machine=mach, n=H.num_vertices, m=H.num_edges, dim=H.dimension
     ) as span:
         result = _sbl(
-            H, seed, mach, be, prm, p, d_cap, floor,
+            H, seed, mach, be, backend, prm, p, d_cap, floor,
             max_failures_per_round, finisher, paranoid, trace, trc,
         )
         if trc.enabled:
@@ -155,6 +155,7 @@ def _sbl(
     seed: SeedLike,
     mach: Machine,
     be: ExecutionBackend,
+    backend: ExecutionBackend | None,
     prm: SBLParameters,
     p: float,
     d_cap: int,
@@ -175,8 +176,13 @@ def _sbl(
     # Algorithm 1 line 3: if the input dimension is already within the BL
     # cap, a single BL run suffices (lines 25–27).
     if W.dimension <= d_cap:
+        # Pass the *caller's* backend (None for the default): a non-None
+        # backend pins the inner BL to CSR, so handing every inner solve a
+        # fabricated SerialBackend used to block the dense engines on
+        # exactly the reduced shapes they win on.
         inner = beame_luby(
-            W, next(rng_stream), machine=mach, backend=be, trace=trace, tracer=trc
+            W, next(rng_stream), machine=mach, backend=backend, trace=trace,
+            tracer=trc,
         )
         meta = {
             "params": prm,
@@ -239,9 +245,12 @@ def _sbl(
             failures_total += failures_this_round
             obs_metrics.inc("solver/sampling_failures", failures_this_round)
 
-            # (3): BL on the sampled sub-hypergraph.
+            # (3): BL on the sampled sub-hypergraph — routed through
+            # select_backend like any solve: after dimension reduction these
+            # are exactly the small shapes the dense engines cover.
             inner = beame_luby(
-                Hp, next(rng_stream), machine=mach, backend=be, trace=trace, tracer=trc
+                Hp, next(rng_stream), machine=mach, backend=backend, trace=trace,
+                tracer=trc,
             )
             if paranoid:
                 inner.verify(Hp)
@@ -309,7 +318,7 @@ def _sbl(
                 obs_metrics.inc("solver/vertices_committed", W.num_vertices)
             elif finisher == "kuw":
                 tail = karp_upfal_wigderson(
-                    W, next(rng_stream), machine=mach, backend=be, trace=trace,
+                    W, next(rng_stream), machine=mach, backend=backend, trace=trace,
                     tracer=trc,
                 )
                 if paranoid:

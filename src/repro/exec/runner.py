@@ -54,6 +54,16 @@ __all__ = ["Cell", "CellResult", "ParallelRunner", "current_runner", "use_runner
 
 SolverFn = Callable[..., Any]
 
+#: Auto-chunking for :meth:`ParallelRunner.map_tasks`.  Aim each chunk at
+#: this much measured work so the per-dispatch overhead (pickle + queue
+#: round-trip, ~100µs) amortises on large grids, while chunks stay small
+#: enough to load-balance.
+CHUNK_TARGET_NS = 50_000_000
+#: Items probed singly (per worker) before sizing chunks.
+CHUNK_PROBE_FACTOR = 2
+#: Below this many items per worker, chunking cannot beat plain dispatch.
+CHUNK_MIN_FACTOR = 4
+
 
 @dataclass(frozen=True)
 class Cell:
@@ -176,6 +186,7 @@ class ParallelRunner:
         items: Sequence[Any],
         *,
         label: str = "exec/map_tasks",
+        chunksize: int | str | None = "auto",
     ) -> list[Any]:
         """Map a picklable function over *items*; results in item order.
 
@@ -185,9 +196,24 @@ class ParallelRunner:
         and metrics spliced back into the parent stream), but no
         shared-memory instance transfer — items travel pickled, so keep
         them small.  *fn* must be a module-level callable.
+
+        ``chunksize`` controls dispatch granularity on large grids.  The
+        default ``"auto"`` probes ``CHUNK_PROBE_FACTOR x workers`` items
+        singly, then sizes contiguous chunks from the **measured** median
+        per-item wall time toward :data:`CHUNK_TARGET_NS` of work per
+        dispatch — so 10k cheap tasks stop paying per-task round-trip
+        overhead, while expensive tasks degrade gracefully to chunks of
+        one.  Pass an ``int`` to fix the chunk size, or ``1``/``None``
+        to dispatch every item singly.  Chunks are contiguous slices and
+        the pool map preserves order, so results always come back in
+        item order regardless of granularity.
         """
         if not items:
             return []
+        if not (chunksize == "auto" or chunksize is None or
+                (isinstance(chunksize, int) and chunksize >= 1)):
+            raise ValueError(f"chunksize must be 'auto', None or an int >= 1: "
+                             f"{chunksize!r}")
         try:
             pickle.dumps(fn)
         except Exception as exc:
@@ -201,18 +227,84 @@ class ParallelRunner:
         registry = default_registry()
         registry.counter("exec/tasks_scheduled").inc(len(items))
         registry.gauge("exec/workers").set(self.workers)
-        payloads = [(i, fn, item, capture) for i, item in enumerate(items)]
         with tracer.span(label, tasks=len(items), workers=self.workers) as span:
-            results = []
-            for r in self._pool.map(_run_task, payloads):
-                registry.counter("exec/tasks_done").inc()
-                registry.counter("exec/task_wall_ns").inc(r["wall_ns"])
-                if r["metrics"] is not None:
-                    registry.merge_snapshot(r["metrics"])
-                if r["events"]:
-                    _replay_events(tracer, r["events"], parent_id=span.span_id)
-                results.append(r["result"])
+            results = self._dispatch_tasks(
+                fn, items, capture, tracer, registry, span, chunksize
+            )
         obs_metrics.inc("exec/tasks_run", len(results))
+        return results
+
+    def _dispatch_tasks(
+        self, fn, items, capture, tracer, registry, span, chunksize
+    ) -> list[Any]:
+        n = len(items)
+        w = self.workers
+        if chunksize == "auto" and n < CHUNK_MIN_FACTOR * w:
+            chunksize = None  # too few items for chunking to pay off
+        if chunksize is None or chunksize == 1:
+            return [
+                r for r, _ in self._map_singly(
+                    fn, items, 0, capture, tracer, registry, span
+                )
+            ]
+        if chunksize == "auto":
+            # Probe: run a couple of items per worker singly and measure.
+            probe_n = min(CHUNK_PROBE_FACTOR * w, n)
+            probed = self._map_singly(
+                fn, items[:probe_n], 0, capture, tracer, registry, span
+            )
+            walls = sorted(wall for _, wall in probed)
+            median = walls[len(walls) // 2]
+            remaining = n - probe_n
+            size = max(1, CHUNK_TARGET_NS // max(median, 1))
+            # Never starve the pool: keep at least one chunk per worker.
+            size = int(min(size, max(1, -(-remaining // w))))
+            registry.gauge("exec/chunk_size").set(size)
+            head = [r for r, _ in probed]
+            return head + self._map_chunked(
+                fn, items[probe_n:], probe_n, size, capture, tracer, registry, span
+            )
+        registry.gauge("exec/chunk_size").set(chunksize)
+        return self._map_chunked(
+            fn, items, 0, chunksize, capture, tracer, registry, span
+        )
+
+    def _map_singly(
+        self, fn, items, base, capture, tracer, registry, span
+    ) -> list[tuple[Any, int]]:
+        """Dispatch one task per item; return ``(result, wall_ns)`` pairs."""
+        payloads = [(base + i, fn, item, capture) for i, item in enumerate(items)]
+        out = []
+        for r in self._pool.map(_run_task, payloads):
+            registry.counter("exec/tasks_done").inc()
+            registry.counter("exec/task_wall_ns").inc(r["wall_ns"])
+            if r["metrics"] is not None:
+                registry.merge_snapshot(r["metrics"])
+            if r["events"]:
+                _replay_events(tracer, r["events"], parent_id=span.span_id)
+            out.append((r["result"], r["wall_ns"]))
+        return out
+
+    def _map_chunked(
+        self, fn, items, base, size, capture, tracer, registry, span
+    ) -> list[Any]:
+        """Dispatch contiguous *size*-item slices; return flat results."""
+        if not len(items):
+            return []
+        payloads = [
+            (base + start, fn, list(items[start : start + size]), capture)
+            for start in range(0, len(items), size)
+        ]
+        results: list[Any] = []
+        for r in self._pool.map(_run_task_chunk, payloads):
+            registry.counter("exec/chunks_dispatched").inc()
+            registry.counter("exec/tasks_done").inc(r["count"])
+            registry.counter("exec/task_wall_ns").inc(r["wall_ns"])
+            if r["metrics"] is not None:
+                registry.merge_snapshot(r["metrics"])
+            if r["events"]:
+                _replay_events(tracer, r["events"], parent_id=span.span_id)
+            results.extend(r["results"])
         return results
 
     def _absorb(self, raw: dict[str, Any], tracer: Any, span: Any) -> CellResult:
@@ -397,6 +489,39 @@ def _run_task(payload: tuple[int, Callable[[Any], Any], Any, Any]) -> dict[str, 
         return {
             "index": index,
             "result": result,
+            "wall_ns": wall_ns,
+            "metrics": registry.snapshot(),
+            "events": sink.events if sink is not None else [],
+        }
+
+
+def _run_task_chunk(
+    payload: tuple[int, Callable[[Any], Any], list[Any], Any],
+) -> dict[str, Any]:
+    """Execute a contiguous slice of tasks in one worker dispatch.
+
+    One isolated registry and (when capturing) one private tracer cover
+    the whole slice; the parent merges/splices them once per chunk, so a
+    chunked run yields the same counters and span set as a singly-
+    dispatched run — just fewer round-trips.
+    """
+    start, fn, chunk, capture = payload
+    with isolated_registry() as registry:
+        sink, tracer = _worker_tracer(capture, registry)
+        results = []
+        try:
+            with use_tracer(tracer):  # type: ignore[arg-type]
+                t0 = time.perf_counter_ns()
+                for item in chunk:
+                    results.append(fn(item))
+                wall_ns = time.perf_counter_ns() - t0
+        finally:
+            if sink is not None:
+                tracer.close()
+        return {
+            "start": start,
+            "results": results,
+            "count": len(results),
             "wall_ns": wall_ns,
             "metrics": registry.snapshot(),
             "events": sink.events if sink is not None else [],

@@ -25,6 +25,14 @@ Padding convention: every lookup that gathers a per-vertex value through
 (identity of the reduction): 0 for sums of indicator values, ``True`` for
 universally-quantified tests, and so on.  The helpers take an explicit
 ``pad`` argument to keep that choice visible at the call site.
+
+Stripe tiling: packed rows additionally come in a *tiled* layout that
+splits the universe into ``STRIPE_WORDS``-word stripes (4096 bits each)
+and materialises only the stripes that carry at least one vertex of any
+edge.  Big-universe instances — the ones the dispatcher newly routes
+dense — tend to occupy a handful of stripes of a wide vertex space, so
+word-parallel scans over the tiled rows (:meth:`BitEdgeStore.superset_mask`)
+do work proportional to the **live** stripes, not ``ceil(universe / 64)``.
 """
 
 from __future__ import annotations
@@ -33,10 +41,16 @@ import numpy as np
 
 from repro.hypergraph.edgestore import EdgeStore
 
-__all__ = ["BitEdgeStore", "pack_mask", "unpack_words"]
+__all__ = ["BitEdgeStore", "pack_mask", "unpack_words", "STRIPE_WORDS", "STRIPE_BITS"]
 
 #: Word size of the packed rows.
 WORD_BITS = 64
+
+#: Words per stripe of the tiled row layout.
+STRIPE_WORDS = 64
+
+#: Bits per stripe (4096): the tiling granularity over the universe.
+STRIPE_BITS = WORD_BITS * STRIPE_WORDS
 
 
 def pack_mask(mask: np.ndarray) -> np.ndarray:
@@ -54,6 +68,13 @@ def unpack_words(words: np.ndarray, universe: int) -> np.ndarray:
     return bits[:universe].astype(bool)
 
 
+def _stripe_spans(live: np.ndarray, words: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-live-stripe ``(start_word, width)``, clipping the last stripe."""
+    starts = live * STRIPE_WORDS
+    widths = np.minimum(starts + STRIPE_WORDS, words) - starts
+    return starts, widths
+
+
 class BitEdgeStore:
     """Dense (bitset + incidence-block) view of a canonical edge store.
 
@@ -68,13 +89,14 @@ class BitEdgeStore:
         Per-edge sizes aligned with *block*.
     """
 
-    __slots__ = ("universe", "block", "sizes", "_rows")
+    __slots__ = ("universe", "block", "sizes", "_rows", "_tiles")
 
     def __init__(self, universe: int, block: np.ndarray, sizes: np.ndarray):
         self.universe = int(universe)
         self.block = block
         self.sizes = sizes
         self._rows: np.ndarray | None = None
+        self._tiles: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -141,6 +163,87 @@ class BitEdgeStore:
             self._rows = rows
         return self._rows
 
+    @property
+    def stripes(self) -> int:
+        """Stripes covering the universe (``STRIPE_BITS`` bits each)."""
+        return (self.universe + STRIPE_BITS - 1) // STRIPE_BITS
+
+    @property
+    def live_stripes(self) -> np.ndarray:
+        """Ascending ids of the stripes that carry at least one vertex."""
+        return self.tiled[0]
+
+    @property
+    def tiled(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stripe-tiled packed rows: ``(live, tiles)``.
+
+        ``live`` lists the occupied stripe ids in ascending order; ``tiles``
+        is the ``(m, total_width)`` ``uint64`` matrix holding only those
+        stripes' words, concatenated in stripe order (the last stripe is
+        clipped to the universe, so a single-stripe instance tiles to
+        exactly its plain packed width).  Dead stripes are absent
+        entirely: scans over ``tiles`` cost ``O(m · live_words)`` rather
+        than ``O(m · ceil(universe / 64))``.
+        """
+        if self._tiles is None:
+            m = self.num_edges
+            w = max(self.words, 1)
+            valid = self.block < self.universe
+            verts = self.block[valid]
+            if verts.size == 0:
+                live = np.empty(0, dtype=np.intp)
+                tiles = np.zeros((m, 0), dtype=np.uint64)
+            else:
+                live = np.unique(verts // STRIPE_BITS).astype(np.intp)
+                _, widths = _stripe_spans(live, w)
+                offsets = np.concatenate(
+                    [np.zeros(1, dtype=np.intp), np.cumsum(widths)]
+                )
+                tiles = np.zeros((m, int(offsets[-1])), dtype=np.uint64)
+                eids = np.broadcast_to(
+                    np.arange(m, dtype=np.intp)[:, None], self.block.shape
+                )[valid]
+                rank = np.searchsorted(live, verts // STRIPE_BITS)
+                cols = offsets[rank] + (verts % STRIPE_BITS) // WORD_BITS
+                np.bitwise_or.at(
+                    tiles,
+                    (eids, cols),
+                    np.uint64(1) << (verts % WORD_BITS).astype(np.uint64),
+                )
+            self._tiles = (live, tiles)
+        return self._tiles
+
+    def pack_frontier(self, mask: np.ndarray) -> np.ndarray:
+        """Pack a universe-length boolean mask into the tiled layout.
+
+        Bits falling in dead stripes are dropped — no edge has a vertex
+        there, so every per-edge test against the result is unchanged at
+        the tiled width.
+        """
+        live, _ = self.tiled
+        if live.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        w = max(self.words, 1)
+        full = np.zeros(w, dtype=np.uint64)
+        packed = pack_mask(mask)
+        full[: packed.size] = packed
+        starts, widths = _stripe_spans(live, w)
+        return np.concatenate(
+            [full[s : s + d] for s, d in zip(starts.tolist(), widths.tolist())]
+        )
+
+    def unpack_frontier(self, words: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`pack_frontier`; dead stripes come back empty."""
+        live, _ = self.tiled
+        w = max(self.words, 1)
+        full = np.zeros(w, dtype=np.uint64)
+        starts, widths = _stripe_spans(live, w)
+        off = 0
+        for s, d in zip(starts.tolist(), widths.tolist()):
+            full[s : s + d] = words[off : off + d]
+            off += d
+        return unpack_words(full, self.universe)
+
     # ------------------------------------------------------------------
     # round-body primitives (each pinned against the CSR equivalent)
     # ------------------------------------------------------------------
@@ -200,15 +303,17 @@ class BitEdgeStore:
     def superset_mask(self) -> np.ndarray:
         """Edges that properly contain another edge (word-parallel scan).
 
-        Quadratic in ``m`` over packed words — meant for the small dense
-        instances the dispatcher routes here, and as the differential
-        subject for the CSR Gram-product scan.
+        Quadratic in ``m`` over the **tiled** packed rows — per-pair cost
+        is proportional to the live stripes of the universe, which is
+        what lets the scan stay cheap on the wide-universe instances the
+        dispatcher now routes dense.  Differential subject for the CSR
+        Gram-product scan.
         """
         m = self.num_edges
         drop = np.zeros(m, dtype=bool)
         if m <= 1:
             return drop
-        rows = self.rows
+        _, rows = self.tiled
         sizes = self.sizes
         for j in range(m):
             smaller = sizes < sizes[j]

@@ -55,11 +55,15 @@ from repro.obs import metrics as obs_metrics
 from repro.pram.machine import Machine, NullMachine
 from repro.util.rng import SeedLike
 
-__all__ = ["beame_luby_dense", "DENSE_MAX_DIMENSION", "DENSE_MAX_UNIVERSE"]
+__all__ = ["beame_luby_dense", "BLOCK_MAX_DIMENSION", "BLOCK_MAX_UNIVERSE"]
 
-#: Capability bounds of this engine (the dispatcher enforces them).
-DENSE_MAX_DIMENSION = 3
-DENSE_MAX_UNIVERSE = 2048
+#: Capability bounds of *this* block engine (the jit carrier): its pair
+#: tables are dense ``U²`` arrays, so it is gated to small universes.  The
+#: overall dense envelope — what :func:`repro.kernels.dispatch.dense_capable`
+#: advertises — is wider: the scalar engine (d ≤ 3) and the frontier engine
+#: (d > 3) key pairs through dicts and scale to much larger universes.
+BLOCK_MAX_DIMENSION = 3
+BLOCK_MAX_UNIVERSE = 2048
 
 
 def _dense_normalize(
@@ -105,15 +109,21 @@ def _dense_normalize(
     two = sizes == 2
     three = sizes == 3
     if two.any() and three.any():
-        pair_seen = np.zeros(U * U, dtype=np.int8)
         b2 = block[two]
-        pair_seen[b2[:, 0] * U + b2[:, 1]] = 1
         b3 = block[three]
-        sup = (
-            pair_seen[b3[:, 0] * U + b3[:, 1]]
-            | pair_seen[b3[:, 0] * U + b3[:, 2]]
-            | pair_seen[b3[:, 1] * U + b3[:, 2]]
-        ).astype(bool)
+        k01 = b3[:, 0] * U + b3[:, 1]
+        k02 = b3[:, 0] * U + b3[:, 2]
+        k12 = b3[:, 1] * U + b3[:, 2]
+        if U <= BLOCK_MAX_UNIVERSE:
+            pair_seen = np.zeros(U * U, dtype=np.int8)
+            pair_seen[b2[:, 0] * U + b2[:, 1]] = 1
+            sup = (pair_seen[k01] | pair_seen[k02] | pair_seen[k12]).astype(bool)
+        else:
+            # Large universes (scalar-engine shapes): the U² stamp table
+            # would not fit, so the same membership test runs over sorted
+            # pair keys.  Identical drop set, memory O(#pairs).
+            k2 = np.unique(b2[:, 0] * U + b2[:, 1])
+            sup = np.isin(k01, k2) | np.isin(k02, k2) | np.isin(k12, k2)
         idx3 = np.flatnonzero(three)
         dead[idx3[sup]] = True
 
@@ -130,6 +140,7 @@ def beame_luby_dense(
     max_rounds: int,
     trace: bool,
     kern=NUMPY_KERNELS,
+    trc=None,
 ) -> MISResult:
     """Run BL on the dense engine.  See module docstring for the contract.
 
@@ -138,12 +149,16 @@ def beame_luby_dense(
     ``jit`` backend; both compute identical integers.
 
     The caller (the dispatcher inside :func:`repro.core.bl.beame_luby`)
-    guarantees ``H.dimension ≤ 3``, ``H.universe ≤ DENSE_MAX_UNIVERSE``,
-    no ``on_round`` hook, no explicit execution backend and a disabled
-    tracer; everything else (seed handling, machine charging, trace
-    records, metadata) matches the CSR path bit for bit.
+    guarantees ``H.dimension ≤ 3``, ``H.universe ≤ BLOCK_MAX_UNIVERSE``,
+    no ``on_round`` hook and no explicit execution backend; everything
+    else (seed handling, machine charging, trace records, metadata)
+    matches the CSR path bit for bit.  With an enabled tracer *trc* the
+    engine emits the same per-round ``bl/round`` spans as the CSR loop
+    and stamps ``extras["wall_ns"]`` on every round record.
     """
     from repro.core.bl import _charge_round  # deferred: core.bl imports us
+
+    tr_on = trc is not None and trc.enabled
 
     U = H.universe
     b, s, active, pre_red = _dense_normalize(H)
@@ -225,25 +240,36 @@ def beame_luby_dense(
         if n == 0:
             break
         if m_alive == 0:
+            rspan = (
+                trc.span(
+                    "bl/round", machine=mach, round=round_index, n=n, m=0
+                ).__enter__()
+                if tr_on
+                else None
+            )
             independent.extend(active.tolist())
             if charge is not None:
                 mach.map(n)
             committed_total += n
             edgeless_commit = True
+            if rspan is not None:
+                rspan.set(n_after=0, m_after=0, added=n)
+                rspan.__exit__(None, None, None)
             if trace:
-                records.append(
-                    RoundRecord(
-                        index=round_index,
-                        phase="bl",
-                        n_before=n,
-                        m_before=0,
-                        n_after=0,
-                        m_after=0,
-                        marked=n,
-                        added=n,
-                        dimension=0,
-                    )
+                record = RoundRecord(
+                    index=round_index,
+                    phase="bl",
+                    n_before=n,
+                    m_before=0,
+                    n_after=0,
+                    m_after=0,
+                    marked=n,
+                    added=n,
+                    dimension=0,
                 )
+                if rspan is not None:
+                    record.extras["wall_ns"] = rspan.wall_ns
+                records.append(record)
             break
 
         # Δ(H) from the three maintained maxima (same floats as DeltaTracker).
@@ -270,6 +296,13 @@ def beame_luby_dense(
 
         m_before = m_alive
         total = 3 * num3 + 2 * (m_alive - num3)
+        rspan = (
+            trc.span(
+                "bl/round", machine=mach, round=round_index, n=n, m=m_before, dim=d
+            ).__enter__()
+            if tr_on
+            else None
+        )
 
         # (2) mark — the exact SerialBackend.bernoulli draw for one chunk.
         edged_rounds += 1
@@ -302,23 +335,33 @@ def beame_luby_dense(
             if charge is not None:
                 charge(mach, n, m_before, total, max(d, 1))
             retractions_total += unmarked_count
-            if trace:
-                records.append(
-                    RoundRecord(
-                        index=round_index,
-                        phase="bl",
-                        n_before=n,
-                        m_before=m_before,
-                        n_after=n,
-                        m_after=m_before,
-                        marked=marked_count,
-                        unmarked=unmarked_count,
-                        added=0,
-                        removed_red=0,
-                        dimension=d,
-                        extras={"p": p, "delta": delta},
-                    )
+            if rspan is not None:
+                rspan.set(
+                    n_after=n,
+                    m_after=m_before,
+                    added=0,
+                    unmarked=unmarked_count,
+                    p=p,
                 )
+                rspan.__exit__(None, None, None)
+            if trace:
+                record = RoundRecord(
+                    index=round_index,
+                    phase="bl",
+                    n_before=n,
+                    m_before=m_before,
+                    n_after=n,
+                    m_after=m_before,
+                    marked=marked_count,
+                    unmarked=unmarked_count,
+                    added=0,
+                    removed_red=0,
+                    dimension=d,
+                    extras={"p": p, "delta": delta},
+                )
+                if rspan is not None:
+                    record.extras["wall_ns"] = rspan.wall_ns
+                records.append(record)
             continue
 
         independent.extend(added.tolist())
@@ -445,23 +488,33 @@ def beame_luby_dense(
             charge(mach, n, m_before, total, max(d, 1))
         committed_total += added_count
         retractions_total += unmarked_count
-        if trace:
-            records.append(
-                RoundRecord(
-                    index=round_index,
-                    phase="bl",
-                    n_before=n,
-                    m_before=m_before,
-                    n_after=int(active.size),
-                    m_after=m_alive,
-                    marked=marked_count,
-                    unmarked=unmarked_count,
-                    added=added_count,
-                    removed_red=red_count,
-                    dimension=d,
-                    extras={"p": p, "delta": delta},
-                )
+        if rspan is not None:
+            rspan.set(
+                n_after=int(active.size),
+                m_after=m_alive,
+                added=added_count,
+                unmarked=unmarked_count,
+                p=p,
             )
+            rspan.__exit__(None, None, None)
+        if trace:
+            record = RoundRecord(
+                index=round_index,
+                phase="bl",
+                n_before=n,
+                m_before=m_before,
+                n_after=int(active.size),
+                m_after=m_alive,
+                marked=marked_count,
+                unmarked=unmarked_count,
+                added=added_count,
+                removed_red=red_count,
+                dimension=d,
+                extras={"p": p, "delta": delta},
+            )
+            if rspan is not None:
+                record.extras["wall_ns"] = rspan.wall_ns
+            records.append(record)
     else:
         raise RuntimeError(
             f"BL failed to terminate within {max_rounds} rounds "

@@ -57,15 +57,20 @@ def beame_luby_scalar(
     marking_probability: float | None,
     max_rounds: int,
     trace: bool,
+    trc=None,
 ) -> MISResult:
     """Run BL on the scalar-frontier engine.  See module docstring.
 
     The caller (the dispatcher inside :func:`repro.core.bl.beame_luby`)
-    guarantees ``H.dimension ≤ 3``, ``H.universe ≤ DENSE_MAX_UNIVERSE``,
-    no ``on_round`` hook, no explicit execution backend and a disabled
-    tracer; everything observable matches the CSR path bit for bit.
+    guarantees ``H.dimension ≤ 3``, ``H.universe`` within the dense
+    envelope, no ``on_round`` hook and no explicit execution backend;
+    everything observable matches the CSR path bit for bit.  With an
+    enabled tracer *trc* the engine emits the same per-round ``bl/round``
+    spans as the CSR loop and stamps ``extras["wall_ns"]``.
     """
     from repro.core.bl import _charge_round  # deferred: core.bl imports us
+
+    tr_on = trc is not None and trc.enabled
 
     U = H.universe
     b, s, active_arr, pre_red = _dense_normalize(H)
@@ -143,25 +148,36 @@ def beame_luby_scalar(
         if n == 0:
             break
         if m_alive == 0:
+            rspan = (
+                trc.span(
+                    "bl/round", machine=mach, round=round_index, n=n, m=0
+                ).__enter__()
+                if tr_on
+                else None
+            )
             independent.extend(active)
             if charge is not None:
                 mach.map(n)
             committed_total += n
             edgeless_commit = True
+            if rspan is not None:
+                rspan.set(n_after=0, m_after=0, added=n)
+                rspan.__exit__(None, None, None)
             if trace:
-                records.append(
-                    RoundRecord(
-                        index=round_index,
-                        phase="bl",
-                        n_before=n,
-                        m_before=0,
-                        n_after=0,
-                        m_after=0,
-                        marked=n,
-                        added=n,
-                        dimension=0,
-                    )
+                record = RoundRecord(
+                    index=round_index,
+                    phase="bl",
+                    n_before=n,
+                    m_before=0,
+                    n_after=0,
+                    m_after=0,
+                    marked=n,
+                    added=n,
+                    dimension=0,
                 )
+                if rspan is not None:
+                    record.extras["wall_ns"] = rspan.wall_ns
+                records.append(record)
             break
 
         # Δ(H) from the three maintained maxima (same floats as DeltaTracker).
@@ -193,6 +209,13 @@ def beame_luby_scalar(
 
         m_before = m_alive
         total = 3 * num3 + 2 * (m_alive - num3)
+        rspan = (
+            trc.span(
+                "bl/round", machine=mach, round=round_index, n=n, m=m_before, dim=d
+            ).__enter__()
+            if tr_on
+            else None
+        )
 
         # (2) mark — the exact SerialBackend.bernoulli draw for one chunk.
         edged_rounds += 1
@@ -240,23 +263,33 @@ def beame_luby_scalar(
             if charge is not None:
                 charge(mach, n, m_before, total, max(d, 1))
             retractions_total += unmarked_count
-            if trace:
-                records.append(
-                    RoundRecord(
-                        index=round_index,
-                        phase="bl",
-                        n_before=n,
-                        m_before=m_before,
-                        n_after=n,
-                        m_after=m_before,
-                        marked=marked_count,
-                        unmarked=unmarked_count,
-                        added=0,
-                        removed_red=0,
-                        dimension=d,
-                        extras={"p": p, "delta": delta},
-                    )
+            if rspan is not None:
+                rspan.set(
+                    n_after=n,
+                    m_after=m_before,
+                    added=0,
+                    unmarked=unmarked_count,
+                    p=p,
                 )
+                rspan.__exit__(None, None, None)
+            if trace:
+                record = RoundRecord(
+                    index=round_index,
+                    phase="bl",
+                    n_before=n,
+                    m_before=m_before,
+                    n_after=n,
+                    m_after=m_before,
+                    marked=marked_count,
+                    unmarked=unmarked_count,
+                    added=0,
+                    removed_red=0,
+                    dimension=d,
+                    extras={"p": p, "delta": delta},
+                )
+                if rspan is not None:
+                    record.extras["wall_ns"] = rspan.wall_ns
+                records.append(record)
             continue
 
         independent.extend(added)
@@ -445,23 +478,33 @@ def beame_luby_scalar(
             charge(mach, n, m_before, total, max(d, 1))
         committed_total += added_count
         retractions_total += unmarked_count
-        if trace:
-            records.append(
-                RoundRecord(
-                    index=round_index,
-                    phase="bl",
-                    n_before=n,
-                    m_before=m_before,
-                    n_after=len(active),
-                    m_after=m_alive,
-                    marked=marked_count,
-                    unmarked=unmarked_count,
-                    added=added_count,
-                    removed_red=red_count,
-                    dimension=d,
-                    extras={"p": p, "delta": delta},
-                )
+        if rspan is not None:
+            rspan.set(
+                n_after=len(active),
+                m_after=m_alive,
+                added=added_count,
+                unmarked=unmarked_count,
+                p=p,
             )
+            rspan.__exit__(None, None, None)
+        if trace:
+            record = RoundRecord(
+                index=round_index,
+                phase="bl",
+                n_before=n,
+                m_before=m_before,
+                n_after=len(active),
+                m_after=m_alive,
+                marked=marked_count,
+                unmarked=unmarked_count,
+                added=added_count,
+                removed_red=red_count,
+                dimension=d,
+                extras={"p": p, "delta": delta},
+            )
+            if rspan is not None:
+                record.extras["wall_ns"] = rspan.wall_ns
+            records.append(record)
     else:
         raise RuntimeError(
             f"BL failed to terminate within {max_rounds} rounds "

@@ -1,0 +1,213 @@
+"""Measured csr-vs-bitset cost model for the kernel dispatcher.
+
+The static shape thresholds in :mod:`repro.kernels.dispatch` encode *one*
+machine's crossover points.  This module replaces them — when a
+calibration exists — with measured ones: ``scripts/kernel_calibrate.py``
+times the CSR and bitset engines on one representative instance per
+*shape bucket* (dimension band × universe band) and persists the medians
+to ``KERNEL_CALIBRATION.json`` at the repo root (same benchfile-style
+schema discipline as the ``BENCH_*.json`` baselines, see
+:mod:`repro.exec.benchfile`).  ``select_backend`` then picks whichever
+backend measured faster for the instance's bucket, and falls back to the
+static thresholds for buckets the probe did not cover.
+
+Wall-clock medians are only meaningful on the machine that produced them,
+so every calibration must carry
+:func:`repro.util.hostid.machine_identity` in its provenance and is
+**ignored** on mismatch — the same rule ``scripts/bench_gate.py`` already
+enforces for the bench baselines.  A missing, invalid or cross-machine
+calibration file silently (but countedly) reverts dispatch to the static
+thresholds; it can never break a solve.
+
+Override the calibration location with ``REPRO_KERNEL_CALIBRATION`` (CI
+points it at a committed fixture to pin the honoring behaviour).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.util.hostid import machine_identity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dispatch imports us)
+    from repro.kernels.dispatch import ShapeFeatures
+
+__all__ = [
+    "CalibrationSchemaError",
+    "CostCalibration",
+    "DEFAULT_CALIBRATION_PATH",
+    "ENV_CALIBRATION",
+    "calibration_path",
+    "load_calibration",
+    "usable_calibration",
+    "shape_bucket",
+    "preferred_backend",
+]
+
+#: Environment variable overriding the calibration file location.
+ENV_CALIBRATION = "REPRO_KERNEL_CALIBRATION"
+
+#: Default location, next to the BENCH_*.json baselines at the repo root.
+DEFAULT_CALIBRATION_PATH = Path(__file__).resolve().parents[3] / "KERNEL_CALIBRATION.json"
+
+#: Universe band upper bounds (inclusive), smallest first; shapes above the
+#: last bound land in the open top band.
+_UNIVERSE_BANDS: tuple[tuple[int, str], ...] = (
+    (1024, "u1k"),
+    (2048, "u2k"),
+    (4096, "u4k"),
+    (8192, "u8k"),
+)
+_UNIVERSE_TOP = "u8kplus"
+
+#: The two backends the probe races; the cost model never proposes jit
+#: (an explicit ``REPRO_KERNEL=jit`` request is the only way in).
+_BACKENDS = ("csr", "bitset")
+
+
+class CalibrationSchemaError(ValueError):
+    """A calibration file exists but does not match the expected schema."""
+
+
+@dataclass(frozen=True)
+class CostCalibration:
+    """A loaded, schema-validated calibration file."""
+
+    path: Path
+    buckets: Mapping[str, Mapping[str, float]]  # bucket -> backend -> median ns
+    provenance: Mapping[str, object]
+    raw: Mapping[str, object]
+
+    @property
+    def machine_id(self) -> str:
+        return str(self.provenance["machine_id"])
+
+
+def shape_bucket(dimension: int, universe: int) -> str:
+    """The calibration bucket for an instance shape, e.g. ``"d3-u2k"``.
+
+    Buckets are a dimension band (``d2`` | ``d3`` | ``d4plus``) crossed
+    with a universe band (``u1k`` ≤ 1024 < ``u2k`` ≤ 2048 < ``u4k`` ≤ 4096
+    < ``u8k`` ≤ 8192 < ``u8kplus``).  Low-cardinality by construction —
+    3 × 5 possible labels — so the per-bucket dispatch counters stay
+    bounded.
+    """
+    if dimension <= 2:
+        dim_band = "d2"
+    elif dimension == 3:
+        dim_band = "d3"
+    else:
+        dim_band = "d4plus"
+    for bound, label in _UNIVERSE_BANDS:
+        if universe <= bound:
+            return f"{dim_band}-{label}"
+    return f"{dim_band}-{_UNIVERSE_TOP}"
+
+
+def calibration_path() -> Path:
+    """The calibration file location (env override, else the repo default)."""
+    override = os.environ.get(ENV_CALIBRATION)
+    return Path(override) if override else DEFAULT_CALIBRATION_PATH
+
+
+def _numeric(value: object, *, path: Path, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CalibrationSchemaError(f"{path}: {where} must be a number, got {value!r}")
+    out = float(value)
+    if out < 0:
+        raise CalibrationSchemaError(f"{path}: {where} must be non-negative, got {out}")
+    return out
+
+
+def load_calibration(path: Path) -> CostCalibration:
+    """Load and schema-validate one calibration file.
+
+    Raises ``FileNotFoundError`` if absent and
+    :class:`CalibrationSchemaError` on any shape violation — including a
+    missing ``provenance.machine_id``, which is mandatory: a calibration
+    that cannot prove where it was measured must never steer dispatch.
+    """
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CalibrationSchemaError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise CalibrationSchemaError(f"{path}: top level must be an object")
+    if doc.get("schema") != 1:
+        raise CalibrationSchemaError(
+            f"{path}: unsupported schema {doc.get('schema')!r} (expected 1)"
+        )
+    provenance = doc.get("provenance")
+    if not isinstance(provenance, dict) or not isinstance(
+        provenance.get("machine_id"), str
+    ):
+        raise CalibrationSchemaError(
+            f"{path}: provenance.machine_id (a string) is required"
+        )
+    buckets_doc = doc.get("buckets")
+    if not isinstance(buckets_doc, dict) or not buckets_doc:
+        raise CalibrationSchemaError(f"{path}: buckets must be a non-empty object")
+    buckets: dict[str, dict[str, float]] = {}
+    for bucket, entry in buckets_doc.items():
+        if not isinstance(entry, dict):
+            raise CalibrationSchemaError(
+                f"{path}: buckets[{bucket!r}] must be an object"
+            )
+        timings: dict[str, float] = {}
+        for backend in _BACKENDS:
+            if backend not in entry:
+                raise CalibrationSchemaError(
+                    f"{path}: buckets[{bucket!r}] is missing {backend!r}"
+                )
+            timings[backend] = _numeric(
+                entry[backend], path=path, where=f"buckets[{bucket!r}][{backend!r}]"
+            )
+        buckets[str(bucket)] = timings
+    return CostCalibration(path=path, buckets=buckets, provenance=provenance, raw=doc)
+
+
+def usable_calibration(
+    path: Path | None = None, *, machine_id: str | None = None
+) -> CostCalibration | None:
+    """The calibration dispatch may act on, or ``None`` with the reason counted.
+
+    ``None`` (static-threshold fallback) when the file is missing, fails
+    schema validation, or was measured on a different machine.  The
+    *machine_id* parameter exists for the cross-machine unit tests; real
+    callers use the ambient :func:`machine_identity`.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    p = path if path is not None else calibration_path()
+    try:
+        cal = load_calibration(p)
+    except FileNotFoundError:
+        obs_metrics.inc("kernels/calibration/missing")
+        return None
+    except CalibrationSchemaError:
+        obs_metrics.inc("kernels/calibration/invalid")
+        return None
+    current = machine_id if machine_id is not None else machine_identity()
+    if cal.machine_id != current:
+        obs_metrics.inc("kernels/calibration/machine-mismatch")
+        return None
+    obs_metrics.inc("kernels/calibration/loaded")
+    return cal
+
+
+def preferred_backend(
+    cal: CostCalibration, features: "ShapeFeatures"
+) -> str | None:
+    """The measured-faster backend for this shape, or ``None`` if uncovered.
+
+    ``None`` means the calibration has no entry for the instance's bucket
+    and dispatch should fall back to the static thresholds.
+    """
+    entry = cal.buckets.get(shape_bucket(features.dimension, features.universe))
+    if entry is None:
+        return None
+    return "bitset" if entry["bitset"] <= entry["csr"] else "csr"

@@ -9,6 +9,15 @@ without touching the payload), plus hard blockers from the call site
 (instrumentation hooks that are defined in terms of the CSR
 representation).
 
+In ``auto`` mode the choice between CSR and the bitset engines is made by
+a **measured cost model** when a calibration file exists
+(:mod:`repro.kernels.costmodel`; produced by
+``scripts/kernel_calibrate.py``, ignored unless its
+``provenance.machine_id`` matches this machine): the instance's shape
+bucket looks up which backend actually measured faster here.  Without a
+usable calibration — or for a bucket the probe did not cover — the static
+envelope below decides, exactly as before.
+
 The contract the dispatcher relies on — and the differential fuzz subjects
 enforce — is that **all backends are bit-identical per seed**, so this
 choice can never change a result, a trace record, or a regression corpus
@@ -18,8 +27,13 @@ Every decision is counted in the metrics registry:
 
 * ``kernels/dispatch/<backend>`` — which backend ran;
 * ``kernels/dispatch_reason/<reason>`` — why (low-cardinality labels);
+* ``kernels/dispatch_mode/<cost-model|static>`` — whether a measured
+  calibration or the static thresholds made an ``auto`` dense choice;
+* ``kernels/dispatch_shape/<bucket>/<backend>`` — chosen backend per
+  shape bucket;
 
-both visible in ``repro trace summary``.
+all visible in ``repro trace summary`` and the OpenMetrics export, so
+calibration drift shows up in heartbeat output.
 """
 
 from __future__ import annotations
@@ -28,11 +42,37 @@ from dataclasses import dataclass
 
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels import current_kernel
-from repro.kernels.bl_dense import DENSE_MAX_DIMENSION, DENSE_MAX_UNIVERSE
+from repro.kernels.bl_dense import BLOCK_MAX_DIMENSION, BLOCK_MAX_UNIVERSE
+from repro.kernels.costmodel import (
+    CostCalibration,
+    calibration_path,
+    preferred_backend,
+    shape_bucket,
+    usable_calibration,
+)
 from repro.kernels.jit import HAVE_NUMBA
 from repro.obs import metrics as obs_metrics
 
-__all__ = ["ShapeFeatures", "KernelDecision", "dense_capable", "select_backend"]
+__all__ = [
+    "DENSE_MAX_DIMENSION",
+    "DENSE_MAX_UNIVERSE",
+    "ShapeFeatures",
+    "KernelDecision",
+    "dense_capable",
+    "select_backend",
+    "invalidate_calibration_cache",
+]
+
+#: The dense envelope: what *some* dense engine can represent.  The
+#: engines divide it between themselves — the scalar engine covers
+#: dimension ≤ 3 (bespoke degree/pair histograms), the frontier engine
+#: dimension 4+ (generic lists + the shared Δ tracker) — and both keep
+#: per-vertex state O(universe), so the bound is set by acceptable
+#: allocation, not table blow-up.  The numba block engine keeps its own
+#: tighter bounds (``BLOCK_MAX_*`` in :mod:`repro.kernels.bl_dense`): its
+#: pair tables are dense U² arrays.
+DENSE_MAX_DIMENSION = 8
+DENSE_MAX_UNIVERSE = 65536
 
 
 @dataclass(frozen=True)
@@ -71,14 +111,35 @@ class KernelDecision:
 
 
 def dense_capable(H: Hypergraph) -> bool:
-    """Can the dense engine represent this instance at all?
+    """Can a dense engine represent this instance at all?
 
-    The dense state is quadratic in the universe (pair-key tables) and its
-    cleanup logic enumerates vertex pairs per edge, so it is gated to
-    dimension ≤ 3 (the post-normalisation regime of the paper's algorithms)
-    and a universe small enough that the tables stay within a few MB.
+    The frontier engines keep per-vertex incidence lists and dict-keyed
+    degree state — O(universe + total edge size), no U² tables — so the
+    envelope extends to dimension ≤ 8 and universes up to 64k.  Beyond it
+    the CSR reference loop is the only representation.
     """
     return H.dimension <= DENSE_MAX_DIMENSION and H.universe <= DENSE_MAX_UNIVERSE
+
+
+#: One-slot cache for the usable-calibration lookup, keyed by resolved
+#: path: dispatch runs on every solve and must not re-read/validate the
+#: JSON each time.  ``None`` is cached too (missing/invalid/mismatched).
+_CAL_CACHE: dict[str, CostCalibration | None] = {}
+
+
+def invalidate_calibration_cache() -> None:
+    """Drop the cached calibration (tests; after rewriting the file)."""
+    _CAL_CACHE.clear()
+
+
+def _active_calibration() -> CostCalibration | None:
+    path = calibration_path()
+    key = str(path)
+    if key not in _CAL_CACHE:
+        if len(_CAL_CACHE) > 8:  # env churn in long-lived test processes
+            _CAL_CACHE.clear()
+        _CAL_CACHE[key] = usable_calibration(path)
+    return _CAL_CACHE[key]
 
 
 def select_backend(
@@ -99,10 +160,11 @@ def select_backend(
     blockers:
         Call-site conditions that force CSR regardless of the request —
         e.g. an ``on_round`` hook (its signature hands out CSR hypergraph
-        successors) or an enabled tracer (per-round spans are emitted from
-        the CSR loop).  Low-cardinality labels; the first one is counted.
+        successors) or an explicit execution backend.  Low-cardinality
+        labels; the first one is counted.
     """
     req = _validated(requested) if requested is not None else current_kernel()
+    mode: str | None = None
     if req == "csr":
         decision = KernelDecision("csr", "forced:csr")
     elif blockers:
@@ -111,16 +173,33 @@ def select_backend(
         reason = "auto:shape-sparse" if req == "auto" else "unsupported-shape"
         decision = KernelDecision("csr", reason)
     elif req == "jit":
-        if HAVE_NUMBA:
+        if not HAVE_NUMBA:
+            decision = KernelDecision("bitset", "fallback:jit-unavailable")
+        elif (
+            H.dimension <= BLOCK_MAX_DIMENSION and H.universe <= BLOCK_MAX_UNIVERSE
+        ):
             decision = KernelDecision("jit", "forced:jit")
         else:
-            decision = KernelDecision("bitset", "fallback:jit-unavailable")
+            # In-envelope but beyond the block engine's U² tables: degrade
+            # to the scalar/frontier engines rather than all the way to CSR.
+            decision = KernelDecision("bitset", "fallback:jit-shape")
     elif req == "bitset":
         decision = KernelDecision("bitset", "forced:bitset")
     else:
-        decision = KernelDecision("bitset", "auto:shape-dense")
+        cal = _active_calibration()
+        pick = preferred_backend(cal, ShapeFeatures.of(H)) if cal is not None else None
+        if pick is not None:
+            mode = "cost-model"
+            decision = KernelDecision(pick, f"cost-model:{pick}")
+        else:
+            mode = "static"
+            decision = KernelDecision("bitset", "auto:shape-dense")
     obs_metrics.inc(f"kernels/dispatch/{decision.backend}")
     obs_metrics.inc(f"kernels/dispatch_reason/{decision.reason}")
+    if mode is not None:
+        obs_metrics.inc(f"kernels/dispatch_mode/{mode}")
+    bucket = shape_bucket(H.dimension, H.universe)
+    obs_metrics.inc(f"kernels/dispatch_shape/{bucket}/{decision.backend}")
     return decision
 
 

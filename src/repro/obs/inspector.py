@@ -285,6 +285,32 @@ def render_summary(path: Union[str, Path], *, width: int = 60) -> str:
 
     if doc.metrics:
         counters = doc.metrics.get("counters", {})
+        shape: dict[tuple[str, str], Any] = {}
+        for key, value in counters.items():
+            if key.startswith("kernels/dispatch_shape/"):
+                _, bucket, backend = key.rsplit("/", 2)
+                shape[(bucket, backend)] = value
+        if shape:
+            # Decision provenance: cost-model picks vs static-envelope
+            # fallbacks — drift here is how a stale calibration shows up.
+            modes = {
+                k.rsplit("/", 1)[1]: v
+                for k, v in counters.items()
+                if k.startswith("kernels/dispatch_mode/")
+            }
+            title = "kernel dispatch (backend x shape bucket)"
+            if modes:
+                title += "  |  " + "  ".join(
+                    f"{k}: {v}" for k, v in sorted(modes.items())
+                )
+            lines.append("")
+            lines.append(
+                render_table(
+                    ["shape bucket", "backend", "decisions"],
+                    [[b, be, v] for (b, be), v in sorted(shape.items())],
+                    title=title,
+                )
+            )
         if counters:
             lines.append("")
             lines.append(

@@ -196,6 +196,39 @@ def _build_dense(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
     return H, None, {"n": n, "m": m, "d": d}
 
 
+def _build_dense_high_dim(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
+    """Dense-kernel bias, dimension 4–5: the frontier-engine regime.
+
+    Under ``auto`` dispatch these route to the mixed-dimension frontier
+    engine (``bl_frontier``) — the path where cleanup must converge past
+    one pass (a containment discard can expose a new duplicate, which can
+    expose a new singleton) — so the differential battery hammers exactly
+    the generalized fixed-point loop.
+    """
+    n = int(rng.integers(12, 49))
+    d = int(rng.integers(4, 6))
+    cap = math.comb(n, d)
+    m = int(min(rng.integers(n, 3 * n + 1), cap))
+    H = uniform_hypergraph(n, m, d, seed=rng)
+    return H, None, {"n": n, "m": m, "d": d}
+
+
+def _build_dense_wide(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
+    """Dense-kernel bias, universe 3k–8k: the big-universe regime.
+
+    Beyond the old 2048-vertex ceiling but inside the widened envelope,
+    with few edges relative to the universe — the live-stripe shape the
+    tiled layout targets.  Keeps per-case solves fast while still walking
+    the wide-universe code paths (sentinel padding, stripe clipping,
+    sparse-active commits).
+    """
+    n = int(rng.integers(3000, 8001))
+    d = int(rng.integers(2, 4))
+    m = int(rng.integers(64, 257))
+    H = uniform_hypergraph(n, m, d, seed=rng)
+    return H, None, {"n": n, "m": m, "d": d}
+
+
 def _build_degenerate(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
     shape = int(rng.integers(0, 5))
     if shape == 0:
@@ -238,6 +271,8 @@ FAMILIES: tuple[tuple[str, Callable], ...] = (
     ("degenerate", _build_degenerate),
     ("steiner", _build_steiner),
     ("dense", _build_dense),
+    ("dense-dim45", _build_dense_high_dim),
+    ("dense-wide", _build_dense_wide),
 )
 
 #: Mutations safe to apply when the case carries a planted certificate:

@@ -128,6 +128,66 @@ class TestMapTasks:
                 runner.map_tasks(lambda x: x, [1])
 
 
+def _count_and_square(x: int) -> int:
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.inc("test/chunked_calls")
+    return x * x
+
+
+class TestMapTasksChunking:
+    def test_fixed_chunksize_preserves_item_order(self):
+        from repro.obs.metrics import isolated_registry
+
+        with ParallelRunner(2) as runner, isolated_registry() as reg:
+            got = runner.map_tasks(_square, list(range(37)), chunksize=5)
+            snap = reg.snapshot()
+        assert got == [i * i for i in range(37)]
+        assert snap["counters"]["exec/chunks_dispatched"] == 8  # ceil(37/5)
+        assert snap["counters"]["exec/tasks_done"] == 37
+        assert snap["gauges"]["exec/chunk_size"] == 5
+
+    def test_auto_chunks_large_grids(self):
+        from repro.obs.metrics import isolated_registry
+
+        n = 200
+        with ParallelRunner(2) as runner, isolated_registry() as reg:
+            got = runner.map_tasks(_square, list(range(n)), chunksize="auto")
+            snap = reg.snapshot()
+        assert got == [i * i for i in range(n)]
+        counters = snap["counters"]
+        assert counters["exec/tasks_done"] == n
+        # The probe runs singly, the remainder in measured-size chunks.
+        assert counters["exec/chunks_dispatched"] >= 1
+        assert snap["gauges"]["exec/chunk_size"] >= 1
+
+    def test_auto_skips_chunking_on_small_grids(self):
+        from repro.obs.metrics import isolated_registry
+
+        with ParallelRunner(2) as runner, isolated_registry() as reg:
+            got = runner.map_tasks(_square, list(range(4)), chunksize="auto")
+            snap = reg.snapshot()
+        assert got == [0, 1, 4, 9]
+        assert "exec/chunks_dispatched" not in snap["counters"]
+
+    def test_chunked_metrics_round_trip(self):
+        # Counters inc'd inside chunked workers merge into the parent
+        # registry exactly once per call, same as singly-dispatched runs.
+        from repro.obs.metrics import isolated_registry
+
+        with ParallelRunner(2) as runner, isolated_registry() as reg:
+            runner.map_tasks(_count_and_square, list(range(24)), chunksize=6)
+            snap = reg.snapshot()
+        assert snap["counters"]["test/chunked_calls"] == 24
+
+    def test_invalid_chunksize_rejected(self):
+        with ParallelRunner(1) as runner:
+            with pytest.raises(ValueError, match="chunksize"):
+                runner.map_tasks(_square, [1, 2], chunksize=0)
+            with pytest.raises(ValueError, match="chunksize"):
+                runner.map_tasks(_square, [1, 2], chunksize="huge")
+
+
 class TestLifecycle:
     def test_owned_pool_closed_on_exit(self):
         with ParallelRunner(1) as runner:

@@ -38,6 +38,12 @@ INSTANCES = {
     "degenerate": Hypergraph(8, [(0,), (1,), (0, 1, 2), (3, 4), (3, 4, 5)]),
     "edgeless": Hypergraph(10, []),
     "empty": Hypergraph(0, []),
+    # The widened envelope: dimension > 3 routes to the frontier engine,
+    # universe > 2048 to the big-universe scalar path.
+    "uniform-d4": uniform_hypergraph(36, 90, 4, seed=3),
+    "uniform-d5": uniform_hypergraph(30, 60, 5, seed=4),
+    "wide-u4096": uniform_hypergraph(4096, 96, 3, seed=5),
+    "mixed-d5-wide": mixed_dimension_hypergraph(3000, 48, (2, 3, 4, 5), seed=6),
 }
 
 REGRESSION_DIR = Path(__file__).parents[1] / "regressions"
@@ -98,6 +104,69 @@ def test_jit_without_numba_degrades_to_bitset():
     a = _solve(beame_luby, "jit", H, 2)
     b = _solve(beame_luby, "bitset", H, 2)
     _assert_identical(a, b, "jit-fallback")
+
+
+class TestSblDenseRouting:
+    """SBL hands its reduced instances to the dispatcher; results can't move.
+
+    The sampling phase keeps its own coin stream, and the inner BL/KUW
+    solves are bit-identical per backend — so SBL's full ``Result``
+    payload must match field-for-field whichever kernel the reduced
+    instances route through.
+    """
+
+    @pytest.mark.parametrize(
+        "path", sorted(REGRESSION_DIR.glob("*.npz")), ids=lambda p: p.stem
+    )
+    def test_identical_across_kernels_on_corpus(self, path):
+        from repro.core import sbl
+        from repro.qa import load_reproducer
+
+        H, manifest = load_reproducer(path)
+        seed = int(manifest["seed"])
+        baseline = _solve(sbl, "csr", H, seed, count=True)
+        for kernel in ("bitset", "auto"):
+            got = _solve(sbl, kernel, H, seed, count=True)
+            _assert_identical(baseline, got, (path.stem, kernel))
+
+    @pytest.mark.parametrize("name", ["uniform-d5", "mixed-d5-wide"], ids=str)
+    def test_identical_on_high_dimension_instances(self, name):
+        from repro.core import sbl
+
+        H = INSTANCES[name]
+        baseline = _solve(sbl, "csr", H, 9, count=True)
+        got = _solve(sbl, "bitset", H, 9, count=True)
+        _assert_identical(baseline, got, (name, "bitset"))
+
+
+class TestTracedDenseRounds:
+    """The tracer blocker is gone: dense rounds emit per-round spans."""
+
+    @pytest.mark.parametrize(
+        "name", ["uniform-d3", "uniform-d4", "wide-u4096"], ids=str
+    )
+    def test_span_per_round_under_dense_kernels(self, name):
+        from repro.obs.events import MemorySink
+        from repro.obs.tracer import Tracer, use_tracer
+
+        H = INSTANCES[name]
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        try:
+            with use_tracer(tracer), use_kernel("bitset"):
+                res = beame_luby(H, seed=1)
+        finally:
+            tracer.close()
+        rounds = [
+            e
+            for e in sink.events
+            if e.get("type") == "span" and e.get("name") == "bl/round"
+        ]
+        assert len(rounds) == res.num_rounds
+        # The traced run must still match the CSR reference bit-for-bit.
+        ref = _solve(beame_luby, "csr", H, 1, count=True)
+        got = _solve(beame_luby, "bitset", H, 1, count=True)
+        _assert_identical(ref, got, (name, "traced-dense"))
 
 
 class TestCorpusMatrix:

@@ -7,7 +7,13 @@ import pytest
 
 from repro.generators import mixed_dimension_hypergraph, uniform_hypergraph
 from repro.hypergraph import Hypergraph
-from repro.kernels.bitstore import BitEdgeStore, pack_mask, unpack_words
+from repro.kernels.bitstore import (
+    STRIPE_BITS,
+    STRIPE_WORDS,
+    BitEdgeStore,
+    pack_mask,
+    unpack_words,
+)
 
 RNG = np.random.default_rng(2024)
 
@@ -131,6 +137,76 @@ class TestTrim:
         dense, _ = _dense_views(H)
         trimmed = dense.trim(np.zeros(16, dtype=bool))
         assert trimmed.to_store().edge_tuples() == H.store.edge_tuples()
+
+
+def _clustered_big_universe():
+    # Universe spans 5 stripes; the edges live in stripes 0 and 3 only.
+    lo = [(0, 1, 2), (1, 2), (0, 2)]
+    hi_base = 3 * STRIPE_BITS
+    hi = [(hi_base + 5, hi_base + 6), (hi_base + 5, hi_base + 6, hi_base + 7)]
+    return Hypergraph(4 * STRIPE_BITS + 100, lo + hi)
+
+
+class TestStripeTiling:
+    def test_live_stripes_track_occupancy(self):
+        dense, _ = _dense_views(_clustered_big_universe())
+        assert dense.stripes == 5
+        assert dense.live_stripes.tolist() == [0, 3]
+
+    def test_tiles_are_proportional_to_live_stripes(self):
+        dense, _ = _dense_views(_clustered_big_universe())
+        _, tiles = dense.tiled
+        # Two live stripes of 64 words each vs. ceil(universe/64) words.
+        assert tiles.shape == (5, 2 * STRIPE_WORDS)
+        assert dense.words > 2 * STRIPE_WORDS
+
+    def test_tiled_rows_agree_with_plain_rows(self):
+        dense, _ = _dense_views(_clustered_big_universe())
+        live, tiles = dense.tiled
+        for i in range(dense.num_edges):
+            assert np.array_equal(
+                dense.unpack_frontier(tiles[i]),
+                unpack_words(dense.rows[i], dense.universe),
+            )
+
+    def test_single_stripe_tiles_to_plain_width(self):
+        H = uniform_hypergraph(30, 60, 3, seed=1)
+        dense, _ = _dense_views(H)
+        live, tiles = dense.tiled
+        assert live.tolist() == [0]
+        assert tiles.shape == dense.rows.shape
+        assert np.array_equal(tiles, dense.rows)
+
+    def test_pack_frontier_round_trip(self):
+        dense, _ = _dense_views(_clustered_big_universe())
+        mask = RNG.random(dense.universe) < 0.3
+        packed = dense.pack_frontier(mask)
+        assert packed.shape == (2 * STRIPE_WORDS,)
+        got = dense.unpack_frontier(packed)
+        # Dead-stripe bits are dropped; live-stripe bits survive exactly.
+        live = np.zeros(dense.universe, dtype=bool)
+        for s in dense.live_stripes.tolist():
+            live[s * STRIPE_BITS : (s + 1) * STRIPE_BITS] = True
+        assert np.array_equal(got, mask & live)
+
+    def test_empty_store_has_no_live_stripes(self):
+        dense, _ = _dense_views(Hypergraph(10 * STRIPE_BITS, []))
+        live, tiles = dense.tiled
+        assert live.size == 0
+        assert tiles.shape == (0, 0)
+        assert dense.pack_frontier(np.ones(dense.universe, dtype=bool)).size == 0
+
+    def test_superset_mask_on_wide_universe(self):
+        # (0,2) ⊂ (0,1,2) and the hi pair ⊂ the hi triple; cross-stripe
+        # pairs must not be confused for containment.
+        dense, _ = _dense_views(_clustered_big_universe())
+        edges = [set(e) for e in dense.to_store().edge_tuples()]
+        want = [
+            any(j != i and s < e for j, s in enumerate(edges))
+            for i, e in enumerate(edges)
+        ]
+        assert dense.superset_mask().tolist() == want
+        assert sum(want) == 2
 
 
 class TestSupersetMask:

@@ -64,6 +64,24 @@ class TestRenderSummary:
         JsonlSink(path).close()
         assert "no spans recorded" in render_summary(path)
 
+    def test_kernel_dispatch_table(self, tmp_path):
+        from repro.obs.metrics import isolated_registry
+
+        path = tmp_path / "run.jsonl"
+        with isolated_registry() as reg:
+            tracer = Tracer(JsonlSink(path), registry=reg)
+            with tracer.span("bl/solve"):
+                reg.counter("kernels/dispatch_shape/d3-u1k/bitset").inc()
+                reg.counter("kernels/dispatch_shape/d4plus-u4k/bitset").inc(2)
+                reg.counter("kernels/dispatch_mode/cost-model").inc()
+                reg.counter("kernels/dispatch_mode/static").inc(2)
+            tracer.flush_metrics()
+            tracer.close()
+        text = render_summary(path)
+        assert "kernel dispatch" in text
+        assert "d3-u1k" in text and "d4plus-u4k" in text
+        assert "cost-model: 1" in text and "static: 2" in text
+
 
 class TestRenderCompare:
     def test_deltas_and_missing_sides(self, trace_path, tmp_path):

@@ -66,6 +66,23 @@ class TestCaseSynthesis:
         )
         assert any(c.hypergraph.min_edge_size == 1 for c in cases)
 
+    def test_new_dense_families_hit_the_widened_envelope(self):
+        # dense-dim45 targets the frontier engine (dimension > 3),
+        # dense-wide the big-universe engines (universe > 2048); both must
+        # stay inside the dense envelope so auto dispatch routes them there.
+        from repro.kernels.dispatch import dense_capable
+
+        by_family: dict[str, list] = {}
+        for i in range(3 * len(FAMILIES)):
+            c = generate_case(0, i)
+            by_family.setdefault(c.family, []).append(c.hypergraph)
+        assert by_family["dense-dim45"] and by_family["dense-wide"]
+        for H in by_family["dense-dim45"]:
+            assert H.dimension >= 4
+        for H in by_family["dense-wide"]:
+            assert H.universe > 2048
+            assert dense_capable(H)
+
     def test_describe_mentions_provenance(self):
         case = generate_case(0, 4)
         text = case.describe()
