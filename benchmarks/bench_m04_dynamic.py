@@ -1,0 +1,226 @@
+"""M4 — incremental MIS under edge streams: repair vs recompute.
+
+Races the two strategies of :class:`repro.dynamic.DynamicMIS` over
+deterministic churn workloads and times the dispatcher's behaviour at the
+crossover:
+
+* ``small_delta_repair`` / ``small_delta_recompute`` — the headline race:
+  a sharded multi-component instance (n = 9600, m = 18000) under
+  hot-region churn batches touching well under 1% of edges.  Two engines
+  replay the *same* batch stream, one forced to repair, one forced to
+  recompute; per-batch wall times are recorded and the payload carries
+  the median speedup.  The acceptance bar is repair ≥ 5× faster.
+* ``crossover_small`` / ``crossover_large`` — one ``strategy="auto"``
+  engine fed first a small-delta batch and then a batch rewriting ~40% of
+  the edge set; the payload records which strategy the dispatcher picked
+  for each (small → repair, large → recompute is the expected flip).
+* ``churn_step`` — sustained-churn throughput: an auto engine absorbs a
+  long mixed arrival/departure stream; the entry is the per-update median
+  and the payload also reports updates/s.
+
+Every timed update runs with the certificate pass enabled — the numbers
+are for *certified* maintenance, not trust-me mode.
+
+Like M2/M3 this is a plain-timing module (the subject includes Python
+orchestration, which a calibrating harness would distort).  Run
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_m04_dynamic.py
+
+or through the recording/gating scripts (``scripts/bench_smoke.py
+--suite m04`` writes ``BENCH_m04.json``; ``scripts/bench_gate.py``
+compares a fresh run against it).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+import numpy as np
+
+from bench_m02_campaign_throughput import _cpu_model
+from repro.dynamic import DynamicMIS
+from repro.generators import churn_stream, sharded_hypergraph
+
+#: The small-delta race instance: 600 components of 16 vertices / 30
+#: edges each — the dynamic workload's natural shape (per-shard
+#: constraint sets), large enough that a full recompute clearly hurts.
+BLOCKS, BLOCK_N, BLOCK_M, DIM = 600, 16, 30, 3
+#: Hot-region churn: 8 events per batch (≈ 0.04% of edges), 80% confined
+#: to a window of 1% of the universe, so repairs stay local.
+BATCH_EVENTS = 8
+HOT_FRACTION = 0.8
+HOT_WINDOW = 0.01
+
+
+def reference_instance(seed: int = 5):
+    return sharded_hypergraph(BLOCKS, BLOCK_N, BLOCK_M, DIM, seed=seed)
+
+
+def _replay_ns(engine: DynamicMIS, batches) -> list[int]:
+    """Apply *batches* in order, returning per-batch wall time in ns."""
+    times = []
+    for batch in batches:
+        t0 = time.perf_counter_ns()
+        engine.apply(batch.add_edges, batch.remove_edges)
+        times.append(time.perf_counter_ns() - t0)
+    return times
+
+
+def run_m04(
+    *,
+    warmup: int = 3,
+    timed: int = 25,
+    churn_steps: int = 40,
+    seed: int = 5,
+) -> dict[str, Any]:
+    """Run every scenario; return the BENCH_m04 payload."""
+    H = reference_instance(seed)
+    samples: dict[str, list[int]] = {}
+
+    # --- small-delta race: same stream, forced repair vs forced recompute
+    batches = churn_stream(
+        H,
+        warmup + timed,
+        seed=seed + 6,
+        batch_edges=BATCH_EVENTS,
+        hot_fraction=HOT_FRACTION,
+        hot_window=HOT_WINDOW,
+    )
+    patch_sizes: list[int] = []
+    delta_fractions: list[float] = []
+    repair_engine = DynamicMIS(H, seed=seed, strategy="repair")
+    repair_times = []
+    for batch in batches:
+        t0 = time.perf_counter_ns()
+        out = repair_engine.apply(batch.add_edges, batch.remove_edges)
+        repair_times.append(time.perf_counter_ns() - t0)
+        patch_sizes.append(out.patch_vertices)
+        delta_fractions.append(out.update.delta_fraction())
+    samples["small_delta_repair"] = repair_times[warmup:]
+    recompute_engine = DynamicMIS(H, seed=seed, strategy="recompute")
+    samples["small_delta_recompute"] = _replay_ns(recompute_engine, batches)[warmup:]
+    if not np.array_equal(
+        repair_engine.independent_set, recompute_engine.independent_set
+    ):
+        raise RuntimeError("repair and recompute diverged on the same stream")
+
+    # --- crossover: one auto engine, small batch then a ~40% rewrite
+    auto = DynamicMIS(H, seed=seed, strategy="auto")
+    small = batches[0]
+    t0 = time.perf_counter_ns()
+    out_small = auto.apply(small.add_edges, small.remove_edges)
+    samples["crossover_small"] = [time.perf_counter_ns() - t0]
+    H_now = auto.hypergraph
+    rng = np.random.default_rng(seed)
+    edges_now = H_now.edges
+    drop = [edges_now[i] for i in rng.choice(len(edges_now), len(edges_now) // 3, replace=False)]
+    fresh = churn_stream(
+        H_now,
+        1,
+        seed=seed + 99,
+        batch_edges=len(drop),
+        arrival_fraction=1.0,
+    )[0]
+    t0 = time.perf_counter_ns()
+    out_large = auto.apply(fresh.add_edges, drop)
+    samples["crossover_large"] = [time.perf_counter_ns() - t0]
+    decisions = {
+        "crossover_small": {
+            "strategy": out_small.strategy,
+            "delta_fraction": round(out_small.update.delta_fraction(), 6),
+            "reason": out_small.reason,
+        },
+        "crossover_large": {
+            "strategy": out_large.strategy,
+            "delta_fraction": round(out_large.update.delta_fraction(), 6),
+            "reason": out_large.reason,
+        },
+    }
+    if out_small.strategy != "repair":
+        raise RuntimeError(
+            f"dispatcher picked {out_small.strategy!r} for a small delta "
+            f"({decisions['crossover_small']['delta_fraction']}) — expected repair"
+        )
+    if out_large.strategy != "recompute":
+        raise RuntimeError(
+            f"dispatcher picked {out_large.strategy!r} for a large delta "
+            f"({decisions['crossover_large']['delta_fraction']}) — expected recompute"
+        )
+
+    # --- sustained churn throughput (auto strategy, mixed events)
+    churn = churn_stream(
+        H,
+        churn_steps,
+        seed=seed + 17,
+        batch_edges=4,
+        arrival_fraction=0.55,
+        hot_fraction=0.5,
+        hot_window=HOT_WINDOW,
+        adversarial_fraction=0.1,
+    )
+    engine = DynamicMIS(H, seed=seed, strategy="auto")
+    churn_times = _replay_ns(engine, churn)
+    samples["churn_step"] = churn_times
+    engine.certify()
+
+    medians = {name: int(np.median(s)) for name, s in samples.items()}
+    iqrs = {
+        name: int(np.percentile(s, 75) - np.percentile(s, 25))
+        for name, s in samples.items()
+    }
+    speedup = medians["small_delta_recompute"] / medians["small_delta_repair"]
+    return {
+        "benchmark": "bench_m04_dynamic.py",
+        "unit": "ns",
+        "stat": "median",
+        "machine": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "instance": {
+            "blocks": BLOCKS,
+            "block_n": BLOCK_N,
+            "block_m": BLOCK_M,
+            "dimension": DIM,
+            "num_vertices": H.num_vertices,
+            "num_edges": H.num_edges,
+        },
+        "stream": {
+            "batch_events": BATCH_EVENTS,
+            "hot_fraction": HOT_FRACTION,
+            "hot_window": HOT_WINDOW,
+            "timed_batches": timed,
+            "median_delta_fraction": round(float(np.median(delta_fractions)), 6),
+            "median_patch_vertices": int(np.median(patch_sizes)),
+        },
+        "medians_ns": dict(sorted(medians.items())),
+        "iqr_ns": dict(sorted(iqrs.items())),
+        "small_delta_speedup": round(float(speedup), 2),
+        "churn_updates_per_s": round(1e9 * len(churn_times) / sum(churn_times), 1),
+        "decisions": decisions,
+    }
+
+
+def main() -> int:
+    payload = run_m04()
+    width = max(len(k) for k in payload["medians_ns"])
+    for name, ns in sorted(payload["medians_ns"].items()):
+        iqr = payload["iqr_ns"][name]
+        print(f"{name:<{width}}  {ns / 1e6:10.3f} ms  (IQR {iqr / 1e6:7.3f} ms)")
+    print(
+        f"\nsmall-delta speedup: {payload['small_delta_speedup']}x  "
+        f"(median patch {payload['stream']['median_patch_vertices']} vertices, "
+        f"delta {payload['stream']['median_delta_fraction']:.4%})"
+    )
+    for name, d in payload["decisions"].items():
+        print(f"{name}: {d['strategy']}  ({d['reason']})")
+    print(
+        f"churn throughput: {payload['churn_updates_per_s']} certified updates/s"
+    )
+    print(f"cpu_count={payload['cpu_count']}  machine={payload['machine']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

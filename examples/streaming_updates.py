@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Streaming updates: maintain an MIS while edges arrive and depart.
+
+Builds a many-component instance, streams churn batches through the
+dynamic repair engine, and shows the three things that make it useful:
+
+1. repair touches only the affected components (patch sizes vs n);
+2. the maintained set is *bit-identical* to recompute-from-scratch;
+3. the dispatcher flips from repair to recompute when the batch is huge.
+
+Run with::
+
+    python examples/streaming_updates.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.dynamic import DynamicMIS
+from repro.generators import churn_stream, sharded_hypergraph
+
+
+def main() -> None:
+    # 80 disjoint blocks of 16 vertices: the regime where locality pays.
+    H = sharded_hypergraph(blocks=80, block_n=16, block_m=30, d=3, seed=0)
+    print(f"start: {H.num_vertices} vertices, {H.num_edges} edges")
+
+    # A deterministic churn workload: small batches, hot-region biased
+    # (80% of events land in a 1%-of-the-universe window), with some
+    # adversarial duplicate/superset injections mixed in.
+    batches = churn_stream(
+        H,
+        steps=30,
+        seed=1,
+        batch_edges=4,
+        arrival_fraction=0.5,
+        hot_fraction=0.8,
+        hot_window=0.01,
+        adversarial_fraction=0.2,
+    )
+
+    engine = DynamicMIS(H, seed=7)  # strategy="auto": the crossover model
+    patch_sizes = []
+    t0 = time.perf_counter()
+    for batch in batches:
+        out = engine.apply(batch.add_edges, batch.remove_edges, strict=False)
+        if out.strategy == "repair":
+            patch_sizes.append(out.patch_vertices)
+    elapsed = time.perf_counter() - t0
+
+    print(f"applied {engine.steps} batches in {elapsed * 1e3:.1f} ms, "
+          f"final MIS size {engine.independent_set.size}")
+    if patch_sizes:
+        print(f"repairs re-solved a median of {int(np.median(patch_sizes))} "
+              f"of {engine.hypergraph.num_vertices} vertices per update")
+
+    # The invariant: repair output equals full recompute, bit for bit.
+    assert np.array_equal(engine.independent_set, engine.recompute_reference())
+    assert engine.certify()
+    print(f"certified; chain {engine.chain[:16]}…")
+
+    # A huge batch (drop a third of the edges at once) flips the
+    # dispatcher to recompute — repair's localization would cover most of
+    # the instance anyway.
+    current = engine.hypergraph
+    drop = [current.edges[i] for i in range(0, current.num_edges, 3)]
+    out = engine.apply(remove_edges=drop)
+    print(f"bulk removal of {len(drop)} edges -> {out.strategy} "
+          f"({out.reason})")
+
+
+if __name__ == "__main__":
+    main()

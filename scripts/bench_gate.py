@@ -50,12 +50,14 @@ from pathlib import Path
 from bench_smoke import (
     OUT_M02,
     OUT_M03,
+    OUT_M04,
     REPO,
     append_history,
     machine_identity,
     run_benchmarks,
     run_benchmarks_m02,
     run_benchmarks_m03,
+    run_benchmarks_m04,
 )
 
 DEFAULT_BASELINE = REPO / "BENCH_m01.json"
@@ -232,6 +234,7 @@ def _gate_suite(
         "m01": run_benchmarks,
         "m02": run_benchmarks_m02,
         "m03": run_benchmarks_m03,
+        "m04": run_benchmarks_m04,
     }
     try:
         payload = runners[suite]()
@@ -276,7 +279,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=["m01", "m02", "m03", "all", "both"],
+        choices=["m01", "m02", "m03", "m04", "all", "both"],
         default="all",
         help="which suite(s) to gate ('both' = m01+m02, kept for "
         "compatibility; default: all)",
@@ -326,7 +329,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"threshold must be positive: {args.threshold}", file=sys.stderr)
         return 2
     if args.suite == "all":
-        suites = ["m01", "m02", "m03"]
+        suites = ["m01", "m02", "m03", "m04"]
     elif args.suite == "both":
         suites = ["m01", "m02"]
     else:
@@ -335,7 +338,12 @@ def main(argv: list[str] | None = None) -> int:
         print("--baseline requires a single --suite", file=sys.stderr)
         return 2
 
-    default_baselines = {"m01": DEFAULT_BASELINE, "m02": OUT_M02, "m03": OUT_M03}
+    default_baselines = {
+        "m01": DEFAULT_BASELINE,
+        "m02": OUT_M02,
+        "m03": OUT_M03,
+        "m04": OUT_M04,
+    }
     fresh: dict[str, dict] = {}
     rc = 0
     for suite in suites:

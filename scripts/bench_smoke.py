@@ -12,6 +12,10 @@ Three suites, one JSON baseline each at the repo root:
 * **m03** — solve-service throughput and tail latency per request path
   (``benchmarks/bench_m03_service.py``, a live server driven over its
   unix socket) → ``BENCH_m03.json``.
+* **m04** — incremental MIS under edge streams: repair vs recompute,
+  dispatcher crossover and sustained-churn throughput
+  (``benchmarks/bench_m04_dynamic.py``, plain wall-clock timing) →
+  ``BENCH_m04.json``.
 
 Both payloads carry ``medians_ns`` and ``iqr_ns`` per entry; the IQR is
 what lets ``scripts/bench_gate.py`` distinguish a real regression from
@@ -52,6 +56,7 @@ BENCH = REPO / "benchmarks" / "bench_m01_solver_kernels.py"
 OUT = REPO / "BENCH_m01.json"
 OUT_M02 = REPO / "BENCH_m02.json"
 OUT_M03 = REPO / "BENCH_m03.json"
+OUT_M04 = REPO / "BENCH_m04.json"
 #: Append-only perf trajectory (gitignored; uploaded as a CI artifact).
 HISTORY = REPO / "BENCH_history.jsonl"
 
@@ -176,11 +181,24 @@ def run_benchmarks_m03() -> dict:
     return payload
 
 
+def run_benchmarks_m04() -> dict:
+    """Run the m04 dynamic repair-vs-recompute benchmark and return the payload."""
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    try:
+        from bench_m04_dynamic import run_m04
+    finally:
+        sys.path.pop(0)
+    payload = run_m04()
+    payload["provenance"] = _provenance()
+    return payload
+
+
 #: suite name -> (runner, baseline path)
 SUITES = {
     "m01": (run_benchmarks, OUT),
     "m02": (run_benchmarks_m02, OUT_M02),
     "m03": (run_benchmarks_m03, OUT_M03),
+    "m04": (run_benchmarks_m04, OUT_M04),
 }
 
 

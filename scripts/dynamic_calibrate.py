@@ -1,0 +1,174 @@
+"""Measure the dynamic crossover: repair vs recompute per shape bucket.
+
+The repair-vs-recompute dispatcher (``repro.dynamic.costmodel``) decides
+by delta fraction — the share of the edge set an update batch rewrites.
+Without calibration it uses one static threshold for every instance
+shape; this script measures the *actual* crossover fraction per shape
+bucket on this machine and writes ``DYNAMIC_CALIBRATION.json`` at the
+repo root (or ``--output``).
+
+For each probe shape it builds a sharded multi-component instance, then
+sweeps a grid of delta fractions; at each fraction it times forced-repair
+and forced-recompute engines absorbing identically-sized update batches
+(half departures of existing edges, half fresh arrivals) and records the
+median per-update wall clock.  The reported ``crossover_fraction`` is
+where the repair/recompute time ratio crosses 1, linearly interpolated
+between grid points — updates below it should repair, above it recompute.
+
+The payload is stamped with ``machine_identity()`` and the same rule as
+the kernel cost model applies: a calibration measured on another machine
+is ignored at load time (counted, never silently applied).
+
+    PYTHONPATH=src python scripts/dynamic_calibrate.py           # probe
+    PYTHONPATH=src python scripts/dynamic_calibrate.py --quick   # 2 buckets
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.dynamic import DynamicMIS  # noqa: E402
+from repro.generators import sharded_hypergraph  # noqa: E402
+from repro.hypergraph import Hypergraph  # noqa: E402
+from repro.kernels.costmodel import shape_bucket  # noqa: E402
+from repro.util.hostid import machine_identity  # noqa: E402
+from repro.util.rng import as_generator  # noqa: E402
+
+OUT = REPO / "DYNAMIC_CALIBRATION.json"
+
+#: One probe instance per bucket: (dimension, blocks, block_n, block_m).
+#: Universes (blocks x block_n) sit inside their band; sharded so repair
+#: has components to localize to.
+PROBE_SHAPES: list[tuple[int, int, int, int]] = [
+    (2, 48, 16, 24),
+    (2, 192, 16, 24),
+    (3, 48, 16, 30),
+    (3, 192, 16, 30),
+    (3, 600, 16, 30),
+    (4, 48, 16, 30),
+    (4, 192, 16, 30),
+]
+
+#: The ``--quick`` subset.
+QUICK_SHAPES: list[tuple[int, int, int, int]] = [
+    (3, 48, 16, 30),
+    (3, 192, 16, 30),
+]
+
+#: Delta fractions swept per bucket (changed edges / |E_old ∪ E_new|).
+FRACTION_GRID = (0.01, 0.05, 0.10, 0.20, 0.40)
+PROBE_SEED = 20140623  # SPAA'14
+
+
+def _make_batch(
+    H: Hypergraph, fraction: float, rng: np.random.Generator
+) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+    """An update batch rewriting ~*fraction* of H's edge set (half out, half in)."""
+    m = H.num_edges
+    d = H.dimension or 3
+    # changed = 2r, denominator = m + r  =>  r = fraction*m / (2 - fraction)
+    r = max(1, round(fraction * m / (2.0 - fraction)))
+    edges = H.edges
+    removes = [edges[i] for i in rng.choice(m, size=min(r, m), replace=False)]
+    adds = []
+    while len(adds) < r:
+        e = tuple(sorted(int(v) for v in rng.choice(H.universe, size=d, replace=False)))
+        adds.append(e)
+    return adds, removes
+
+
+def _median_update_ns(
+    H: Hypergraph, strategy: str, fraction: float, samples: int, seed: int
+) -> int:
+    rng = as_generator((seed, "dynamic-calibrate"))
+    times = []
+    for s in range(samples):
+        engine = DynamicMIS(H, seed=seed + s, strategy=strategy, validate=False)
+        adds, removes = _make_batch(H, fraction, rng)
+        t0 = time.perf_counter_ns()
+        engine.apply(adds, removes, strict=False)
+        times.append(time.perf_counter_ns() - t0)
+    return int(statistics.median(times))
+
+
+def _crossover(fractions: list[float], ratios: list[float]) -> float:
+    """Where the repair/recompute ratio crosses 1, interpolated; clamped."""
+    prev_f, prev_r = 0.0, 0.0
+    for f, r in zip(fractions, ratios):
+        if r >= 1.0:
+            if r == prev_r:
+                return f
+            t = (1.0 - prev_r) / (r - prev_r)
+            return round(min(1.0, max(0.0, prev_f + t * (f - prev_f))), 4)
+        prev_f, prev_r = f, r
+    return fractions[-1]  # repair won everywhere probed
+
+
+def probe(shapes: list[tuple[int, int, int, int]], samples: int) -> dict:
+    buckets: dict[str, dict] = {}
+    for d, blocks, block_n, block_m in shapes:
+        H = sharded_hypergraph(blocks, block_n, block_m, d, seed=PROBE_SEED)
+        bucket = shape_bucket(d, H.universe)
+        ratios = []
+        sweep = {}
+        for frac in FRACTION_GRID:
+            rep = _median_update_ns(H, "repair", frac, samples, PROBE_SEED)
+            rec = _median_update_ns(H, "recompute", frac, samples, PROBE_SEED)
+            ratios.append(rep / rec)
+            sweep[f"{frac:g}"] = {"repair_ns": rep, "recompute_ns": rec}
+        crossover = _crossover(list(FRACTION_GRID), ratios)
+        buckets[bucket] = {"crossover_fraction": crossover, "sweep": sweep}
+        print(
+            f"  {bucket:<16} n={H.universe:<6} m={H.num_edges:<6} "
+            f"crossover={crossover:g}  "
+            f"ratios={['%.2f' % r for r in ratios]}"
+        )
+    return {
+        "schema": 1,
+        "unit": "ns",
+        "stat": "median",
+        "buckets": buckets,
+        "provenance": {
+            "machine_id": machine_identity(),
+            "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "samples": samples,
+            "seed": PROBE_SEED,
+            "fraction_grid": list(FRACTION_GRID),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output", type=Path, default=OUT)
+    ap.add_argument("--samples", type=int, default=3)
+    ap.add_argument(
+        "--quick", action="store_true", help="probe a two-bucket subset"
+    )
+    args = ap.parse_args(argv)
+    shapes = QUICK_SHAPES if args.quick else PROBE_SHAPES
+    print(
+        f"probing {len(shapes)} shapes x {len(FRACTION_GRID)} fractions x "
+        f"{args.samples} samples per strategy:"
+    )
+    payload = probe(shapes, args.samples)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output} (machine_id={payload['provenance']['machine_id']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ The subcommands mirror the library's workflow::
     python -m repro check inst.txt --set 1,4,9,12
     python -m repro experiment E3 --scale quick
     python -m repro campaign --sizes 100,200 --workers 4 --csv runs.csv
+    python -m repro stream --steps 50 --batch 4 --hot 0.8 --telemetry run.jsonl
     python -m repro trace summary run.jsonl
     python -m repro fuzz run --budget 60s --seed 0
     python -m repro fuzz replay tests/regressions
@@ -323,6 +324,64 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             title="campaign summary",
         )
     )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.dynamic import DynamicMIS
+    from repro.generators import churn_stream, sharded_hypergraph
+
+    if args.instance:
+        H = load(args.instance)
+    else:
+        H = sharded_hypergraph(
+            args.blocks, args.block_n, args.block_m, args.d, seed=args.seed
+        )
+    batches = churn_stream(
+        H,
+        args.steps,
+        seed=args.seed,
+        batch_edges=args.batch,
+        arrival_fraction=args.arrival,
+        hot_fraction=args.hot,
+        hot_window=args.hot_window,
+        adversarial_fraction=args.adversarial,
+    )
+    strategies: Counter[str] = Counter()
+    with _telemetry(
+        args.telemetry,
+        heartbeat=args.heartbeat,
+        metrics_out=args.metrics_out,
+        command="stream",
+        n=H.num_vertices,
+        m=H.num_edges,
+        dim=H.dimension,
+        steps=args.steps,
+        strategy=args.strategy,
+        seed=args.seed,
+    ):
+        engine = DynamicMIS(H, seed=args.seed, strategy=args.strategy)
+        for batch in batches:
+            out = engine.apply(batch.add_edges, batch.remove_edges)
+            strategies[out.strategy] += 1
+        certified = engine.certify()
+    final = engine.hypergraph
+    doc = {
+        "steps": engine.steps,
+        "strategy": args.strategy,
+        "n": final.num_vertices,
+        "m": final.num_edges,
+        "mis_size": int(engine.independent_set.size),
+        "repairs": strategies["repair"],
+        "recomputes": strategies["recompute"],
+        "noops": strategies["noop"],
+        "certified": certified,
+        "chain": engine.chain,
+    }
+    json.dump(doc, sys.stdout, indent=2 if args.pretty else None)
+    print()
     return 0
 
 
@@ -733,6 +792,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="write an OpenMetrics textfile (each heartbeat, or once at exit)",
     )
     k.set_defaults(func=_cmd_campaign)
+
+    st = sub.add_parser(
+        "stream", help="maintain an MIS under a churn stream of edge updates"
+    )
+    st.add_argument(
+        "instance",
+        nargs="?",
+        default="",
+        help="starting instance (omit to generate a sharded one)",
+    )
+    st.add_argument("--blocks", type=int, default=40, help="generated: component count")
+    st.add_argument("--block-n", type=int, default=16, help="generated: vertices/block")
+    st.add_argument("--block-m", type=int, default=30, help="generated: edges/block")
+    st.add_argument("--d", type=int, default=3, help="generated: edge size")
+    st.add_argument("--steps", type=int, default=20, help="number of update batches")
+    st.add_argument("--batch", type=int, default=4, help="events per batch")
+    st.add_argument(
+        "--arrival", type=float, default=0.5, help="arrival fraction (rest departs)"
+    )
+    st.add_argument(
+        "--hot", type=float, default=0.0, help="fraction of events hot-region biased"
+    )
+    st.add_argument(
+        "--hot-window",
+        type=float,
+        default=0.125,
+        help="hot region width as a fraction of the universe",
+    )
+    st.add_argument(
+        "--adversarial",
+        type=float,
+        default=0.0,
+        help="fraction of arrivals that are dup/superset injections",
+    )
+    st.add_argument(
+        "--strategy",
+        choices=["auto", "repair", "recompute"],
+        default="auto",
+        help="force a maintenance strategy (default: cost-model dispatch)",
+    )
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument("--pretty", action="store_true", help="indent the JSON output")
+    st.add_argument(
+        "--telemetry",
+        default="",
+        metavar="PATH",
+        help="stream span/metric events to this JSONL file (see 'repro trace')",
+    )
+    st.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="flush progress gauges every SEC seconds",
+    )
+    st.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="PATH",
+        help="write an OpenMetrics textfile (each heartbeat, or once at exit)",
+    )
+    st.set_defaults(func=_cmd_stream)
 
     c = sub.add_parser("check", help="validate a claimed MIS")
     c.add_argument("instance")

@@ -13,6 +13,9 @@ Workload families used across the examples, tests and experiments:
 * :mod:`repro.generators.planted` — instances with a certified planted
   MIS, giving tests (and the :mod:`repro.qa` fuzzer) a solver-independent
   ground truth.
+* :mod:`repro.generators.streams` — seeded streaming-update (churn)
+  workloads and sharded multi-component starting instances for the
+  :mod:`repro.dynamic` repair engine.
 """
 
 from repro.generators.linear import random_linear_hypergraph, partial_steiner_triples
@@ -23,6 +26,7 @@ from repro.generators.random_hypergraphs import (
     sparse_random_graph,
     uniform_hypergraph,
 )
+from repro.generators.streams import UpdateBatch, churn_stream, sharded_hypergraph
 from repro.generators.structured import (
     complete_uniform,
     matching_hypergraph,
@@ -46,4 +50,7 @@ __all__ = [
     "random_linear_hypergraph",
     "partial_steiner_triples",
     "planted_mis_instance",
+    "UpdateBatch",
+    "churn_stream",
+    "sharded_hypergraph",
 ]

@@ -1,0 +1,198 @@
+"""Seeded streaming-update workloads for the dynamic engine.
+
+:func:`churn_stream` turns a starting hypergraph into a deterministic
+sequence of update batches — edge arrivals and departures mixed by
+``arrival_fraction``, optionally biased into a *hot region* of the
+universe (churn concentrated on one shard, the regime where repair
+localization shines) and optionally laced with adversarial injections
+borrowed from the qa mutation vocabulary (``dup``: re-add an existing
+edge, a structural no-op the exact diff must cancel; ``superset``: add a
+strict superset of an existing edge, which changes no MIS but does change
+the hypergraph).
+
+The generator tracks the evolving edge set, so every departure targets an
+edge that is actually present at that point in the stream and batches
+replay cleanly under ``strict=True``.  A departure of an edge added
+earlier *in the same batch* cancels the arrival instead (the update API
+applies removals before additions, so emitting both would resurrect the
+edge).  Everything is a pure function of ``(H, seed, parameters)``.
+
+:func:`sharded_hypergraph` builds the matching initial instance: a
+disjoint union of uniform random blocks, i.e. a universe with many
+moderate connected components — the dynamic workload's natural shape
+(per-shard constraint sets) and the one where component-level repair has
+something to localize to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.generators.random_hypergraphs import uniform_hypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["UpdateBatch", "churn_stream", "sharded_hypergraph"]
+
+#: Retries when sampling a fresh (non-duplicate) random edge before
+#: accepting the duplicate — keeps generation O(1) per event even on
+#: near-complete regions.
+_FRESH_TRIES = 8
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One batch of edge arrivals and departures."""
+
+    add_edges: tuple[tuple[int, ...], ...]
+    remove_edges: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_events(self) -> int:
+        return len(self.add_edges) + len(self.remove_edges)
+
+
+def sharded_hypergraph(
+    blocks: int, block_n: int, block_m: int, d: int, seed: SeedLike = None
+) -> Hypergraph:
+    """A disjoint union of *blocks* uniform random blocks.
+
+    Universe is ``blocks · block_n``; block *b* occupies vertices
+    ``[b·block_n, (b+1)·block_n)`` with ``block_m`` random size-*d* edges,
+    so the instance has (at least) *blocks* connected components.
+    """
+    if blocks < 1:
+        raise ValueError(f"need blocks >= 1: {blocks}")
+    rng = as_generator((seed, "sharded"))
+    edges: list[tuple[int, ...]] = []
+    for b in range(blocks):
+        offset = b * block_n
+        block = uniform_hypergraph(block_n, block_m, d, seed=int(rng.integers(2**31)))
+        edges.extend(tuple(v + offset for v in e) for e in block.edges)
+    return Hypergraph(blocks * block_n, edges)
+
+
+def churn_stream(
+    H: Hypergraph,
+    steps: int,
+    seed: SeedLike = None,
+    *,
+    batch_edges: int = 4,
+    arrival_fraction: float = 0.5,
+    hot_fraction: float = 0.0,
+    hot_window: float = 0.125,
+    adversarial_fraction: float = 0.0,
+    dimension: int | None = None,
+) -> list[UpdateBatch]:
+    """A deterministic churn workload of *steps* update batches against *H*.
+
+    Parameters
+    ----------
+    H:
+        Starting hypergraph; only its edge set and universe are read.
+    steps, batch_edges:
+        Number of batches and events per batch.
+    arrival_fraction:
+        Probability an event is an edge arrival (departure otherwise;
+        forced to arrival while the current edge set is empty).
+    hot_fraction, hot_window:
+        With probability *hot_fraction* an event is confined to a fixed
+        seed-chosen window of ``ceil(hot_window · universe)`` consecutive
+        vertices — hot-region bias.
+    adversarial_fraction:
+        Probability an arrival is an adversarial injection instead of a
+        fresh random edge: ``dup`` (re-add a present edge verbatim) or
+        ``superset`` (a present edge plus one extra vertex), split evenly.
+    dimension:
+        Size of fresh random edges (default: ``H.dimension``, or 3 for an
+        edgeless start).
+    """
+    if steps < 0:
+        raise ValueError(f"need steps >= 0: {steps}")
+    if batch_edges < 1:
+        raise ValueError(f"need batch_edges >= 1: {batch_edges}")
+    universe = H.universe
+    d = dimension if dimension is not None else (H.dimension or 3)
+    if not 1 <= d <= universe:
+        raise ValueError(f"edge size {d} does not fit universe {universe}")
+    rng = as_generator((seed, "churn"))
+
+    window_size = min(max(d, math.ceil(hot_window * universe)), universe)
+    window_start = int(rng.integers(0, universe - window_size + 1)) if universe else 0
+
+    current: list[tuple[int, ...]] = list(H.edges)
+    position = {e: i for i, e in enumerate(current)}
+
+    def sample_edge(size: int, hot: bool) -> tuple[int, ...]:
+        if hot:
+            lo, span = window_start, window_size
+        else:
+            lo, span = 0, universe
+        return tuple(
+            sorted(int(v) + lo for v in rng.choice(span, size=size, replace=False))
+        )
+
+    def insert(e: tuple[int, ...]) -> None:
+        if e not in position:
+            position[e] = len(current)
+            current.append(e)
+
+    def discard(e: tuple[int, ...]) -> None:
+        i = position.pop(e)
+        last = current.pop()
+        if i < len(current):
+            current[i] = last
+            position[last] = i
+
+    batches: list[UpdateBatch] = []
+    for _ in range(steps):
+        adds: list[tuple[int, ...]] = []
+        removes: list[tuple[int, ...]] = []
+        batch_adds: set[tuple[int, ...]] = set()
+        newly_added: set[tuple[int, ...]] = set()
+        for _ in range(batch_edges):
+            hot = bool(rng.random() < hot_fraction) and window_size >= d
+            if bool(rng.random() < arrival_fraction) or not current:
+                if current and rng.random() < adversarial_fraction:
+                    base = current[int(rng.integers(len(current)))]
+                    if rng.random() < 0.5 or len(base) >= universe:
+                        edge = base  # dup — a structural no-op
+                    else:
+                        extra = int(rng.integers(universe))
+                        while extra in base:
+                            extra = (extra + 1) % universe
+                        edge = tuple(sorted(base + (extra,)))  # superset
+                else:
+                    edge = sample_edge(d, hot)
+                    for _try in range(_FRESH_TRIES):
+                        if edge not in position:
+                            break
+                        edge = sample_edge(d, hot)
+                adds.append(edge)
+                batch_adds.add(edge)
+                if edge not in position:
+                    newly_added.add(edge)
+                insert(edge)
+            else:
+                edge = current[int(rng.integers(len(current)))]
+                if hot:
+                    for _try in range(_FRESH_TRIES):
+                        if any(window_start <= v < window_start + window_size for v in edge):
+                            break
+                        edge = current[int(rng.integers(len(current)))]
+                discard(edge)
+                if edge in batch_adds:
+                    # The update API removes before adding, so emitting both
+                    # would resurrect the edge — cancel the arrival instead,
+                    # and still emit the removal when the edge predates the
+                    # batch (its arrival was a dup of a present edge).
+                    batch_adds.discard(edge)
+                    adds = [a for a in adds if a != edge]
+                    if edge not in newly_added:
+                        removes.append(edge)
+                    newly_added.discard(edge)
+                else:
+                    removes.append(edge)
+        batches.append(UpdateBatch(tuple(adds), tuple(removes)))
+    return batches

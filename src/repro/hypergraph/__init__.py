@@ -46,6 +46,12 @@ from repro.hypergraph.transversal import (
     is_transversal,
     minimal_transversal,
 )
+from repro.hypergraph.updates import (
+    UpdateResult,
+    apply_updates,
+    chain_hash,
+    feed_tracker,
+)
 from repro.hypergraph.validate import (
     IndependenceViolation,
     MaximalityViolation,
@@ -68,6 +74,10 @@ __all__ = [
     "remove_singleton_edges",
     "remove_superset_edges",
     "trim_vertices",
+    "UpdateResult",
+    "apply_updates",
+    "chain_hash",
+    "feed_tracker",
     "neighborhood_count",
     "normalized_degree",
     "Delta_i",

@@ -311,6 +311,33 @@ def render_summary(path: Union[str, Path], *, width: int = 60) -> str:
                     title=title,
                 )
             )
+        repair: dict[tuple[str, str], Any] = {}
+        for key, value in counters.items():
+            if key.startswith("dynamic/decision/"):
+                _, cell, strategy = key.rsplit("/", 2)
+                repair[(cell, strategy)] = value
+        if repair:
+            # Repair-vs-recompute provenance: which delta band each
+            # decision landed in, and whether the measured crossover or
+            # the static fallback made the call.
+            modes = {
+                k.rsplit("/", 1)[1]: v
+                for k, v in counters.items()
+                if k.startswith("dynamic/decision_mode/")
+            }
+            title = "repair decisions (strategy x shape:delta band)"
+            if modes:
+                title += "  |  " + "  ".join(
+                    f"{k}: {v}" for k, v in sorted(modes.items())
+                )
+            lines.append("")
+            lines.append(
+                render_table(
+                    ["shape:delta band", "strategy", "decisions"],
+                    [[c, s, v] for (c, s), v in sorted(repair.items())],
+                    title=title,
+                )
+            )
         if counters:
             lines.append("")
             lines.append(

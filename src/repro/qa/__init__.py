@@ -13,6 +13,10 @@ package turns the repo's property tests into a reusable engine:
   instances;
 * :mod:`repro.qa.regressions` — replayable ``.npz`` reproducers (the
   committed corpus under ``tests/regressions/`` is tier-1 tested);
+* :mod:`repro.qa.streams` — the ``stream-updates`` family: metamorphic
+  checks for the dynamic repair engine (incremental == pinned recompute,
+  strategy/backend/chain identity) with a ddmin shrinker over update
+  sequences;
 * :mod:`repro.qa.engine` — the budgeted campaign loop behind
   ``repro fuzz``;
 * :mod:`repro.qa.faults` — planted-bug solver wrappers that keep the
@@ -38,6 +42,14 @@ from repro.qa.regressions import (
     save_reproducer,
 )
 from repro.qa.shrinker import ShrinkResult, shrink
+from repro.qa.streams import (
+    decode_steps,
+    encode_steps,
+    make_stream_predicate,
+    run_stream_battery,
+    shrink_steps,
+    steps_from_params,
+)
 
 __all__ = [
     "Failure",
@@ -61,4 +73,10 @@ __all__ = [
     "load_reproducer",
     "replay",
     "replay_dir",
+    "encode_steps",
+    "decode_steps",
+    "steps_from_params",
+    "run_stream_battery",
+    "make_stream_predicate",
+    "shrink_steps",
 ]

@@ -140,6 +140,10 @@ def _handle_failure(
     report = CaseReport(case.index, case.describe(), failures)
     if out_dir is None:
         return report
+    if case.family == "stream-updates":
+        return _handle_stream_failure(
+            case, failures, report, out_dir, do_shrink, max_shrink_evals, fuzz_seed
+        )
     H = case.hypergraph
     shrunk_kind = "unshrunk-failure"
     shrink_meta: dict = {}
@@ -195,6 +199,73 @@ def _handle_failure(
     return report
 
 
+def _handle_stream_failure(
+    case: FuzzCase,
+    failures: list[Failure],
+    report: CaseReport,
+    out_dir: Path,
+    do_shrink: bool,
+    max_shrink_evals: int,
+    fuzz_seed: int,
+) -> CaseReport:
+    """Pin a failing stream case: shrink the *update sequence*, not the graph.
+
+    The starting hypergraph goes into the archive as usual; the (possibly
+    ddmin-minimised) update batches ride in ``manifest["stream"]``, which
+    is what routes :func:`repro.qa.regressions.replay` back to the stream
+    battery.
+    """
+    from repro.qa.streams import (
+        encode_steps,
+        make_stream_predicate,
+        shrink_steps,
+        steps_from_params,
+    )
+
+    H = case.hypergraph
+    steps = steps_from_params(case.params)
+    shrunk_kind = "unshrunk-failure"
+    shrink_meta: dict = {}
+    if do_shrink:
+        try:
+            shrunk, evals = shrink_steps(
+                H,
+                steps,
+                make_stream_predicate(H, case.solver_seed),
+                max_evals=min(max_shrink_evals, 400),
+            )
+        except ValueError:
+            shrunk = None  # not reproducible under re-evaluation: pin as-is
+        if shrunk is not None:
+            shrink_meta = {
+                "evals": evals,
+                "from_batches": len(steps),
+                "from_events": sum(len(a) + len(r) for a, r in steps),
+            }
+            steps = shrunk
+            shrunk_kind = "shrunk-failure"
+    manifest = {
+        "kind": shrunk_kind,
+        "seed": case.solver_seed,
+        "solvers": None,
+        "description": f"stream fuzz failure: {case.describe()}",
+        "failures": [str(f) for f in failures],
+        "fuzz": {
+            "seed": fuzz_seed,
+            "index": case.index,
+            "family": case.family,
+            "params": {k: v for k, v in case.params.items() if k != "stream"},
+            "mutations": list(case.mutations),
+        },
+        "shrink": shrink_meta,
+        "stream": {"steps": encode_steps(steps)},
+    }
+    report.reproducer = save_reproducer(H, manifest, out_dir)
+    report.shrunk_n = H.num_vertices
+    report.shrunk_m = H.num_edges
+    return report
+
+
 def _case_battery(payload: tuple) -> list[Failure]:
     """Rebuild fuzz case ``(seed, index)`` and run its differential battery.
 
@@ -227,16 +298,23 @@ def _run_battery(
         m=H.num_edges,
         dim=H.dimension,
     ) as span:
-        failures = run_case(
-            H,
-            case.solver_seed,
-            solvers=solvers,
-            extra_solvers=extra_solvers,
-            focus_index=case.index,
-            metamorphic=metamorphic,
-            oracle=oracle,
-            certificate=case.certificate,
-        )
+        if case.family == "stream-updates":
+            from repro.qa.streams import run_stream_battery, steps_from_params
+
+            failures = run_stream_battery(
+                H, steps_from_params(case.params), case.solver_seed
+            )
+        else:
+            failures = run_case(
+                H,
+                case.solver_seed,
+                solvers=solvers,
+                extra_solvers=extra_solvers,
+                focus_index=case.index,
+                metamorphic=metamorphic,
+                oracle=oracle,
+                certificate=case.certificate,
+            )
         if tracer.enabled:
             span.set(failures=len(failures), mutations=list(case.mutations))
     return failures

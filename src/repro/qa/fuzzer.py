@@ -31,12 +31,14 @@ import numpy as np
 
 from repro.generators import (
     bounded_edges_instance,
+    churn_stream,
     complete_uniform,
     matching_hypergraph,
     mixed_dimension_hypergraph,
     partial_steiner_triples,
     planted_mis_instance,
     random_linear_hypergraph,
+    sharded_hypergraph,
     sparse_random_graph,
     star_hypergraph,
     sunflower,
@@ -229,6 +231,49 @@ def _build_dense_wide(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]
     return H, None, {"n": n, "m": m, "d": d}
 
 
+def _build_stream(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
+    """Stream-updates family: a starting instance plus an update sequence.
+
+    The case's hypergraph is the *initial* state; the churn batches ride
+    in ``params["stream"]["steps"]`` (JSON-ably encoded) and the battery
+    routes to :func:`repro.qa.streams.run_stream_battery` instead of the
+    one-shot differential checks.  Mutations applied after this builder
+    only *add* structure, so departures generated here stay applicable
+    (and replays run lenient regardless).
+    """
+    from repro.qa.streams import encode_steps
+
+    blocks = int(rng.integers(2, 6))
+    block_n = int(rng.integers(5, 12))
+    d = int(rng.integers(2, min(4, block_n)))
+    block_m = int(rng.integers(3, 2 * block_n))
+    H = sharded_hypergraph(
+        blocks, block_n, block_m, d, seed=int(rng.integers(2**31))
+    )
+    steps = int(rng.integers(1, 8))
+    batch = int(rng.integers(1, 5))
+    batches = churn_stream(
+        H,
+        steps,
+        seed=int(rng.integers(2**31)),
+        batch_edges=batch,
+        arrival_fraction=float(rng.uniform(0.3, 0.8)),
+        hot_fraction=float(rng.uniform(0.0, 1.0)),
+        hot_window=float(rng.uniform(0.05, 0.3)),
+        adversarial_fraction=float(rng.uniform(0.0, 0.4)),
+    )
+    params = {
+        "blocks": blocks,
+        "block_n": block_n,
+        "block_m": block_m,
+        "d": d,
+        "stream": {
+            "steps": encode_steps([(list(b.add_edges), list(b.remove_edges)) for b in batches])
+        },
+    }
+    return H, None, params
+
+
 def _build_degenerate(rng: np.random.Generator) -> tuple[Hypergraph, None, dict]:
     shape = int(rng.integers(0, 5))
     if shape == 0:
@@ -273,6 +318,7 @@ FAMILIES: tuple[tuple[str, Callable], ...] = (
     ("dense", _build_dense),
     ("dense-dim45", _build_dense_high_dim),
     ("dense-wide", _build_dense_wide),
+    ("stream-updates", _build_stream),
 )
 
 #: Mutations safe to apply when the case carries a planted certificate:

@@ -113,8 +113,20 @@ def replay(path: PathLike) -> list[Failure]:
 
     Returns the **current** failures (empty once the underlying bug is
     fixed — which is exactly what the regression suite asserts).
+
+    Reproducers carrying a ``stream`` manifest section are update-stream
+    cases: the archive's hypergraph is the *starting* state and the
+    recorded batches are replayed through the dynamic-engine battery
+    instead of the one-shot differential checks.
     """
     H, manifest = load_reproducer(path)
+    stream = manifest.get("stream")
+    if stream is not None:
+        from repro.qa.streams import decode_steps, run_stream_battery
+
+        return run_stream_battery(
+            H, decode_steps(stream["steps"]), int(manifest["seed"])
+        )
     settings = manifest.get("replay", {})
     return run_case(
         H,

@@ -1,0 +1,130 @@
+"""Streamed-update generators: determinism, bias knobs, replay validity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generators import churn_stream, sharded_hypergraph, uniform_hypergraph
+from repro.generators.streams import UpdateBatch
+from repro.hypergraph import Hypergraph, apply_updates
+
+
+def test_sharded_block_structure():
+    H = sharded_hypergraph(4, 10, 12, 3, seed=1)
+    assert H.universe == 40
+    for e in H.edges:
+        blocks = {v // 10 for v in e}
+        assert len(blocks) == 1  # every edge lives inside one block
+    # Every block contributed edges.
+    assert {e[0] // 10 for e in H.edges} == {0, 1, 2, 3}
+
+
+def test_sharded_determinism():
+    a = sharded_hypergraph(3, 8, 10, 2, seed=5)
+    b = sharded_hypergraph(3, 8, 10, 2, seed=5)
+    c = sharded_hypergraph(3, 8, 10, 2, seed=6)
+    assert a.content_hash() == b.content_hash()
+    assert a.content_hash() != c.content_hash()
+
+
+def test_churn_determinism():
+    H = uniform_hypergraph(30, 40, 3, seed=2)
+    kw = dict(batch_edges=5, arrival_fraction=0.5, adversarial_fraction=0.3)
+    a = churn_stream(H, 6, seed=9, **kw)
+    b = churn_stream(H, 6, seed=9, **kw)
+    c = churn_stream(H, 6, seed=10, **kw)
+    assert a == b
+    assert a != c
+    assert all(isinstance(x, UpdateBatch) for x in a)
+
+
+def test_pure_arrivals_and_departures():
+    H = uniform_hypergraph(25, 30, 3, seed=3)
+    arrivals = churn_stream(H, 5, seed=4, batch_edges=4, arrival_fraction=1.0)
+    assert all(not b.remove_edges for b in arrivals)
+    assert all(len(b.add_edges) == 4 for b in arrivals)
+    departures = churn_stream(H, 5, seed=4, batch_edges=4, arrival_fraction=0.0)
+    assert all(not b.add_edges for b in departures)
+
+
+def test_departures_from_empty_start_are_forced_arrivals():
+    H = Hypergraph(10, [])
+    batches = churn_stream(H, 3, seed=7, batch_edges=1, arrival_fraction=0.0)
+    # Nothing to remove at the start: the first event must arrive.
+    assert batches[0].add_edges
+
+
+def test_hot_region_bias_confines_arrivals():
+    H = Hypergraph(200, [])
+    batches = churn_stream(
+        H,
+        8,
+        seed=11,
+        batch_edges=4,
+        arrival_fraction=1.0,
+        hot_fraction=1.0,
+        hot_window=0.1,
+    )
+    touched = sorted({v for b in batches for e in b.add_edges for v in e})
+    span = touched[-1] - touched[0] + 1
+    assert span <= int(np.ceil(0.1 * 200))
+
+
+def test_uniform_arrivals_are_not_confined():
+    H = Hypergraph(200, [])
+    batches = churn_stream(
+        H, 8, seed=11, batch_edges=4, arrival_fraction=1.0, hot_fraction=0.0
+    )
+    touched = sorted({v for b in batches for e in b.add_edges for v in e})
+    assert touched[-1] - touched[0] + 1 > int(np.ceil(0.1 * 200))
+
+
+def test_adversarial_arrivals_are_dups_or_supersets():
+    H = uniform_hypergraph(30, 40, 3, seed=13)
+    batches = churn_stream(
+        H, 6, seed=14, batch_edges=3, arrival_fraction=1.0, adversarial_fraction=1.0
+    )
+    present = set(H.edges)
+    for b in batches:
+        for e in b.add_edges:
+            is_dup = e in present
+            is_superset = any(
+                set(p) < set(e) and len(e) == len(p) + 1 for p in present
+            )
+            assert is_dup or is_superset, e
+            present.add(e)
+
+
+def test_batches_replay_strictly():
+    # Every departure removes a genuinely present edge, so the whole
+    # stream replays through apply_updates with strict=True.
+    H = uniform_hypergraph(25, 30, 3, seed=15)
+    batches = churn_stream(
+        H,
+        10,
+        seed=16,
+        batch_edges=4,
+        arrival_fraction=0.5,
+        hot_fraction=0.5,
+        adversarial_fraction=0.4,
+    )
+    state, chain = H, None
+    for b in batches:
+        out = apply_updates(
+            state, b.add_edges, b.remove_edges, parent_chain=chain, strict=True
+        )
+        state, chain = out.hypergraph, out.chain
+    assert state.num_edges >= 0  # reached the end without a strict violation
+
+
+def test_custom_dimension():
+    H = Hypergraph(20, [])
+    batches = churn_stream(
+        H, 4, seed=17, batch_edges=3, arrival_fraction=1.0, dimension=4
+    )
+    assert all(len(e) == 4 for b in batches for e in b.add_edges)
+
+
+def test_num_events():
+    b = UpdateBatch(add_edges=((0, 1),), remove_edges=((2, 3), (4, 5)))
+    assert b.num_events == 3

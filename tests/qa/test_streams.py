@@ -1,0 +1,169 @@
+"""The stream-updates fuzz family: battery, shrinker, reproducers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import churn_stream, sharded_hypergraph
+from repro.qa import (
+    FAMILIES,
+    decode_steps,
+    encode_steps,
+    generate_case,
+    load_reproducer,
+    make_stream_predicate,
+    replay,
+    run_stream_battery,
+    save_reproducer,
+    shrink_steps,
+    steps_from_params,
+)
+from repro.qa.engine import _handle_failure
+from repro.qa.differential import Failure
+from repro.qa.fuzzer import FuzzCase
+
+
+def _steps(H, n=5, seed=2, **kw):
+    batches = churn_stream(H, n, seed=seed, **kw)
+    return [(list(b.add_edges), list(b.remove_edges)) for b in batches]
+
+
+def test_encode_decode_roundtrip():
+    steps = [([(0, 1), (2, 3, 4)], []), ([], [(0, 1)]), ([(5, 6)], [(2, 3, 4)])]
+    encoded = encode_steps(steps)
+    # JSON-able: lists all the way down.
+    assert all(
+        isinstance(x, list) for batch in encoded for side in batch for x in side
+    )
+    assert decode_steps(encoded) == steps
+
+
+def test_steps_from_params():
+    steps = [([(0, 1)], [])]
+    params = {"n": 5, "stream": {"steps": encode_steps(steps)}}
+    assert steps_from_params(params) == steps
+
+
+def test_stream_family_registered():
+    assert "stream-updates" in {name for name, _ in FAMILIES}
+    index = [name for name, _ in FAMILIES].index("stream-updates")
+    case = generate_case(123, index)
+    assert case.family == "stream-updates"
+    assert "stream" in case.params
+    assert steps_from_params(case.params)  # at least one batch
+
+
+def test_battery_clean_on_healthy_engine():
+    H = sharded_hypergraph(3, 8, 10, 2, seed=5)
+    steps = _steps(H, 6, seed=6, batch_edges=3, adversarial_fraction=0.3)
+    assert run_stream_battery(H, steps, engine_seed=7) == []
+
+
+def test_battery_clean_on_generated_cases():
+    index = [name for name, _ in FAMILIES].index("stream-updates")
+    for k in range(3):
+        case = generate_case(99 + k, index + k * len(FAMILIES))
+        failures = run_stream_battery(
+            case.hypergraph, steps_from_params(case.params), case.solver_seed
+        )
+        assert failures == [], (k, [str(f) for f in failures])
+
+
+def test_battery_reports_exceptions_as_failures():
+    H = sharded_hypergraph(2, 6, 6, 2, seed=8)
+    # A strict-invalid vertex id crashes apply_updates inside the engine:
+    # the battery must convert that into Failure(check="exception"), not
+    # propagate.
+    steps = [([(10**9, 10**9 + 1)], [])]
+    failures = run_stream_battery(H, steps, engine_seed=1)
+    assert failures
+    assert all(f.check == "exception" for f in failures)
+
+
+def test_make_stream_predicate():
+    H = sharded_hypergraph(2, 6, 6, 2, seed=9)
+    fails = make_stream_predicate(H, engine_seed=3)
+    assert fails([([(10**9,)], [])]) is True
+    assert fails(_steps(H, 2, seed=10)) is False
+
+
+def test_shrink_steps_minimises_synthetic_failure():
+    H = sharded_hypergraph(2, 6, 6, 2, seed=11)
+    poison = (0, 1)
+
+    def fails(steps):
+        return any(poison in adds for adds, _ in steps)
+
+    steps = _steps(H, 6, seed=12, batch_edges=3)
+    steps[3] = (steps[3][0] + [poison], steps[3][1])
+    shrunk, evals = shrink_steps(H, steps, fails)
+    assert evals > 0
+    assert shrunk == [([poison], [])]
+
+
+def test_shrink_steps_rejects_passing_sequence():
+    H = sharded_hypergraph(2, 6, 6, 2, seed=13)
+    with pytest.raises(ValueError):
+        shrink_steps(H, _steps(H, 2, seed=14), lambda steps: False)
+
+
+def test_shrink_steps_respects_eval_budget():
+    H = sharded_hypergraph(2, 6, 6, 2, seed=15)
+    calls = 0
+
+    def fails(steps):
+        nonlocal calls
+        calls += 1
+        return True
+
+    steps = _steps(H, 8, seed=16, batch_edges=4)
+    _, evals = shrink_steps(H, steps, fails, max_evals=10)
+    assert evals <= 10
+    assert calls <= 10
+
+
+def test_stream_reproducer_roundtrip(tmp_path):
+    H = sharded_hypergraph(3, 8, 10, 2, seed=17)
+    steps = _steps(H, 4, seed=18, batch_edges=3)
+    manifest = {
+        "kind": "corpus-seed",
+        "seed": 5,
+        "solvers": None,
+        "description": "test stream reproducer",
+        "stream": {"steps": encode_steps(steps)},
+    }
+    path = save_reproducer(H, manifest, tmp_path)
+    H2, loaded = load_reproducer(path)
+    assert H2.content_hash() == H.content_hash()
+    assert decode_steps(loaded["stream"]["steps"]) == steps
+    # replay() routes stream manifests to the stream battery.
+    assert replay(path) == []
+
+
+def test_handle_stream_failure_pins_reproducer(tmp_path):
+    H = sharded_hypergraph(2, 6, 6, 2, seed=19)
+    steps = _steps(H, 3, seed=20, batch_edges=2)
+    case = FuzzCase(
+        index=13,
+        family="stream-updates",
+        params={"blocks": 2, "stream": {"steps": encode_steps(steps)}},
+        mutations=(),
+        solver_seed=21,
+        hypergraph=H,
+        certificate=None,
+    )
+    failures = [Failure("dynamic-auto", "incremental-recompute", "synthetic")]
+    report = _handle_failure(case, failures, tmp_path, None, True, 100, fuzz_seed=0)
+    assert report.reproducer is not None
+    _, manifest = load_reproducer(report.reproducer)
+    # The battery is healthy, so re-evaluation cannot reproduce the
+    # (synthetic) failure: the sequence is pinned unshrunk.
+    assert manifest["kind"] == "unshrunk-failure"
+    assert decode_steps(manifest["stream"]["steps"]) == steps
+    assert manifest["fuzz"]["family"] == "stream-updates"
+    assert "stream" not in manifest["fuzz"]["params"]
+    assert np.array_equal(
+        load_reproducer(report.reproducer)[0].vertices, H.vertices
+    )
+    assert replay(report.reproducer) == []

@@ -352,3 +352,59 @@ class TestFuzz:
         rc = main(["fuzz", "shrink", str(instance), "-o", str(tmp_path)])
         assert rc == 1
         assert "nothing to shrink" in capsys.readouterr().out
+
+
+class TestStream:
+    def test_generated_instance_json(self, capsys):
+        rc = main(["stream", "--blocks", "4", "--block-n", "10", "--block-m", "14",
+                   "--d", "3", "--steps", "8", "--batch", "3", "--seed", "5"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["steps"] == 8
+        assert doc["strategy"] == "auto"
+        assert doc["repairs"] + doc["recomputes"] + doc["noops"] == 8
+        assert doc["certified"] is True
+        assert len(doc["chain"]) == 64
+
+    def test_deterministic_chain(self, capsys):
+        argv = ["stream", "--blocks", "3", "--block-n", "8", "--steps", "5",
+                "--seed", "9"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_forced_strategy_matches_auto(self, capsys):
+        base = ["stream", "--blocks", "3", "--block-n", "8", "--steps", "6",
+                "--seed", "4"]
+        assert main(base) == 0
+        auto = json.loads(capsys.readouterr().out)
+        assert main([*base, "--strategy", "recompute"]) == 0
+        forced = json.loads(capsys.readouterr().out)
+        assert forced["recomputes"] + forced["noops"] == 6
+        # Bit-identity: same final state and hash chain either way.
+        assert forced["mis_size"] == auto["mis_size"]
+        assert forced["chain"] == auto["chain"]
+
+    def test_instance_file_input(self, instance, capsys):
+        rc = main(["stream", str(instance), "--steps", "4", "--seed", "2"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["certified"] is True
+
+    def test_telemetry_and_metrics(self, tmp_path, capsys):
+        from repro.obs.events import read_events
+
+        stream = tmp_path / "stream.jsonl"
+        prom = tmp_path / "stream.prom"
+        rc = main(["stream", "--blocks", "3", "--block-n", "8", "--steps", "6",
+                   "--seed", "3", "--telemetry", str(stream),
+                   "--metrics-out", str(prom)])
+        assert rc == 0
+        events = read_events(stream)
+        assert events[0]["command"] == "stream"
+        names = {e["name"] for e in events if e["type"] == "span"}
+        assert "dynamic/update" in names
+        assert names & {"dynamic/repair", "dynamic/recompute"}
+        text = prom.read_text()
+        assert "repro_dynamic_updates_total" in text

@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "potential_decay.py",
     "erew_simulator.py",
     "linear_hypergraphs.py",
+    "streaming_updates.py",
 ]
 
 
